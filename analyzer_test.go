@@ -1,0 +1,135 @@
+package spatialkeyword
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStemmingEngine: with Stemming on, query keywords match every
+// inflection of the indexed words.
+func TestStemmingEngine(t *testing.T) {
+	eng := newEngine(t, Config{Stemming: true, SignatureBytes: 16})
+	rows := []struct {
+		pt   []float64
+		text string
+	}{
+		{[]float64{1, 1}, "charter boats fishing trips daily"},
+		{[]float64{2, 2}, "the fisherman fished here"},
+		{[]float64{3, 3}, "fish market fresh catches"},
+		{[]float64{50, 50}, "bicycle rentals and repairs"},
+	}
+	for _, r := range rows {
+		if _, err := eng.Add(r.pt, r.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "fishing", "fished", "fish" all stem to "fish": any inflection as a
+	// query keyword hits all three waterfront shops.
+	for _, kw := range []string{"fishing", "fished", "fish"} {
+		results, err := eng.TopK(10, []float64{0, 0}, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 3 {
+			t.Errorf("keyword %q matched %d objects, want 3", kw, len(results))
+		}
+	}
+	// The bike shop stays unmatched.
+	results, err := eng.TopK(10, []float64{0, 0}, "fishing", "bicycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("conjunction across shops matched %d", len(results))
+	}
+	// Without stemming, "fished" only matches the literal occurrence.
+	plain := newEngine(t, Config{SignatureBytes: 16})
+	for _, r := range rows {
+		if _, err := plain.Add(r.pt, r.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err = plain.TopK(10, []float64{0, 0}, "fished")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Errorf("plain engine: %d matches for 'fished', want 1", len(results))
+	}
+}
+
+func TestStopwordEngine(t *testing.T) {
+	eng := newEngine(t, Config{RemoveStopwords: true, SignatureBytes: 16})
+	if _, err := eng.Add([]float64{1, 1}, "the house on the hill"); err != nil {
+		t.Fatal(err)
+	}
+	// Stopword keywords dissolve; remaining terms must still match.
+	results, err := eng.TopK(5, []float64{0, 0}, "the", "house")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Errorf("got %d results", len(results))
+	}
+	// A query of only stopwords behaves like no keywords (pure NN).
+	results, err = eng.TopK(1, []float64{0, 0}, "the", "on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Errorf("stopword-only query: %d results", len(results))
+	}
+}
+
+func TestStemmingRankedQueries(t *testing.T) {
+	eng := newEngine(t, Config{Stemming: true, SignatureBytes: 16})
+	if _, err := eng.Add([]float64{1, 1}, "running trails maps"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Add([]float64{2, 2}, "runners club weekly runs"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.TopKRanked(5, []float64{0, 0}, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "running" and "runs" stem to "run"; both objects must rank. ("runners"
+	// stems to "runner", which is fine — "runs" carries the second object.)
+	if len(results) != 2 {
+		t.Fatalf("ranked stemming: %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.IRScore <= 0 {
+			t.Errorf("zero relevance for %q", r.Object.Text)
+		}
+	}
+}
+
+func TestStemmingDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := NewDurableEngine(Config{Stemming: true, RemoveStopwords: true, SignatureBytes: 16}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Add([]float64{1, 1}, "the fishing boats are leaving"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	re, err := OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// The analyzer config must round-trip through the manifest: a stemmed
+	// query still matches.
+	results, err := re.TopK(1, []float64{0, 0}, "fished")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !strings.Contains(results[0].Object.Text, "fishing") {
+		t.Errorf("stemmed query after reopen: %v", results)
+	}
+}

@@ -1,0 +1,81 @@
+package spatialkeyword
+
+import (
+	"fmt"
+
+	"spatialkeyword/internal/geo"
+)
+
+// validateArea checks the corner points and returns the query rectangle.
+func (e *Engine) validateArea(lo, hi []float64) (geo.Rect, error) {
+	if len(lo) != e.dim || len(hi) != e.dim {
+		return geo.Rect{}, fmt.Errorf("spatialkeyword: area corners have %d/%d dimensions, engine uses %d",
+			len(lo), len(hi), e.dim)
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return geo.Rect{}, fmt.Errorf("spatialkeyword: inverted area on axis %d (%g > %g)", i, lo[i], hi[i])
+		}
+	}
+	return geo.NewRect(geo.NewPoint(lo...), geo.NewPoint(hi...)), nil
+}
+
+// TopKArea returns the k objects containing every keyword that are nearest
+// to the query rectangle — zero distance for objects inside it. This is the
+// query-area variant the paper notes for the incremental NN algorithm ("an
+// area could be used instead" of the point).
+func (e *Engine) TopKArea(k int, lo, hi []float64, keywords ...string) ([]Result, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	area, err := e.validateArea(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	it := e.tree.SearchArea(area, keywords)
+	var out []Result
+	for len(out) < k {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		out = append(out, Result{
+			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+			Dist:   r.Dist,
+		})
+	}
+	return out, nil
+}
+
+// WithinArea returns every object inside the rectangle whose text contains
+// all the keywords — the boolean range query ("all pizza places on this map
+// view"), ordered by object ID.
+func (e *Engine) WithinArea(lo, hi []float64, keywords ...string) ([]Result, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	area, err := e.validateArea(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := e.tree.WithinArea(area, keywords)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(results))
+	for _, r := range results {
+		if e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		out = append(out, Result{
+			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+		})
+	}
+	return out, nil
+}

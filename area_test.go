@@ -1,0 +1,83 @@
+package spatialkeyword
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineTopKArea(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 16})
+	addFigure1(t, e)
+	// An area over East Asia: Hotels C (35.5, 139.4) and D (39.5, 116.2)
+	// are inside; the nearest pool outside is elsewhere.
+	results, err := e.TopKArea(3, []float64{30, 100}, []float64{45, 145}, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// The two in-area hotels come first at distance zero.
+	inArea := map[string]bool{}
+	for _, r := range results[:2] {
+		if r.Dist != 0 {
+			t.Errorf("in-area hotel at dist %g", r.Dist)
+		}
+		inArea[firstWord(r.Object.Text, 2)] = true
+	}
+	if !inArea["Hotel C"] || !inArea["Hotel D"] {
+		t.Errorf("in-area hotels = %v", inArea)
+	}
+	if results[2].Dist <= 0 {
+		t.Error("third result should be outside the area")
+	}
+}
+
+func TestEngineWithinArea(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 16})
+	addFigure1(t, e)
+	results, err := e.WithinArea([]float64{30, 100}, []float64{45, 145}, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (Hotels C and D)", len(results))
+	}
+	// Deleting one shrinks the answer.
+	if err := e.Delete(results[0].Object.ID); err != nil {
+		t.Fatal(err)
+	}
+	results, err = e.WithinArea([]float64{30, 100}, []float64{45, 145}, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Errorf("after delete: %d results", len(results))
+	}
+	// Empty keyword list: everything in the area.
+	all, err := e.WithinArea([]float64{-90, -180}, []float64{90, 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Errorf("world query: %d results, want 7 live hotels", len(all))
+	}
+}
+
+func TestEngineAreaValidation(t *testing.T) {
+	e := newEngine(t, Config{})
+	if _, err := e.TopKArea(1, []float64{0}, []float64{1, 1}, "x"); err == nil {
+		t.Error("bad lo dimension accepted")
+	}
+	if _, err := e.WithinArea([]float64{5, 5}, []float64{1, 1}, "x"); err == nil {
+		t.Error("inverted area accepted")
+	}
+}
+
+func firstWord(s string, n int) string {
+	f := strings.Fields(s)
+	if len(f) > n {
+		f = f[:n]
+	}
+	return strings.Join(f, " ")
+}

@@ -1,0 +1,314 @@
+// Benchmarks regenerating the paper's evaluation, one per table and figure.
+// Each benchmark prepares a scaled environment once (cached across
+// benchmarks) and then measures query work per operation, reporting the
+// evaluation's metrics — random/sequential disk blocks and object accesses
+// per query — via b.ReportMetric. Run the full evaluation with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-size datasets (Table 1 scale) are available through cmd/skbench
+// with -scale 1; benchmarks default to a laptop-friendly scale.
+package spatialkeyword_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spatialkeyword/internal/bench"
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+)
+
+// benchScale keeps benchmark dataset sizes laptop-friendly while preserving
+// the figures' shapes. Hotels documents are ~350 words, so it gets a
+// smaller object count than Restaurants, like the paper's originals.
+const (
+	hotelsScale      = 0.01 // 1,293 objects × ~350 words
+	restaurantsScale = 0.01 // 4,562 objects × ~14 words
+)
+
+var (
+	envMu    sync.Mutex
+	envCache = map[string]*bench.Env{}
+)
+
+// sharedEnv builds (once) and returns the environment for a dataset at its
+// paper-default signature length.
+func sharedEnv(b *testing.B, name string) *bench.Env {
+	b.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[name]; ok {
+		return e
+	}
+	var cfg bench.BuildConfig
+	switch name {
+	case "hotels":
+		cfg = bench.BuildConfig{Spec: dataset.Hotels(hotelsScale), SigBytes: 189}
+	case "restaurants":
+		cfg = bench.BuildConfig{Spec: dataset.Restaurants(restaurantsScale), SigBytes: 8}
+	default:
+		b.Fatalf("unknown dataset %q", name)
+	}
+	e, err := bench.BuildEnv(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache[name] = e
+	return e
+}
+
+// runWorkload measures one (method, workload) cell: queries cycled b.N
+// times, disk blocks and object accesses reported per query.
+func runWorkload(b *testing.B, e *bench.Env, m bench.Method, queries []bench.Query) {
+	b.Helper()
+	var random, sequential, objects, results uint64
+	disks := []storage.Device{e.ObjDisk}
+	switch m {
+	case bench.MethodRTree:
+		disks = append(disks, e.RTreeDisk)
+	case bench.MethodIIO:
+		disks = append(disks, e.IIODisk)
+	case bench.MethodIR2:
+		disks = append(disks, e.IR2Disk)
+	case bench.MethodMIR2:
+		disks = append(disks, e.MIR2Disk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		for _, d := range disks {
+			d.ResetStats()
+		}
+		n, objs, err := e.RunQuery(m, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results += uint64(n)
+		objects += uint64(objs)
+		for _, d := range disks {
+			s := d.Stats()
+			random += s.Random()
+			sequential += s.Sequential()
+		}
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(random)/n, "randBlk/op")
+	b.ReportMetric(float64(sequential)/n, "seqBlk/op")
+	b.ReportMetric(float64(objects)/n, "objAcc/op")
+	b.ReportMetric(float64(results)/n, "results/op")
+}
+
+// varyK runs the Figure 9/12 sweep for one dataset.
+func varyK(b *testing.B, name string) {
+	e := sharedEnv(b, name)
+	for _, k := range []int{1, 10, 50} {
+		queries, err := e.MakeQueries(16, k, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range bench.AllMethods {
+			b.Run(fmt.Sprintf("k=%d/%s", k, m), func(b *testing.B) {
+				runWorkload(b, e, m, queries)
+			})
+		}
+	}
+}
+
+// BenchmarkFig09VaryKHotels reproduces Figure 9: Hotels, 2 keywords,
+// signature 189 B, sweeping k.
+func BenchmarkFig09VaryKHotels(b *testing.B) { varyK(b, "hotels") }
+
+// BenchmarkFig12VaryKRestaurants reproduces Figure 12: Restaurants,
+// 2 keywords, signature 8 B, sweeping k.
+func BenchmarkFig12VaryKRestaurants(b *testing.B) { varyK(b, "restaurants") }
+
+// varyKeywords runs the Figure 10/13 sweep for one dataset.
+func varyKeywords(b *testing.B, name string) {
+	e := sharedEnv(b, name)
+	for _, m := range []int{1, 2, 4} {
+		queries, err := e.MakeQueries(16, 10, m, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, method := range bench.AllMethods {
+			b.Run(fmt.Sprintf("m=%d/%s", m, method), func(b *testing.B) {
+				runWorkload(b, e, method, queries)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10VaryKeywordsHotels reproduces Figure 10: Hotels, k=10,
+// sweeping the number of query keywords.
+func BenchmarkFig10VaryKeywordsHotels(b *testing.B) { varyKeywords(b, "hotels") }
+
+// BenchmarkFig13VaryKeywordsRestaurants reproduces Figure 13: Restaurants,
+// k=10, sweeping the number of query keywords.
+func BenchmarkFig13VaryKeywordsRestaurants(b *testing.B) { varyKeywords(b, "restaurants") }
+
+// varySigLen runs the Figure 11/14 sweep: IR²/MIR² rebuilt per signature
+// length (reported as size metrics), object accesses as the headline metric.
+func varySigLen(b *testing.B, name string, lengths []int) {
+	base := sharedEnv(b, name)
+	queries, err := base.MakeQueries(16, 10, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, length := range lengths {
+		envMu.Lock()
+		key := fmt.Sprintf("%s/sig=%d", name, length)
+		e, ok := envCache[key]
+		if !ok {
+			var cfg bench.BuildConfig
+			if name == "hotels" {
+				cfg = bench.BuildConfig{Spec: dataset.Hotels(hotelsScale), SigBytes: length}
+			} else {
+				cfg = bench.BuildConfig{Spec: dataset.Restaurants(restaurantsScale), SigBytes: length}
+			}
+			cfg.Methods = []bench.Method{bench.MethodIR2, bench.MethodMIR2}
+			e, err = bench.BuildEnv(cfg)
+			if err != nil {
+				envMu.Unlock()
+				b.Fatal(err)
+			}
+			envCache[key] = e
+		}
+		envMu.Unlock()
+		for _, m := range []bench.Method{bench.MethodIR2, bench.MethodMIR2} {
+			b.Run(fmt.Sprintf("sig=%dB/%s", length, m), func(b *testing.B) {
+				runWorkload(b, e, m, queries)
+				if m == bench.MethodIR2 {
+					b.ReportMetric(e.IR2.SizeMB(), "treeMB")
+				} else {
+					b.ReportMetric(e.MIR2.SizeMB(), "treeMB")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11VarySigLenHotels reproduces Figure 11: Hotels, k=10,
+// 2 keywords, sweeping the signature length.
+func BenchmarkFig11VarySigLenHotels(b *testing.B) {
+	varySigLen(b, "hotels", []int{64, 189, 384})
+}
+
+// BenchmarkFig14VarySigLenRestaurants reproduces Figure 14: Restaurants,
+// k=10, 2 keywords, sweeping the signature length.
+func BenchmarkFig14VarySigLenRestaurants(b *testing.B) {
+	varySigLen(b, "restaurants", []int{2, 8, 32})
+}
+
+// BenchmarkTable2IndexSizes reproduces Table 2: the on-disk sizes of all
+// four structures over both datasets, reported as metrics of a build run.
+func BenchmarkTable2IndexSizes(b *testing.B) {
+	for _, name := range []string{"hotels", "restaurants"} {
+		b.Run(name, func(b *testing.B) {
+			e := sharedEnv(b, name)
+			for i := 0; i < b.N; i++ {
+				// Sizes are static after the cached build; the benchmark
+				// exists to surface them in -bench output.
+			}
+			b.ReportMetric(e.IIO.SizeMB(), "iioMB")
+			b.ReportMetric(e.RTree.SizeMB(), "rtreeMB")
+			b.ReportMetric(e.IR2.SizeMB(), "ir2MB")
+			b.ReportMetric(e.MIR2.SizeMB(), "mir2MB")
+			b.ReportMetric(float64(e.Stats.Objects), "objects")
+		})
+	}
+}
+
+// BenchmarkMaintenanceInsert quantifies the paper's Section 4 maintenance
+// claim (E-X1): per-insert cost for the R-Tree, IR²-Tree, and the expensive
+// MIR²-Tree. Environments are private per method: inserts mutate them.
+func BenchmarkMaintenanceInsert(b *testing.B) {
+	for _, m := range []bench.Method{bench.MethodRTree, bench.MethodIR2, bench.MethodMIR2} {
+		b.Run(m.String(), func(b *testing.B) {
+			e, err := bench.BuildEnv(bench.BuildConfig{
+				Spec:     dataset.Restaurants(0.002),
+				SigBytes: 8,
+				Methods:  []bench.Method{m},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-append the objects to insert so appends are not timed.
+			type pending struct {
+				id  uint64
+				ptr uint64
+			}
+			objs := make([]pending, b.N)
+			for i := range objs {
+				src, err := e.Store.GetByID(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id, ptr := e.Store.Append(src.Point, src.Text)
+				objs[i] = pending{uint64(id), uint64(ptr)}
+			}
+			if err := e.Store.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			var random uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj, err := e.Store.GetByID(objstore.ID(objs[i].id))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, d := range []storage.Device{e.ObjDisk, e.RTreeDisk, e.IR2Disk, e.MIR2Disk} {
+					if d != nil {
+						d.ResetStats()
+					}
+				}
+				switch m {
+				case bench.MethodRTree:
+					err = e.RTree.Insert(obj, objstore.Ptr(objs[i].ptr))
+				case bench.MethodIR2:
+					err = e.IR2.Insert(obj, objstore.Ptr(objs[i].ptr))
+				case bench.MethodMIR2:
+					err = e.MIR2.Insert(obj, objstore.Ptr(objs[i].ptr))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, d := range []storage.Device{e.ObjDisk, e.RTreeDisk, e.IR2Disk, e.MIR2Disk} {
+					if d != nil {
+						random += d.Stats().Random()
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(random)/float64(b.N), "randBlk/op")
+		})
+	}
+}
+
+// BenchmarkSelectivitySweep covers the Section 6.B discussion (E-X2):
+// method cost across keyword document frequencies, from the most common
+// word to the rare tail.
+func BenchmarkSelectivitySweep(b *testing.B) {
+	e := sharedEnv(b, "restaurants")
+	vocab := e.Stats.VocabUsed
+	for _, rank := range []int{0, vocab / 10, vocab - 2} {
+		kw := e.KeywordsAtRank(rank, 1)
+		queries := make([]bench.Query, 8)
+		for i := range queries {
+			obj, err := e.Store.GetByID(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries[i] = bench.Query{K: 10, P: obj.Point, Keywords: kw}
+		}
+		df := e.Stats.DocFreq[kw[0]]
+		for _, m := range bench.AllMethods {
+			b.Run(fmt.Sprintf("df=%d/%s", df, m), func(b *testing.B) {
+				runWorkload(b, e, m, queries)
+			})
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Command skbench regenerates the paper's evaluation (Section 6): every
+// figure and table, as aligned text tables, over synthetic datasets matched
+// to the paper's Table 1 statistics.
+//
+// Usage:
+//
+//	skbench [flags]
+//
+//	-dataset     hotels | restaurants | both (default both)
+//	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
+//	             selectivity | table2 | maintenance |
+//	             ablate-cache | ablate-capacity | ablate-build |
+//	             ablate-split (default all;
+//	             "all" covers the paper experiments, ablations run only when
+//	             named)
+//	-scale       dataset scale factor in (0,1]; 1 = full Table 1 sizes
+//	             (default 0.02 — laptop-friendly)
+//	-queries     queries per measured cell (default 20)
+//	-sig         leaf signature length in bytes (default: paper's 189 for
+//	             hotels, 8 for restaurants)
+//	-capacity    R-Tree node capacity (default 0 = derive ~102 from 4 KB)
+//	-seed        workload seed (default 1)
+//
+// Example:
+//
+//	go run ./cmd/skbench -dataset restaurants -experiment vary-k -scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spatialkeyword/internal/bench"
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/storage"
+)
+
+type config struct {
+	dataset    string
+	experiment string
+	scale      float64
+	queries    int
+	sig        int
+	capacity   int
+	seed       int64
+	csvOut     bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.dataset, "dataset", "both", "hotels, restaurants, or both")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "which experiment to run")
+	flag.Float64Var(&cfg.scale, "scale", 0.02, "dataset scale in (0,1]")
+	flag.IntVar(&cfg.queries, "queries", 20, "queries per measured cell")
+	flag.IntVar(&cfg.sig, "sig", 0, "leaf signature bytes (0 = paper default per dataset)")
+	flag.IntVar(&cfg.capacity, "capacity", 0, "node capacity override (0 = derive from block size)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.BoolVar(&cfg.csvOut, "csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "skbench:", err)
+		os.Exit(1)
+	}
+}
+
+// experimentPlan captures the paper's sweep values per dataset.
+type experimentPlan struct {
+	spec       dataset.Spec
+	sigBytes   int
+	ks         []int
+	keywords   []int
+	sigLens    []int
+	fixedK     int
+	fixedWords int
+}
+
+func plans(cfg config) []experimentPlan {
+	var out []experimentPlan
+	if cfg.dataset == "hotels" || cfg.dataset == "both" {
+		p := experimentPlan{
+			spec:       dataset.Hotels(cfg.scale),
+			sigBytes:   189, // paper's Hotels signature length
+			ks:         []int{1, 5, 10, 20, 50},
+			keywords:   []int{1, 2, 3, 4, 5},
+			sigLens:    []int{64, 128, 189, 256, 384},
+			fixedK:     10,
+			fixedWords: 2,
+		}
+		if cfg.sig != 0 {
+			p.sigBytes = cfg.sig
+		}
+		out = append(out, p)
+	}
+	if cfg.dataset == "restaurants" || cfg.dataset == "both" {
+		p := experimentPlan{
+			spec:       dataset.Restaurants(cfg.scale),
+			sigBytes:   8, // paper's Restaurants signature length
+			ks:         []int{1, 5, 10, 20, 50},
+			keywords:   []int{1, 2, 3, 4, 5},
+			sigLens:    []int{2, 4, 8, 16, 32},
+			fixedK:     10,
+			fixedWords: 2,
+		}
+		if cfg.sig != 0 {
+			p.sigBytes = cfg.sig
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "skbench: unknown dataset %q\n", cfg.dataset)
+		os.Exit(2)
+	}
+	return out
+}
+
+func run(cfg config) error {
+	cm := storage.DefaultCostModel()
+	want := func(name string) bool { return cfg.experiment == "all" || cfg.experiment == name }
+	render := func(t *bench.Table) error {
+		if cfg.csvOut {
+			fmt.Printf("# %s\n", t.Title)
+			return t.WriteCSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+
+	ablation := strings.HasPrefix(cfg.experiment, "ablate-")
+	var envs []*bench.Env
+	for _, p := range plans(cfg) {
+		if ablation {
+			break // ablations build their own environments below
+		}
+		fmt.Printf("building %s environment (scale %g: %d objects, sig %dB)...\n",
+			p.spec.Name, cfg.scale, p.spec.NumObjects, p.sigBytes)
+		start := time.Now()
+		env, err := bench.BuildEnv(bench.BuildConfig{
+			Spec:       p.spec,
+			SigBytes:   p.sigBytes,
+			MaxEntries: cfg.capacity,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  built in %v (tree height %d, %d nodes)\n",
+			time.Since(start).Round(time.Millisecond),
+			env.IR2.RTree().Height(), env.IR2.RTree().NumNodes())
+		envs = append(envs, env)
+
+		if want("vary-k") {
+			t, err := bench.VaryK(env, p.ks, p.fixedWords, cfg.queries, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		if want("vary-keywords") {
+			t, err := bench.VaryKeywords(env, p.keywords, p.fixedK, cfg.queries, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		if want("vary-siglen") {
+			t, err := bench.VarySigLen(env, p.sigLens, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		if want("selectivity") {
+			vocab := env.Stats.VocabUsed
+			ranks := []int{0, vocab / 100, vocab / 10, vocab / 2, vocab - 2}
+			t, err := bench.Selectivity(env, ranks, p.fixedK, 1, cfg.queries, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("table1") {
+		if err := render(bench.Table1(envs...)); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		if err := render(bench.Table2(envs...)); err != nil {
+			return err
+		}
+	}
+	if want("maintenance") {
+		// Runs last: it mutates the trees.
+		for _, env := range envs {
+			t, err := bench.Maintenance(env, 20, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Extension ablations, run only when explicitly named (they rebuild
+	// their own environments).
+	for _, p := range plans(cfg) {
+		base := bench.BuildConfig{Spec: p.spec, SigBytes: p.sigBytes, MaxEntries: cfg.capacity}
+		var t *bench.Table
+		var err error
+		switch cfg.experiment {
+		case "ablate-cache":
+			t, err = bench.CacheAblation(base, []int{0, 256, 1024, 8192}, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+		case "ablate-capacity":
+			t, err = bench.CapacityAblation(base, []int{8, 32, 0, 256}, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+		case "ablate-build":
+			t, err = bench.BulkBuildAblation(base, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+		case "ablate-split":
+			t, err = bench.SplitAblation(base, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+		default:
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

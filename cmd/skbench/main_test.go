@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestPlansPerDataset(t *testing.T) {
+	both := plans(config{dataset: "both", scale: 0.01})
+	if len(both) != 2 {
+		t.Fatalf("both: %d plans", len(both))
+	}
+	if both[0].spec.Name != "hotels" || both[1].spec.Name != "restaurants" {
+		t.Errorf("plan order: %s, %s", both[0].spec.Name, both[1].spec.Name)
+	}
+	// Paper defaults per dataset.
+	if both[0].sigBytes != 189 || both[1].sigBytes != 8 {
+		t.Errorf("sig defaults: %d, %d", both[0].sigBytes, both[1].sigBytes)
+	}
+	if both[0].fixedK != 10 || both[0].fixedWords != 2 {
+		t.Errorf("fixed params: k=%d m=%d", both[0].fixedK, both[0].fixedWords)
+	}
+	// Sweeps match the paper's x-axes.
+	if len(both[0].ks) != 5 || both[0].ks[0] != 1 || both[0].ks[4] != 50 {
+		t.Errorf("k sweep: %v", both[0].ks)
+	}
+	if len(both[0].sigLens) != 5 || both[0].sigLens[2] != 189 {
+		t.Errorf("hotels sig sweep: %v", both[0].sigLens)
+	}
+	if len(both[1].sigLens) != 5 || both[1].sigLens[2] != 8 {
+		t.Errorf("restaurants sig sweep: %v", both[1].sigLens)
+	}
+
+	// Single-dataset selection and sig override.
+	hotels := plans(config{dataset: "hotels", scale: 0.01, sig: 64})
+	if len(hotels) != 1 || hotels[0].sigBytes != 64 {
+		t.Errorf("override: %+v", hotels)
+	}
+	// Scale propagates to the spec.
+	small := plans(config{dataset: "restaurants", scale: 0.001})
+	if small[0].spec.NumObjects >= 4563 {
+		t.Errorf("scale not applied: %d objects", small[0].spec.NumObjects)
+	}
+}

@@ -1,0 +1,132 @@
+// Command skload generates a synthetic dataset (the paper's Hotels or
+// Restaurants stand-in), optionally writes it as a tab-separated file, and
+// prints its Table 1 statistics plus the sizes of all four index structures
+// built over it (Table 2).
+//
+// Usage:
+//
+//	skload [flags]
+//
+//	-dataset   hotels | restaurants (default restaurants)
+//	-scale     scale factor in (0,1] (default 0.01)
+//	-sig       leaf signature bytes (default: paper's value per dataset)
+//	-out       optional path to write the dataset as TSV (lat, lon, text)
+//	-indexes   also build all four index structures and print Table 2
+//
+// Example:
+//
+//	go run ./cmd/skload -dataset hotels -scale 0.01 -out /tmp/hotels.tsv -indexes
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"spatialkeyword/internal/bench"
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "restaurants", "hotels or restaurants")
+		scale   = flag.Float64("scale", 0.01, "scale factor in (0,1]")
+		sig     = flag.Int("sig", 0, "leaf signature bytes (0 = paper default)")
+		out     = flag.String("out", "", "write dataset as TSV to this path")
+		indexes = flag.Bool("indexes", false, "build all indexes and print Table 2")
+	)
+	flag.Parse()
+	if err := run(*ds, *scale, *sig, *out, *indexes); err != nil {
+		fmt.Fprintln(os.Stderr, "skload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, scale float64, sig int, out string, indexes bool) error {
+	var spec dataset.Spec
+	switch ds {
+	case "hotels":
+		spec = dataset.Hotels(scale)
+		if sig == 0 {
+			sig = 189
+		}
+	case "restaurants":
+		spec = dataset.Restaurants(scale)
+		if sig == 0 {
+			sig = 8
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+
+	if indexes {
+		start := time.Now()
+		env, err := bench.BuildEnv(bench.BuildConfig{Spec: spec, SigBytes: sig})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated + indexed %d objects in %v\n",
+			env.Stats.Objects, time.Since(start).Round(time.Millisecond))
+		if err := bench.Table1(env).Render(os.Stdout); err != nil {
+			return err
+		}
+		if err := bench.Table2(env).Render(os.Stdout); err != nil {
+			return err
+		}
+		if out != "" {
+			return writeTSV(out, env.Store)
+		}
+		return nil
+	}
+
+	store := objstore.New(storage.NewDisk(storage.DefaultBlockSize))
+	start := time.Now()
+	stats, err := dataset.Generate(spec, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d objects in %v\n", stats.Objects, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  avg unique words/object: %.1f (target %d)\n", stats.AvgUniqueWords, spec.AvgUniqueWords)
+	fmt.Printf("  vocabulary used:         %d (drawn from %d)\n", stats.VocabUsed, spec.VocabSize)
+	fmt.Printf("  object file:             %.1f MB, %.2f blocks/object\n", stats.SizeMB, stats.AvgBlocksPerObj)
+	if out != "" {
+		return writeTSV(out, store)
+	}
+	return nil
+}
+
+func writeTSV(path string, store *objstore.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	err = store.Scan(func(o objstore.Object, _ objstore.Ptr) error {
+		for i, c := range o.Point {
+			if i > 0 {
+				if _, err := w.WriteString("\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "\t%s\n", o.Text)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+)
+
+func TestWriteTSVRoundTrip(t *testing.T) {
+	store := objstore.New(storage.NewDisk(4096))
+	spec := dataset.Restaurants(0.0005)
+	if _, err := dataset.Generate(spec, store); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	if err := writeTSV(path, store); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != store.NumObjects() {
+		t.Fatalf("wrote %d lines, want %d", len(lines), store.NumObjects())
+	}
+	for i, line := range lines {
+		if strings.Count(line, "\t") != 2 {
+			t.Fatalf("line %d has %d tabs: %q", i, strings.Count(line, "\t"), line)
+		}
+	}
+}
+
+func TestRunGeneratesAndReports(t *testing.T) {
+	// run prints to stdout; just verify it succeeds for both datasets and
+	// fails for unknown ones.
+	if err := run("restaurants", 0.0005, 8, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("hotels", 0.001, 64, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("diners", 0.01, 8, "", false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// With indexes and an output file.
+	out := filepath.Join(t.TempDir(), "r.tsv")
+	if err := run("restaurants", 0.0005, 8, out, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("output file missing: %v", err)
+	}
+}

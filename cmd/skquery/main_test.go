@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialkeyword"
+)
+
+func TestParsePoint(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []float64
+		ok   bool
+	}{
+		{"1,2", []float64{1, 2}, true},
+		{" 30.5 , 100.0 ", []float64{30.5, 100}, true},
+		{"-33.2,-70.4", []float64{-33.2, -70.4}, true},
+		{"1", nil, false},
+		{"1,2,3", nil, false},
+		{"x,y", nil, false},
+		{"", nil, false},
+	}
+	for _, tt := range tests {
+		got, err := parsePoint(tt.in)
+		if (err == nil) != tt.ok {
+			t.Errorf("parsePoint(%q) err = %v", tt.in, err)
+			continue
+		}
+		if !tt.ok {
+			continue
+		}
+		if got[0] != tt.want[0] || got[1] != tt.want[1] {
+			t.Errorf("parsePoint(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLoadTSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.tsv")
+	content := "25.4\t-80.1\tHotel A spa internet\n47.3\t-122.2\tHotel B pool\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := loadTSV(eng, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("loaded %d rows", n)
+	}
+	results, err := eng.TopK(1, []float64{25, -80}, "spa")
+	if err != nil || len(results) != 1 {
+		t.Errorf("query after load: %v %v", results, err)
+	}
+}
+
+func TestLoadTSVBadRows(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"missing-field.tsv": "1\t2\n",
+		"bad-lat.tsv":       "x\t2\ttext\n",
+		"bad-lon.tsv":       "1\ty\ttext\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadTSV(eng, path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadGenerated(t *testing.T) {
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := loadGenerated(eng, "restaurants", 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("nothing generated")
+	}
+	if _, err := loadGenerated(eng, "nosuch", 0.1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	if got := snippet("short"); got != "short" {
+		t.Errorf("snippet = %q", got)
+	}
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := snippet(string(long)); len(got) != 72 || got[69:] != "..." {
+		t.Errorf("snippet length = %d, tail %q", len(got), got[69:])
+	}
+}

@@ -1,0 +1,274 @@
+// Command skserve exposes a spatial keyword search engine over HTTP — the
+// paper's motivating "online yellow pages" as a running service. It serves
+// a JSON API backed by the IR²-Tree engine, optionally durable on disk.
+//
+// Usage:
+//
+//	skserve [flags]
+//
+//	-addr  listen address (default :8080)
+//	-dir   backing directory; empty = in-memory, existing manifest = reopen
+//	-sig   leaf signature bytes (default 64)
+//
+// API:
+//
+//	POST   /objects          {"point":[lat,lon],"text":"..."} → {"id":N}
+//	GET    /objects/{id}     → the stored object
+//	DELETE /objects/{id}     → removes it from the index
+//	GET    /search?lat=..&lon=..&k=5&q=internet,pool
+//	                         → distance-first top-k (AND semantics)
+//	GET    /ranked?lat=..&lon=..&k=5&q=internet,pool
+//	                         → general ranked top-k (soft semantics)
+//	GET    /stats            → engine statistics
+//	POST   /save             → checkpoint a durable engine
+//
+// Example session:
+//
+//	skserve -dir /tmp/yp &
+//	curl -s -XPOST localhost:8080/objects \
+//	  -d '{"point":[25.77,-80.19],"text":"cuban cafe espresso wifi"}'
+//	curl -s 'localhost:8080/search?lat=25.78&lon=-80.18&k=3&q=espresso'
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spatialkeyword"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		dir  = flag.String("dir", "", "backing directory (empty = in-memory)")
+		sig  = flag.Int("sig", 64, "leaf signature bytes")
+	)
+	flag.Parse()
+
+	eng, err := openOrCreate(*dir, spatialkeyword.Config{SignatureBytes: *sig})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skserve:", err)
+		os.Exit(1)
+	}
+	srv := newServer(eng, *dir != "")
+	log.Printf("skserve listening on %s (durable=%v)", *addr, *dir != "")
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// openOrCreate reopens an existing durable engine, creates a new durable
+// one, or builds an in-memory engine.
+func openOrCreate(dir string, cfg spatialkeyword.Config) (*spatialkeyword.Engine, error) {
+	if dir == "" {
+		return spatialkeyword.NewEngine(cfg)
+	}
+	if eng, err := spatialkeyword.OpenEngine(dir); err == nil {
+		return eng, nil
+	}
+	return spatialkeyword.NewDurableEngine(cfg, dir)
+}
+
+// server wraps the engine with the JSON API. The engine permits concurrent
+// readers but writers need exclusion, so a RWMutex mediates: queries take
+// the read lock, mutations the write lock. (Queries may flush pending adds,
+// so they also need the write lock when anything is pending — the server
+// simply flushes inside every mutation to keep queries read-only.)
+type server struct {
+	mu      sync.RWMutex
+	eng     *spatialkeyword.Engine
+	durable bool
+}
+
+func newServer(eng *spatialkeyword.Engine, durable bool) *server {
+	return &server{eng: eng, durable: durable}
+}
+
+// routes builds the HTTP mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /objects", s.handleAdd)
+	mux.HandleFunc("GET /objects/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /ranked", s.handleRanked)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /save", s.handleSave)
+	return mux
+}
+
+// addRequest is the POST /objects payload.
+type addRequest struct {
+	Point []float64 `json:"point"`
+	Text  string    `json:"text"`
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	s.mu.Lock()
+	id, err := s.eng.Add(req.Point, req.Text)
+	if err == nil {
+		err = s.eng.Flush()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"id": id})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	s.mu.RLock()
+	obj, err := s.eng.Get(id)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, obj)
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	s.mu.Lock()
+	err = s.eng.Delete(id)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseQuery extracts the shared search parameters.
+func parseQuery(r *http.Request) (point []float64, k int, keywords []string, err error) {
+	q := r.URL.Query()
+	lat, err := strconv.ParseFloat(q.Get("lat"), 64)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("bad lat: %w", err)
+	}
+	lon, err := strconv.ParseFloat(q.Get("lon"), 64)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("bad lon: %w", err)
+	}
+	k = 10
+	if kv := q.Get("k"); kv != "" {
+		k, err = strconv.Atoi(kv)
+		if err != nil || k < 1 || k > 1000 {
+			return nil, 0, nil, fmt.Errorf("bad k %q", kv)
+		}
+	}
+	for _, w := range strings.Split(q.Get("q"), ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			keywords = append(keywords, w)
+		}
+	}
+	return []float64{lat, lon}, k, keywords, nil
+}
+
+// searchResponse is the GET /search payload.
+type searchResponse struct {
+	Results []spatialkeyword.Result    `json:"results"`
+	Stats   *spatialkeyword.QueryStats `json:"stats,omitempty"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	point, k, keywords, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	results, stats, err := s.eng.TopKWithStats(k, point, keywords...)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if results == nil {
+		results = []spatialkeyword.Result{}
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Results: results, Stats: &stats})
+}
+
+func (s *server) handleRanked(w http.ResponseWriter, r *http.Request) {
+	point, k, keywords, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	results, err := s.eng.TopKRanked(k, point, keywords...)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if results == nil {
+		results = []spatialkeyword.RankedResult{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.eng.Stats()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if !s.durable {
+		httpError(w, http.StatusConflict, spatialkeyword.ErrNotDurable)
+		return
+	}
+	s.mu.Lock()
+	err := s.eng.Save()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, spatialkeyword.ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, spatialkeyword.ErrDeleted):
+		return http.StatusGone
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best effort to a client
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"spatialkeyword"
+)
+
+func newTestServer(t *testing.T, durableDir string) (*server, *httptest.Server) {
+	t.Helper()
+	eng, err := openOrCreate(durableDir, spatialkeyword.Config{SignatureBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, durableDir != "")
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func seedHotels(t *testing.T, ts *httptest.Server) []uint64 {
+	t.Helper()
+	rows := []struct {
+		pt   []float64
+		text string
+	}{
+		{[]float64{25.4, -80.1}, "Hotel A tennis court gift shop spa Internet"},
+		{[]float64{47.3, -122.2}, "Hotel B wireless Internet pool golf course"},
+		{[]float64{-33.2, -70.4}, "Hotel G Internet airport transportation pool"},
+	}
+	var ids []uint64
+	for _, r := range rows {
+		resp := post(t, ts.URL+"/objects", addRequest{Point: r.pt, Text: r.text})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add status %d", resp.StatusCode)
+		}
+		out := decode[map[string]uint64](t, resp)
+		ids = append(ids, out["id"])
+	}
+	return ids
+}
+
+func TestAddSearchLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	ids := seedHotels(t, ts)
+	if fmt.Sprint(ids) != "[0 1 2]" {
+		t.Errorf("ids = %v", ids)
+	}
+
+	resp, err := http.Get(ts.URL + "/search?lat=30.5&lon=100&k=2&q=internet,pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	out := decode[searchResponse](t, resp)
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if !strings.Contains(out.Results[0].Object.Text, "Hotel G") {
+		t.Errorf("first = %q", out.Results[0].Object.Text)
+	}
+	if out.Stats == nil || out.Stats.ObjectsLoaded == 0 {
+		t.Errorf("stats missing: %+v", out.Stats)
+	}
+
+	// GET one object.
+	resp, err = http.Get(ts.URL + "/objects/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := decode[spatialkeyword.Object](t, resp)
+	if !strings.Contains(obj.Text, "Hotel B") {
+		t.Errorf("get = %+v", obj)
+	}
+
+	// DELETE it and search again.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/objects/1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/search?lat=30.5&lon=100&k=5&q=internet,pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = decode[searchResponse](t, resp)
+	if len(out.Results) != 1 {
+		t.Errorf("after delete: %d results", len(out.Results))
+	}
+
+	// Deleted object is 410, unknown is 404.
+	for _, tc := range []struct {
+		path string
+		want int
+	}{{"/objects/1", http.StatusGone}, {"/objects/99", http.StatusNotFound}} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestRankedEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+	resp, err := http.Get(ts.URL + "/ranked?lat=30.5&lon=100&k=5&q=internet,pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string][]spatialkeyword.RankedResult](t, resp)
+	results := out["results"]
+	if len(results) != 3 {
+		t.Fatalf("ranked results = %d, want 3 (disjunctive)", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Score > results[i-1].Score {
+			t.Error("ranked order violated")
+		}
+	}
+}
+
+func TestStatsAndValidation(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[spatialkeyword.Stats](t, resp)
+	if st.Objects != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Bad inputs.
+	for _, path := range []string{
+		"/search?lat=x&lon=1&q=a",
+		"/search?lat=1&lon=1&k=0&q=a",
+		"/search?lat=1&lon=1&k=9999&q=a",
+		"/objects/notanumber",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Bad JSON body.
+	resp2, err := http.Post(ts.URL+"/objects", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json = %d", resp2.StatusCode)
+	}
+	// Wrong dimension point.
+	resp3 := post(t, ts.URL+"/objects", addRequest{Point: []float64{1, 2, 3}, Text: "x"})
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("3-d point = %d", resp3.StatusCode)
+	}
+}
+
+func TestSaveEndpointDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir)
+	seedHotels(t, ts)
+	resp, err := http.Post(ts.URL+"/save", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("save status %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := s.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new server over the same dir must see the data.
+	_, ts2 := newTestServer(t, dir)
+	resp, err = http.Get(ts2.URL + "/search?lat=30.5&lon=100&k=5&q=internet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[searchResponse](t, resp)
+	if len(out.Results) != 3 {
+		t.Errorf("after reopen: %d results", len(out.Results))
+	}
+}
+
+func TestSaveEndpointMemoryEngine(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/save", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("save on memory engine = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestConcurrentHTTPTraffic(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if w%2 == 0 {
+					resp, err := http.Get(ts.URL + "/search?lat=0&lon=0&k=3&q=internet")
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				} else {
+					resp := post(t, ts.URL+"/objects", addRequest{
+						Point: []float64{float64(w), float64(i)},
+						Text:  fmt.Sprintf("concurrent place %d-%d internet", w, i),
+					})
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[spatialkeyword.Stats](t, resp)
+	if st.Objects != 3+4*20 {
+		t.Errorf("objects = %d, want %d", st.Objects, 3+4*20)
+	}
+}

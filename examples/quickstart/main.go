@@ -1,0 +1,58 @@
+// Quickstart: index a handful of places and ask the paper's canonical
+// question — "the nearest objects to a point that contain these keywords".
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialkeyword"
+)
+
+func main() {
+	// An IR²-Tree engine with default settings (2-d, 64-byte signatures).
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's Figure 1 dataset: eight hotels around the world.
+	hotels := []struct {
+		lat, lon float64
+		desc     string
+	}{
+		{25.4, -80.1, "Hotel A tennis court, gift shop, spa, Internet"},
+		{47.3, -122.2, "Hotel B wireless Internet, pool, golf course"},
+		{35.5, 139.4, "Hotel C spa, continental suites, pool"},
+		{39.5, 116.2, "Hotel D sauna, pool, conference rooms"},
+		{51.3, -0.5, "Hotel E dry cleaning, free lunch, pets"},
+		{40.4, -73.5, "Hotel F safe box, concierge, internet, pets"},
+		{-33.2, -70.4, "Hotel G Internet, airport transportation, pool"},
+		{-41.1, 174.4, "Hotel H wake up service, no pets, pool"},
+	}
+	for _, h := range hotels {
+		if _, err := eng.Add([]float64{h.lat, h.lon}, h.desc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// "Find the nearest hotels to point [30.5, 100.0] that contain keywords
+	// internet and pool" — the paper's running example. Expected: Hotel G,
+	// then Hotel B.
+	results, stats, err := eng.TopKWithStats(2, []float64{30.5, 100.0}, "internet", "pool")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-2 hotels near [30.5, 100.0] with internet AND pool:")
+	for i, r := range results {
+		fmt.Printf("  %d. %-50s dist %.1f\n", i+1, r.Object.Text, r.Dist)
+	}
+	fmt.Printf("work: %d index nodes, %d objects loaded, %d random + %d sequential blocks\n",
+		stats.NodesLoaded, stats.ObjectsLoaded, stats.BlocksRandom, stats.BlocksSequential)
+
+	s := eng.Stats()
+	fmt.Printf("index: %d objects, height %d, %.3f MB (+%.3f MB object file)\n",
+		s.Objects, s.TreeHeight, s.IndexMB, s.ObjectFileMB)
+}

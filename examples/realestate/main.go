@@ -1,0 +1,101 @@
+// Real estate: the paper's second motivating application — "real estate web
+// sites allow users to search for properties with specific keywords in their
+// description and rank them according to their distance from a specified
+// location". This example runs an agency workflow: bulk-load the listings
+// market, serve buyer searches, and keep the index current as properties
+// sell and new ones come on.
+//
+//	go run ./examples/realestate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"spatialkeyword"
+)
+
+var features = []string{
+	"garage", "garden", "balcony", "fireplace", "hardwood", "renovated",
+	"waterfront", "pool", "solar", "basement", "elevator", "duplex",
+	"studio", "loft", "townhouse", "victorian", "newbuild",
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{SignatureBytes: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Market snapshot: 3,000 listings across a metro area (coords in km).
+	for i := 0; i < 3000; i++ {
+		pt := []float64{rng.Float64() * 40, rng.Float64() * 40}
+		n := 2 + rng.Intn(4)
+		perm := rng.Perm(len(features))
+		var fs []string
+		for _, j := range perm[:n] {
+			fs = append(fs, features[j])
+		}
+		desc := fmt.Sprintf("listing %d: %d bed %s", i, 1+rng.Intn(5), strings.Join(fs, " "))
+		if _, err := eng.Add(pt, desc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A buyer near the office (20, 20) wants a renovated place with a garden.
+	office := []float64{20, 20}
+	fmt.Println("— buyer search: renovated + garden, nearest 5 —")
+	results, err := eng.TopK(5, office, "renovated", "garden")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%d. %-55s %.1f km\n", i+1, r.Object.Text, r.Dist)
+	}
+	if len(results) == 0 {
+		log.Fatal("no matching listings")
+	}
+
+	// The closest one sells: remove it and show the next candidate surfacing.
+	sold := results[0].Object.ID
+	fmt.Printf("\nlisting #%d sold — removing from the index\n", sold)
+	if err := eng.Delete(sold); err != nil {
+		log.Fatal(err)
+	}
+	results2, err := eng.TopK(1, office, "renovated", "garden")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new best: %s (%.1f km)\n", results2[0].Object.Text, results2[0].Dist)
+
+	// A new exclusive hits the market right next to the office.
+	id, err := eng.Add([]float64{20.1, 20.2}, "listing 9999: 3 bed renovated garden waterfront")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results3, err := eng.TopK(1, office, "renovated", "garden")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter adding listing #%d:\nnew best: %s (%.1f km)\n",
+		id, results3[0].Object.Text, results3[0].Dist)
+
+	// A buyer with soft preferences uses the ranked query: waterfront OR
+	// fireplace, relevance discounted by distance — a far waterfront duplex
+	// can beat a near fireplace-only studio.
+	fmt.Println("\n— ranked search: waterfront, fireplace (soft preferences) —")
+	ranked, err := eng.TopKRanked(5, office, "waterfront", "fireplace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range ranked {
+		fmt.Printf("%d. score %.4f (dist %.1f km, relevance %.2f)  %s\n",
+			i+1, r.Score, r.Dist, r.IRScore, r.Object.Text)
+	}
+
+	s := eng.Stats()
+	fmt.Printf("\nindex: %d live listings, height %d, %.2f MB\n", s.Objects, s.TreeHeight, s.IndexMB)
+}

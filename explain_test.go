@@ -1,0 +1,58 @@
+package spatialkeyword
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplain(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 16})
+	addFigure1(t, e)
+	results, trace, err := e.Explain(2, []float64{30.5, 100.0}, "internet", "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || !strings.Contains(results[0].Object.Text, "Hotel G") {
+		t.Fatalf("results = %+v", results)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	joined := strings.Join(trace, "\n")
+	for _, want := range []string{"expand node", "emit object", "done: 2 results"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// The Figure 1 query prunes (Example 3's narration).
+	if !strings.Contains(joined, "prune") {
+		t.Errorf("trace shows no pruning:\n%s", joined)
+	}
+	// The trace agrees with the results: exactly two emits.
+	if strings.Count(joined, "emit object") != 2 {
+		t.Errorf("emit count mismatch:\n%s", joined)
+	}
+}
+
+func TestExplainSkipsDeleted(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 16})
+	addFigure1(t, e)
+	if err := e.Delete(6); err != nil { // Hotel G
+		t.Fatal(err)
+	}
+	results, trace, err := e.Explain(1, []float64{30.5, 100.0}, "internet", "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !strings.Contains(results[0].Object.Text, "Hotel B") {
+		t.Fatalf("results = %+v", results)
+	}
+	_ = trace
+}
+
+func TestExplainValidation(t *testing.T) {
+	e := newEngine(t, Config{})
+	if _, _, err := e.Explain(1, []float64{1}, "x"); err == nil {
+		t.Error("1-d point accepted")
+	}
+}

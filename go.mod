@@ -1,0 +1,3 @@
+module spatialkeyword
+
+go 1.22

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialkeyword/internal/core"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/storage"
+)
+
+// SplitAblation compares the IR²-Tree under the three node-split algorithms
+// (extension): the paper fixes Guttman's Quadratic Split; this experiment
+// shows how the choice moves build cost and query I/O. Expected: linear
+// builds fastest but clusters worst; R* clusters best (fewest query node
+// reads); quadratic sits between — and the *query*-side differences are
+// modest next to the signature pruning that dominates this index.
+func SplitAblation(base BuildConfig, k, numKeywords, nQueries int, seed int64, cm storage.CostModel) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Split-algorithm ablation — %s dataset, k=%d, %d keywords (extension)",
+			base.Spec.Name, k, numKeywords),
+		Columns: []string{"split", "buildRandBlk", "nodes", "height", "queryTime", "queryRandBlk", "queryObjAcc"},
+	}
+	for _, alg := range []rtree.SplitAlgorithm{rtree.QuadraticSplit, rtree.LinearSplit, rtree.RStarSplit} {
+		cfg := base
+		cfg.Methods = []Method{} // dataset only; the tree is built below
+		env, err := BuildEnv(cfg)
+		if err != nil {
+			return nil, err
+		}
+		env.IR2Disk = storage.NewDisk(storage.DefaultBlockSize)
+		tree, err := core.New(env.IR2Disk, env.Store, core.Options{
+			LeafSignature: env.leafConfig(),
+			MaxEntries:    base.MaxEntries,
+			Split:         alg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := tree.Build(); err != nil {
+			return nil, err
+		}
+		env.IR2 = tree
+		buildIO := env.IR2Disk.Stats()
+
+		queries, err := env.MakeQueries(nQueries, k, numKeywords, seed)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := env.Measure(MethodIR2, queries, cm)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			alg.String(),
+			fmt.Sprintf("%d", buildIO.Random()),
+			fmt.Sprintf("%d", tree.RTree().NumNodes()),
+			fmt.Sprintf("%d", tree.RTree().Height()),
+			fmtDur(meas.TotalTime()),
+			fmtF(meas.AvgRandom),
+			fmtF(meas.AvgObjects),
+		})
+	}
+	return t, nil
+}

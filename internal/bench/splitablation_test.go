@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/storage"
+)
+
+func TestSplitAblation(t *testing.T) {
+	base := BuildConfig{Spec: dataset.Restaurants(0.001), SigBytes: 8, MaxEntries: 8}
+	tbl, err := SplitAblation(base, 5, 2, 5, 53, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tbl.Rows {
+		names[row[0]] = true
+		if row[1] == "0" || row[2] == "0" {
+			t.Errorf("row %v has empty build metrics", row)
+		}
+	}
+	for _, want := range []string{"quadratic", "linear", "rstar"} {
+		if !names[want] {
+			t.Errorf("missing %s row", want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/sigfile"
+)
+
+// SearchArea is the query-area variant the paper mentions for the
+// incremental NN algorithm ("an area could be used instead [of a point]",
+// Section 3): objects are ranked by their minimum distance to the query
+// rectangle — zero for objects inside it — with the same conjunctive
+// keyword filtering as Search. Results stream in non-decreasing
+// area-distance order.
+func (x *IR2Tree) SearchArea(area geo.Rect, keywords []string) *ResultIter {
+	kws := x.an.Keywords(keywords)
+	sigs := make(map[int]sigfile.Signature)
+	querySig := func(level int) sigfile.Signature {
+		if s, ok := sigs[level]; ok {
+			return s
+		}
+		s := x.scheme.querySignature(level, kws)
+		sigs[level] = s
+		return s
+	}
+	scorer := func(isObject bool, level int, rect geo.Rect, aux []byte) (float64, bool) {
+		if !sigfile.Matches(sigfile.Signature(aux), querySig(level)) {
+			return 0, false
+		}
+		return rectDist(rect, area), true
+	}
+	it := x.rt.Seek(scorer)
+	return &ResultIter{x: x, it: it, keywords: kws}
+}
+
+// TopKArea returns the k objects containing every keyword that are nearest
+// to (or inside) the query area.
+func (x *IR2Tree) TopKArea(k int, area geo.Rect, keywords []string) ([]Result, SearchStats, error) {
+	it := x.SearchArea(area, keywords)
+	var results []Result
+	for len(results) < k {
+		res, ok, err := it.Next()
+		if err != nil {
+			return nil, it.Stats(), err
+		}
+		if !ok {
+			break
+		}
+		results = append(results, res)
+	}
+	return results, it.Stats(), nil
+}
+
+// rectDist is geo.Rect.MinDistRect, aliased for readability at call sites.
+func rectDist(a, b geo.Rect) float64 { return a.MinDistRect(b) }
+
+// BuildBulk loads every object of the store with Sort-Tile-Recursive bulk
+// loading (an extension over the paper's insert-based construction; see
+// rtree.BulkLoad). Signature semantics are identical to Build: leaf
+// signatures are the objects' word signatures, interior signatures are
+// computed bottom-up through the scheme — with the same deferred pass for
+// the MIR²-Tree.
+func (x *IR2Tree) BuildBulk() error {
+	if x.multilevel {
+		x.scheme.mu.Lock()
+		x.scheme.deferred = true
+		x.scheme.cache = make(map[uint64][]string)
+		x.scheme.mu.Unlock()
+		defer func() {
+			x.scheme.mu.Lock()
+			x.scheme.deferred = false
+			x.scheme.cache = nil
+			x.scheme.mu.Unlock()
+		}()
+	}
+	leaf := x.scheme.levelConfig(0)
+	var entries []rtree.BulkEntry
+	err := x.store.Scan(func(obj objstore.Object, ptr objstore.Ptr) error {
+		words := x.an.Unique(obj.Text)
+		if x.multilevel {
+			x.scheme.mu.Lock()
+			x.scheme.cache[uint64(ptr)] = words
+			x.scheme.mu.Unlock()
+		}
+		entries = append(entries, rtree.BulkEntry{
+			Ref:  uint64(ptr),
+			Rect: geo.PointRect(obj.Point),
+			Aux:  leaf.DocSignature(words),
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	if err := x.rt.BulkLoad(entries); err != nil {
+		return err
+	}
+	if x.multilevel {
+		x.scheme.mu.Lock()
+		x.scheme.deferred = false
+		x.scheme.mu.Unlock()
+		return x.rt.RebuildAux()
+	}
+	return nil
+}

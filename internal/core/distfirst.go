@@ -1,0 +1,199 @@
+package core
+
+import (
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// Result is one answer of a distance-first top-k spatial keyword query.
+type Result struct {
+	Object objstore.Object
+	Dist   float64
+}
+
+// SearchStats reports the work performed by a query.
+type SearchStats struct {
+	// NodesLoaded is the number of tree nodes expanded.
+	NodesLoaded int
+	// ObjectsLoaded is the number of objects read from the object file.
+	ObjectsLoaded int
+	// FalsePositives counts loaded objects whose signature matched the
+	// query but whose text did not contain all keywords (IR2TopK line 21
+	// failing).
+	FalsePositives int
+}
+
+// Search starts an incremental distance-first top-k spatial keyword query
+// (the Distance-First IR²-Tree algorithm, Figure 8). Results stream out in
+// non-decreasing distance order; pull as many as needed. The traversal is
+// the incremental NN algorithm with one addition: an entry is enqueued only
+// if its signature covers the query signature (built per level, since a
+// MIR²-Tree sizes signatures by level), which prunes whole subtrees that
+// cannot contain all the query keywords.
+func (x *IR2Tree) Search(p geo.Point, keywords []string) *ResultIter {
+	kws := x.an.Keywords(keywords)
+	// Per-level query signatures, built lazily: W = Signature(Q.t).
+	sigs := make(map[int]sigfile.Signature)
+	querySig := func(level int) sigfile.Signature {
+		if s, ok := sigs[level]; ok {
+			return s
+		}
+		s := x.scheme.querySignature(level, kws)
+		sigs[level] = s
+		return s
+	}
+	prune := func(isObject bool, level int, aux []byte) bool {
+		return sigfile.Matches(sigfile.Signature(aux), querySig(level))
+	}
+	it := x.rt.NearestNeighbors(p, prune)
+	return &ResultIter{x: x, it: it, keywords: kws}
+}
+
+// ResultIter streams the results of a distance-first query.
+type ResultIter struct {
+	x        *IR2Tree
+	it       *rtree.Iter
+	keywords []string
+	stats    SearchStats
+}
+
+// Next returns the next object containing all query keywords, ordered by
+// distance. ok is false when the index is exhausted. Candidates whose
+// signatures matched spuriously are loaded, detected (the containment check
+// of IR2TopK line 21), counted in Stats().FalsePositives, and skipped.
+func (r *ResultIter) Next() (Result, bool, error) {
+	for {
+		ref, dist, ok, err := r.it.Next()
+		if err != nil {
+			return Result{}, false, err
+		}
+		if !ok {
+			r.stats.NodesLoaded = r.it.NodesLoaded()
+			return Result{}, false, nil
+		}
+		obj, err := r.x.store.Get(objstore.Ptr(ref))
+		if err != nil {
+			return Result{}, false, err
+		}
+		r.stats.ObjectsLoaded++
+		if !r.x.an.ContainsTerms(obj.Text, r.keywords) {
+			r.stats.FalsePositives++
+			continue
+		}
+		r.stats.NodesLoaded = r.it.NodesLoaded()
+		return Result{Object: obj, Dist: dist}, true, nil
+	}
+}
+
+// Stats returns the work counters accumulated so far.
+func (r *ResultIter) Stats() SearchStats {
+	r.stats.NodesLoaded = r.it.NodesLoaded()
+	return r.stats
+}
+
+// TopK answers a distance-first top-k spatial keyword query: the k objects
+// containing all keywords, closest to p first (IR2TopK, Figure 8).
+func (x *IR2Tree) TopK(k int, p geo.Point, keywords []string) ([]Result, SearchStats, error) {
+	it := x.Search(p, keywords)
+	var results []Result
+	for len(results) < k {
+		res, ok, err := it.Next()
+		if err != nil {
+			return nil, it.Stats(), err
+		}
+		if !ok {
+			break
+		}
+		results = append(results, res)
+	}
+	return results, it.Stats(), nil
+}
+
+// RTreeBaseline is the first baseline algorithm of Section 5.1: a plain
+// R-Tree provides incremental nearest neighbors, and *every* returned
+// object is loaded and checked against the keywords — there is no textual
+// pruning, so queries whose keywords are rare retrieve many useless objects.
+type RTreeBaseline struct {
+	rt    *rtree.Tree
+	store *objstore.Store
+}
+
+// NewRTreeBaseline creates an empty baseline index on dev over store. dim 0
+// means 2; maxEntries 0 derives the capacity from the block size.
+func NewRTreeBaseline(dev storage.Device, store *objstore.Store, dim, maxEntries int) (*RTreeBaseline, error) {
+	if dim == 0 {
+		dim = 2
+	}
+	rt, err := rtree.New(dev, rtree.Config{Dim: dim, MaxEntries: maxEntries})
+	if err != nil {
+		return nil, err
+	}
+	return &RTreeBaseline{rt: rt, store: store}, nil
+}
+
+// Insert indexes an object's location.
+func (b *RTreeBaseline) Insert(obj objstore.Object, ptr objstore.Ptr) error {
+	return b.rt.Insert(uint64(ptr), geo.PointRect(obj.Point), nil)
+}
+
+// Delete removes an object.
+func (b *RTreeBaseline) Delete(point geo.Point, ptr objstore.Ptr) (bool, error) {
+	return b.rt.Delete(uint64(ptr), geo.PointRect(point))
+}
+
+// Build bulk-loads every object of the store.
+func (b *RTreeBaseline) Build() error {
+	return b.store.Scan(func(obj objstore.Object, ptr objstore.Ptr) error {
+		return b.Insert(obj, ptr)
+	})
+}
+
+// RTree exposes the underlying tree.
+func (b *RTreeBaseline) RTree() *rtree.Tree { return b.rt }
+
+// SizeBytes returns the index footprint.
+func (b *RTreeBaseline) SizeBytes() int64 { return b.rt.Device().SizeBytes() }
+
+// SizeMB returns the footprint in megabytes.
+func (b *RTreeBaseline) SizeMB() float64 { return float64(b.SizeBytes()) / 1e6 }
+
+// TopK answers a distance-first top-k spatial keyword query by filtering
+// the incremental NN stream: fetch the next nearest object, load it,
+// keep it only if it contains every keyword, until k results are found or
+// the tree is exhausted.
+func (b *RTreeBaseline) TopK(k int, p geo.Point, keywords []string) ([]Result, SearchStats, error) {
+	kws := textutil.NormalizeAll(keywords)
+	it := b.rt.NearestNeighbors(p, nil)
+	var results []Result
+	var stats SearchStats
+	for len(results) < k {
+		ref, dist, ok, err := it.Next()
+		if err != nil {
+			return nil, stats, err
+		}
+		if !ok {
+			break
+		}
+		obj, err := b.store.Get(objstore.Ptr(ref))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ObjectsLoaded++
+		if !textutil.ContainsAll(obj.Text, kws) {
+			continue
+		}
+		results = append(results, Result{Object: obj, Dist: dist})
+	}
+	stats.NodesLoaded = it.NodesLoaded()
+	return results, stats, nil
+}
+
+// SetTrace installs a traversal trace hook on the underlying search (see
+// rtree.TraceEvent): every expand, enqueue, prune, and emit step is
+// reported, reproducing the style of the paper's Example 3 walk-through.
+// Install before the first Next call.
+func (r *ResultIter) SetTrace(fn func(rtree.TraceEvent)) { r.it.SetTrace(fn) }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/sigfile"
+)
+
+// RankedResult is one answer of a general top-k spatial keyword query.
+type RankedResult struct {
+	Object  objstore.Object
+	Dist    float64
+	IRScore float64
+	// Score is f(Dist, IRScore): the overall rank value (higher is better).
+	Score float64
+}
+
+// GeneralOptions configures a general top-k query (Section 5.3).
+type GeneralOptions struct {
+	// Scorer provides idf statistics and IRscore computation. Required.
+	Scorer *irscore.Scorer
+	// Combiner is the ranking function f(distance, IRscore); it must be
+	// non-increasing in distance and non-decreasing in IR score. Nil means
+	// irscore.DistanceDiscount{}.
+	Combiner irscore.Combiner
+	// RequireMatch drops entries none of whose keyword signatures match —
+	// the paper's "if Score > 0" test, which excludes results with zero IR
+	// score. When false the traversal can fall back to pure spatial
+	// ranking for keyword-less regions.
+	RequireMatch bool
+}
+
+// SearchRanked starts a *general* top-k spatial keyword query: objects
+// stream out in non-increasing f(distance(T.p, Q.p), IRscore(T.t, Q.t))
+// order rather than being filtered conjunctively (Section 5.3). The
+// differences from the distance-first algorithm, following the paper:
+//
+//	(i)  each query keyword gets its own signature W_i; a node's upper
+//	     bound considers exactly the keywords whose signature matches the
+//	     node's, assuming no false positives;
+//	(ii) the queue is ordered by Upper(v) — the best possible f score of
+//	     any object under v, combining the MBR's minimum distance with the
+//	     signature-derived IR upper bound — and a loaded candidate is
+//	     emitted only once its exact score is at least the queue head's
+//	     upper bound ("if Score >= Upper(U.top())"); otherwise it is
+//	     re-enqueued with its exact score to be considered later.
+//
+// The output order is exact for any monotone Combiner, because the IR upper
+// bound is admissible (see package irscore).
+func (x *IR2Tree) SearchRanked(p geo.Point, keywords []string, opts GeneralOptions) *RankedIter {
+	comb := opts.Combiner
+	if comb == nil {
+		comb = irscore.DistanceDiscount{}
+	}
+	normalized, idfs := opts.Scorer.QueryIDFs(keywords)
+
+	// Per-level, per-keyword signatures (W_i = Signature(w_i)), lazily
+	// built: a MIR²-Tree uses different signature configurations per level.
+	perLevel := make(map[int][]sigfile.Signature)
+	keywordSigs := func(level int) []sigfile.Signature {
+		if sigs, ok := perLevel[level]; ok {
+			return sigs
+		}
+		sigs := make([]sigfile.Signature, len(normalized))
+		for i, w := range normalized {
+			sigs[i] = x.scheme.wordSignature(level, w)
+		}
+		perLevel[level] = sigs
+		return sigs
+	}
+
+	// upperIR returns the signature-derived IR upper bound of an entry:
+	// Σ idf(w_i) over the keywords whose signature the entry's covers.
+	upperIR := func(level int, aux []byte) float64 {
+		sigs := keywordSigs(level)
+		var matched float64
+		for i, ws := range sigs {
+			if sigfile.Matches(sigfile.Signature(aux), ws) {
+				matched += idfs[i]
+			}
+		}
+		return matched
+	}
+
+	// The rtree iterator pops the smallest score, so queue priorities are
+	// negated f values.
+	scorer := func(isObject bool, level int, rect geo.Rect, aux []byte) (float64, bool) {
+		ub := upperIR(level, aux)
+		if opts.RequireMatch && ub == 0 {
+			return 0, false
+		}
+		return -comb.Combine(rect.MinDist(p), ub), true
+	}
+	return &RankedIter{
+		x:          x,
+		it:         x.rt.Seek(scorer),
+		p:          p,
+		normalized: normalized,
+		opts:       opts,
+		comb:       comb,
+		exact:      make(map[uint64]rankedCandidate),
+	}
+}
+
+// rankedCandidate remembers a loaded object re-enqueued with its exact
+// (negated) score, so it is not read or scored twice.
+type rankedCandidate struct {
+	res   RankedResult
+	score float64
+}
+
+// RankedIter streams general top-k results in non-increasing score order.
+type RankedIter struct {
+	x          *IR2Tree
+	it         *rtree.Iter
+	p          geo.Point
+	normalized []string
+	opts       GeneralOptions
+	comb       irscore.Combiner
+	exact      map[uint64]rankedCandidate
+	stats      SearchStats
+}
+
+// Next returns the next best-scoring object. ok is false when the index is
+// exhausted (or, with RequireMatch, when no further object matches any
+// keyword).
+func (r *RankedIter) Next() (RankedResult, bool, error) {
+	for {
+		ref, score, ok, err := r.it.Next()
+		if err != nil {
+			return RankedResult{}, false, err
+		}
+		if !ok {
+			r.stats.NodesLoaded = r.it.NodesLoaded()
+			return RankedResult{}, false, nil
+		}
+		if c, seen := r.exact[ref]; seen && c.score == score {
+			// Re-dequeued with its exact score: nothing remaining can beat it.
+			delete(r.exact, ref)
+			r.stats.NodesLoaded = r.it.NodesLoaded()
+			return c.res, true, nil
+		}
+		obj, err := r.x.store.Get(objstore.Ptr(ref))
+		if err != nil {
+			return RankedResult{}, false, err
+		}
+		r.stats.ObjectsLoaded++
+		dist := r.p.Dist(obj.Point)
+		ir := r.opts.Scorer.Score(obj.Text, r.normalized)
+		if r.opts.RequireMatch && ir == 0 {
+			// The signature matched but the text contains none of the
+			// keywords: a pure false positive under AND-less semantics.
+			r.stats.FalsePositives++
+			continue
+		}
+		f := r.comb.Combine(dist, ir)
+		res := RankedResult{Object: obj, Dist: dist, IRScore: ir, Score: f}
+		if top, any := r.it.PeekScore(); !any || -f <= top {
+			// Exact score at least as good as every remaining upper bound.
+			r.stats.NodesLoaded = r.it.NodesLoaded()
+			return res, true, nil
+		}
+		r.it.Push(ref, -f)
+		r.exact[ref] = rankedCandidate{res: res, score: -f}
+	}
+}
+
+// Stats returns the work counters accumulated so far.
+func (r *RankedIter) Stats() SearchStats {
+	r.stats.NodesLoaded = r.it.NodesLoaded()
+	return r.stats
+}
+
+// TopKRanked collects the k best results of SearchRanked.
+func (x *IR2Tree) TopKRanked(k int, p geo.Point, keywords []string, opts GeneralOptions) ([]RankedResult, SearchStats, error) {
+	if k <= 0 {
+		return nil, SearchStats{}, nil
+	}
+	it := x.SearchRanked(p, keywords, opts)
+	var results []RankedResult
+	for len(results) < k {
+		res, ok, err := it.Next()
+		if err != nil {
+			return nil, it.Stats(), err
+		}
+		if !ok {
+			break
+		}
+		results = append(results, res)
+	}
+	return results, it.Stats(), nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/storage"
+)
+
+// Checkpoint persists the tree's state into a state block on its device
+// (allocating one when stateBlock is NilBlock) and returns that block's ID.
+// Together with objstore.(*Store).Checkpoint and storage.FileDisk this
+// makes a full index — object file plus IR²-Tree — durable:
+//
+//	treeState, _ := tree.Checkpoint(storage.NilBlock)
+//	storeMeta, _ := store.Checkpoint()
+//	... persist (treeState, storeMeta) wherever the application keeps roots,
+//	    close the devices, restart ...
+//	store, _ := objstore.Open(objDev, storeMeta)
+//	tree, _ := core.Open(idxDev, store, opts, treeState)
+func (x *IR2Tree) Checkpoint(stateBlock storage.BlockID) (storage.BlockID, error) {
+	return x.rt.Checkpoint(stateBlock)
+}
+
+// Open attaches to a checkpointed IR²-Tree on dev. opts must match the
+// options the tree was created with — the same leaf signature
+// configuration, variant, and (for a MIR²-Tree) the same corpus statistics,
+// since those determine the per-level signature lengths baked into the
+// stored nodes. A mismatch is detected by the tree's configuration
+// fingerprint.
+func Open(dev storage.Device, store *objstore.Store, opts Options, stateBlock storage.BlockID) (*IR2Tree, error) {
+	x, err := New(dev, store, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := rtree.Open(dev, rtree.Config{
+		Dim:        dims(opts),
+		MaxEntries: opts.MaxEntries,
+		Scheme:     x.scheme,
+		Split:      opts.Split,
+	}, stateBlock)
+	if err != nil {
+		return nil, fmt.Errorf("core: open: %w", err)
+	}
+	x.rt = rt
+	return x, nil
+}
+
+func dims(opts Options) int {
+	if opts.Dim == 0 {
+		return 2
+	}
+	return opts.Dim
+}

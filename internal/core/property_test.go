@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// TestQuickPruneSoundness is the central correctness property of the
+// IR²-Tree, as a randomized invariant: for arbitrary corpora and queries,
+// the signature-pruned traversal returns exactly what an unpruned
+// traversal plus a text filter would. (Signatures may only produce false
+// positives — never false negatives — so pruning can never lose a result.)
+func TestQuickPruneSoundness(t *testing.T) {
+	vocab := []string{"ape", "bee", "cat", "dog", "elk", "fox", "gnu", "hen"}
+	f := func(seed int64, nObjs uint8, sigLen uint8, q1, q2 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nObjs)%60 + 5
+		objDisk := storage.NewDisk(4096)
+		store := objstore.New(objDisk)
+		type rec struct {
+			pt   geo.Point
+			text string
+		}
+		recs := make([]rec, n)
+		for i := range recs {
+			nw := 1 + rng.Intn(4)
+			text := fmt.Sprintf("obj%d", i)
+			for j := 0; j < nw; j++ {
+				text += " " + vocab[rng.Intn(len(vocab))]
+			}
+			recs[i] = rec{geo.NewPoint(rng.Float64()*100, rng.Float64()*100), text}
+			store.Append(recs[i].pt, recs[i].text)
+		}
+		if err := store.Sync(); err != nil {
+			return false
+		}
+		tree, err := New(storage.NewDisk(4096), store, Options{
+			LeafSignature: sigfile.Config{LengthBytes: int(sigLen)%8 + 1, BitsPerWord: 2},
+			MaxEntries:    4,
+		})
+		if err != nil {
+			return false
+		}
+		if err := tree.Build(); err != nil {
+			return false
+		}
+		keywords := []string{vocab[int(q1)%len(vocab)], vocab[int(q2)%len(vocab)]}
+		p := geo.NewPoint(rng.Float64()*100, rng.Float64()*100)
+		got, _, err := tree.TopK(n, p, keywords)
+		if err != nil {
+			return false
+		}
+		// Reference: unpruned NN + text filter.
+		var want []objstore.ID
+		it := tree.RTree().NearestNeighbors(p, nil)
+		for {
+			ref, _, ok, err := it.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			obj, err := store.Get(objstore.Ptr(ref))
+			if err != nil {
+				return false
+			}
+			if textutil.ContainsAll(obj.Text, keywords) {
+				want = append(want, obj.ID)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Object.ID != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneralNeverBeatsUpperBound checks the general algorithm's
+// emit discipline over random data: the stream of scores is non-increasing
+// (no later result can beat an earlier one).
+func TestQuickGeneralScoreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 15; trial++ {
+		rows := randomRows(rng, 80+rng.Intn(150))
+		f := buildFixture(t, rows, 4, 1+rng.Intn(8))
+		scorer := generalScorer(f)
+		kw := []string{"pool", "internet", "spa"}[:1+rng.Intn(3)]
+		it := f.ir2.SearchRanked(geo.NewPoint(rng.Float64()*1000, rng.Float64()*1000), kw,
+			GeneralOptions{Scorer: scorer, RequireMatch: true})
+		prev := -1.0
+		first := true
+		for {
+			res, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if !first && res.Score > prev+1e-12 {
+				t.Fatalf("trial %d: score %g after %g", trial, res.Score, prev)
+			}
+			prev, first = res.Score, false
+		}
+	}
+}
+
+// TestQuickAreaConsistentWithPointQueries: an object returned by WithinArea
+// must also be returned by a large-enough TopKArea and vice versa.
+func TestQuickAreaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	rows := randomRows(rng, 300)
+	f := buildFixture(t, rows, 4, 8)
+	for trial := 0; trial < 20; trial++ {
+		lo := geo.NewPoint(rng.Float64()*800, rng.Float64()*800)
+		area := geo.NewRect(lo, geo.NewPoint(lo[0]+200, lo[1]+200))
+		kw := []string{"pool"}
+		within, _, err := f.ir2.WithinArea(area, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topArea, _, err := f.ir2.TopKArea(len(f.objects), area, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every zero-distance TopKArea result must be in WithinArea and
+		// vice versa.
+		zeroDist := make(map[objstore.ID]bool)
+		for _, r := range topArea {
+			if r.Dist == 0 {
+				zeroDist[r.Object.ID] = true
+			}
+		}
+		if len(zeroDist) != len(within) {
+			t.Fatalf("trial %d: %d zero-dist vs %d within", trial, len(zeroDist), len(within))
+		}
+		for _, r := range within {
+			if !zeroDist[r.Object.ID] {
+				t.Fatalf("trial %d: object %d in WithinArea missing from TopKArea", trial, r.Object.ID)
+			}
+		}
+	}
+}
+
+// TestQuickSignatureLevelMonotone: in a MIR²-Tree, an interior entry's
+// signature must cover the signature of every object in its subtree at
+// that level's configuration — the invariant that makes pruning sound.
+func TestQuickMIR2InteriorCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	rows := randomRows(rng, 200)
+	f := buildFixture(t, rows, 4, 4)
+	rt := f.mir2.RTree()
+	scheme := f.mir2.scheme
+	err := rt.VisitNodes(func(n *rtree.Node) error {
+		if n.Level() == 0 {
+			return nil
+		}
+		cfg := scheme.levelConfig(n.Level())
+		for i := 0; i < n.NumEntries(); i++ {
+			ptr, _, aux := n.Entry(i)
+			child, err := rt.LoadNode(storage.BlockID(ptr))
+			if err != nil {
+				return err
+			}
+			refs, err := rt.SubtreeObjectRefs(child)
+			if err != nil {
+				return err
+			}
+			for _, ref := range refs {
+				obj, err := f.store.Get(objstore.Ptr(ref))
+				if err != nil {
+					return err
+				}
+				for _, w := range textutil.UniqueTokens(obj.Text) {
+					if !sigfile.Matches(sigfile.Signature(aux), cfg.WordSignature(w)) {
+						return fmt.Errorf("node %d entry %d: word %q of object %d not covered",
+							n.ID(), i, w, obj.ID)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

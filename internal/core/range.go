@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+)
+
+// WithinArea returns every object inside the query rectangle whose text
+// contains all the keywords — the classic boolean range query ("all pizza
+// places on this map view"), answered with the same double pruning as the
+// top-k algorithms: subtrees are skipped when their MBR misses the area
+// *or* their signature misses the query signature. Results are ordered by
+// object ID for determinism.
+func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, SearchStats, error) {
+	kws := x.an.Keywords(keywords)
+	sigs := make(map[int]sigfile.Signature)
+	querySig := func(level int) sigfile.Signature {
+		if s, ok := sigs[level]; ok {
+			return s
+		}
+		s := x.scheme.querySignature(level, kws)
+		sigs[level] = s
+		return s
+	}
+
+	var stats SearchStats
+	var out []Result
+	root, err := x.rt.Root()
+	if err != nil {
+		return nil, stats, err
+	}
+	if root == nil {
+		return nil, stats, nil
+	}
+	var walk func(n *rtree.Node) error
+	walk = func(n *rtree.Node) error {
+		stats.NodesLoaded++
+		for i := 0; i < n.NumEntries(); i++ {
+			ptr, rect, aux := n.Entry(i)
+			if !rect.Intersects(area) {
+				continue
+			}
+			if !sigfile.Matches(sigfile.Signature(aux), querySig(n.Level())) {
+				continue
+			}
+			if n.Level() > 0 {
+				child, err := x.rt.LoadNode(storage.BlockID(ptr))
+				if err != nil {
+					return err
+				}
+				if err := walk(child); err != nil {
+					return err
+				}
+				continue
+			}
+			obj, err := x.store.Get(objstore.Ptr(ptr))
+			if err != nil {
+				return err
+			}
+			stats.ObjectsLoaded++
+			if !area.ContainsPoint(obj.Point) {
+				// The entry MBR intersected the area but the point itself
+				// (for degenerate point MBRs this cannot happen; kept for
+				// rectangle objects) lies outside.
+				continue
+			}
+			if !x.an.ContainsTerms(obj.Text, kws) {
+				stats.FalsePositives++
+				continue
+			}
+			out = append(out, Result{Object: obj, Dist: 0})
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, stats, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID < out[j].Object.ID })
+	return out, stats, nil
+}

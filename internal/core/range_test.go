@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/textutil"
+)
+
+func bruteWithinArea(objs []objstore.Object, area geo.Rect, keywords []string) []objstore.ID {
+	kws := textutil.NormalizeAll(keywords)
+	var out []objstore.ID
+	for _, o := range objs {
+		if area.ContainsPoint(o.Point) && textutil.ContainsAll(o.Text, kws) {
+			out = append(out, o.ID)
+		}
+	}
+	return out
+}
+
+func TestWithinAreaMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	rows := randomRows(rng, 400)
+	f := buildFixture(t, rows, 4, 8)
+	for trial := 0; trial < 15; trial++ {
+		lo := geo.NewPoint(rng.Float64()*900-100, rng.Float64()*900-100)
+		area := geo.NewRect(lo, geo.NewPoint(lo[0]+rng.Float64()*400, lo[1]+rng.Float64()*400))
+		kw := [][]string{{"pool"}, {"internet", "spa"}, {"gym", "bar", "wifi"}, nil}[trial%4]
+		want := bruteWithinArea(f.objects, area, kw)
+		for name, tree := range map[string]*IR2Tree{"IR2": f.ir2, "MIR2": f.mir2} {
+			got, _, err := tree.WithinArea(area, kw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(resultIDs(got)) != fmt.Sprint(want) {
+				t.Fatalf("trial %d (%s): got %v, want %v", trial, name, resultIDs(got), want)
+			}
+		}
+	}
+}
+
+func TestWithinAreaPrunesBySignature(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	rows := randomRows(rng, 300)
+	f := buildFixture(t, rows, 4, 16)
+	// A huge area with an absent keyword: spatial pruning does nothing,
+	// signature pruning must keep work near zero.
+	area := geo.NewRect(geo.NewPoint(-1e6, -1e6), geo.NewPoint(1e6, 1e6))
+	got, stats, err := f.ir2.WithinArea(area, []string{"xyzzy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d results for absent keyword", len(got))
+	}
+	if stats.ObjectsLoaded > 3 {
+		t.Errorf("loaded %d objects; signature pruning ineffective", stats.ObjectsLoaded)
+	}
+	// Same area, common keyword: everything matching comes back.
+	got, _, err = f.ir2.WithinArea(area, []string{"pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteWithinArea(f.objects, area, []string{"pool"})
+	if len(got) != len(want) {
+		t.Errorf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestWithinAreaEmptyTree(t *testing.T) {
+	store := objstore.New(newDisk())
+	tree, err := New(newDisk(), store, Options{LeafSignature: f8()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tree.WithinArea(geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(1, 1)), []string{"x"})
+	if err != nil || got != nil {
+		t.Errorf("empty tree: %v %v", got, err)
+	}
+}

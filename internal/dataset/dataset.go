@@ -1,0 +1,264 @@
+// Package dataset generates the synthetic stand-ins for the paper's two
+// evaluation datasets.
+//
+// The paper evaluates on two proprietary datasets from FIU's High
+// Performance Database Research Center (Table 1):
+//
+//	Hotels:      129,319 objects, 349 avg unique words/object, 53,906-word
+//	             vocabulary, ~2 disk blocks per object (55.2 MB).
+//	Restaurants: 456,288 objects,  14 avg unique words/object, 73,855-word
+//	             vocabulary, ~1 disk block per object (61.3 MB).
+//
+// Those files are not publicly available, so this package synthesizes
+// datasets with the same measured statistics: object count, vocabulary
+// size, mean unique words per object, and description length (hence blocks
+// per object). Word frequencies follow a Zipf distribution — the
+// skew that governs posting-list lengths (IIO's cost) and signature
+// density (IR²'s false-positive rate) — and coordinates are drawn from a
+// mixture of Gaussian "city" clusters plus a uniform background, which
+// gives the R-Tree realistic overlap. Generation is deterministic per
+// seed. See DESIGN.md for why these four matched statistics preserve every
+// behavior the evaluation measures.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
+)
+
+// Spec describes a synthetic dataset.
+type Spec struct {
+	// Name labels the dataset in reports ("hotels", "restaurants").
+	Name string
+	// NumObjects is the number of objects to generate.
+	NumObjects int
+	// VocabSize is the vocabulary to draw words from.
+	VocabSize int
+	// AvgUniqueWords is the mean number of distinct words per object.
+	AvgUniqueWords int
+	// ZipfSkew is the Zipf exponent for word frequencies (>1). Zero means
+	// 1.07, a typical natural-text skew.
+	ZipfSkew float64
+	// Clusters is the number of spatial clusters. Zero means 32.
+	Clusters int
+	// ClusterSigma is the cluster standard deviation in world units
+	// (world is [0, 10000]²). Zero means 150.
+	ClusterSigma float64
+	// UniformFraction is the share of objects placed uniformly instead of
+	// in clusters. Zero means 0.1.
+	UniformFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Hotels returns the Hotels dataset spec scaled by the given factor in
+// (0, 1]: scale 1 reproduces Table 1's row; smaller scales shrink the
+// object count and vocabulary proportionally while keeping the per-object
+// text statistics (and therefore blocks-per-object) intact.
+func Hotels(scale float64) Spec {
+	return scaled(Spec{
+		Name:           "hotels",
+		NumObjects:     129319,
+		VocabSize:      53906,
+		AvgUniqueWords: 349,
+		Seed:           20080407, // ICDE 2008 ;-)
+	}, scale)
+}
+
+// Restaurants returns the Restaurants dataset spec scaled like Hotels.
+func Restaurants(scale float64) Spec {
+	return scaled(Spec{
+		Name:           "restaurants",
+		NumObjects:     456288,
+		VocabSize:      73855,
+		AvgUniqueWords: 14,
+		Seed:           20080408,
+	}, scale)
+}
+
+func scaled(s Spec, scale float64) Spec {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	s.NumObjects = max(1, int(float64(s.NumObjects)*scale))
+	// Keep the vocabulary large enough that documents of AvgUniqueWords
+	// distinct words remain natural at small scales.
+	s.VocabSize = max(4*s.AvgUniqueWords, int(float64(s.VocabSize)*scale))
+	return s
+}
+
+// Stats reports what was actually generated — the reproduction of Table 1.
+type Stats struct {
+	Name            string
+	Objects         int
+	AvgUniqueWords  float64
+	VocabUsed       int     // distinct words that actually occur
+	SizeMB          float64 // object-file footprint
+	AvgBlocksPerObj float64
+	// DocFreq holds the document frequency of every generated word; the
+	// benchmark workloads draw query keywords from it.
+	DocFreq map[string]int
+}
+
+// WordsByFreq returns the generated words ordered by descending document
+// frequency (ties lexicographic).
+func (s *Stats) WordsByFreq() []string {
+	words := make([]string, 0, len(s.DocFreq))
+	for w := range s.DocFreq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		fi, fj := s.DocFreq[words[i]], s.DocFreq[words[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return words[i] < words[j]
+	})
+	return words
+}
+
+// Generate appends spec.NumObjects synthetic objects to store (followed by
+// a Sync) and returns the generation statistics.
+func Generate(spec Spec, store *objstore.Store) (*Stats, error) {
+	if spec.NumObjects <= 0 {
+		return nil, fmt.Errorf("dataset: NumObjects %d", spec.NumObjects)
+	}
+	if spec.VocabSize < 2 {
+		return nil, fmt.Errorf("dataset: VocabSize %d", spec.VocabSize)
+	}
+	if spec.AvgUniqueWords < 1 {
+		return nil, fmt.Errorf("dataset: AvgUniqueWords %d", spec.AvgUniqueWords)
+	}
+	skew := spec.ZipfSkew
+	if skew == 0 {
+		skew = 1.07
+	}
+	if skew <= 1 {
+		return nil, fmt.Errorf("dataset: ZipfSkew %g must exceed 1", skew)
+	}
+	clusters := spec.Clusters
+	if clusters == 0 {
+		clusters = 32
+	}
+	sigma := spec.ClusterSigma
+	if sigma == 0 {
+		sigma = 150
+	}
+	uniform := spec.UniformFraction
+	if uniform == 0 {
+		uniform = 0.1
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(spec.VocabSize-1))
+
+	centers := make([]geo.Point, clusters)
+	for i := range centers {
+		centers[i] = geo.NewPoint(rng.Float64()*10000, rng.Float64()*10000)
+	}
+
+	stats := &Stats{Name: spec.Name, DocFreq: make(map[string]int)}
+	var uniqueSum int64
+	var b strings.Builder
+	for i := 0; i < spec.NumObjects; i++ {
+		// Location: cluster or uniform background.
+		var p geo.Point
+		if rng.Float64() < uniform {
+			p = geo.NewPoint(rng.Float64()*10000, rng.Float64()*10000)
+		} else {
+			c := centers[rng.Intn(clusters)]
+			p = geo.NewPoint(c[0]+rng.NormFloat64()*sigma, c[1]+rng.NormFloat64()*sigma)
+		}
+
+		// Distinct word count: clipped normal around the mean, capped so the
+		// coupon-collector sampling below stays cheap even when a scaled
+		// vocabulary is small relative to the document size.
+		target := int(math.Round(float64(spec.AvgUniqueWords) * (1 + 0.25*rng.NormFloat64())))
+		if target < 1 {
+			target = 1
+		}
+		if cap := spec.VocabSize * 3 / 5; target > cap {
+			target = cap
+		}
+		// Sample the distinct word set: Zipf draws first (giving common
+		// words their natural head start), then a linear fill of unseen
+		// ranks if duplicates stall progress.
+		seen := make(map[uint64]struct{}, target)
+		order := make([]uint64, 0, target)
+		for tries := 0; len(seen) < target && tries < target*8; tries++ {
+			id := zipf.Uint64()
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				order = append(order, id)
+			}
+		}
+		for id := uint64(rng.Intn(spec.VocabSize)); len(seen) < target; id = (id + 1) % uint64(spec.VocabSize) {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				order = append(order, id)
+			}
+		}
+		// Emit the document: each distinct word once, common words (early
+		// Zipf draws) occasionally repeated for realistic tf > 1.
+		b.Reset()
+		for j, id := range order {
+			w := Word(id)
+			stats.DocFreq[w]++
+			tf := 1
+			if j < len(order)/4 && rng.Float64() < 0.4 {
+				tf += 1 + rng.Intn(2)
+			}
+			for r := 0; r < tf; r++ {
+				if b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(w)
+			}
+		}
+		uniqueSum += int64(len(order))
+		store.Append(p, b.String())
+	}
+	if err := store.Sync(); err != nil {
+		return nil, err
+	}
+	stats.Objects = spec.NumObjects
+	stats.AvgUniqueWords = float64(uniqueSum) / float64(spec.NumObjects)
+	stats.VocabUsed = len(stats.DocFreq)
+	stats.SizeMB = store.SizeMB()
+	stats.AvgBlocksPerObj = store.AvgBlocksPerObject()
+	return stats, nil
+}
+
+// Word maps a vocabulary index to a deterministic pronounceable word.
+// Distinct indexes map to distinct words (the construction is injective:
+// it is a base-21 numeral written in consonant+vowel syllables with the
+// final syllable marking the length).
+func Word(id uint64) string {
+	const consonants = "bcdfghjklmnpqrstvwxyz" // 21
+	const vowels = "aeiou"                     // 5
+	var sb strings.Builder
+	v := id
+	for {
+		c := consonants[v%21]
+		v /= 21
+		sb.WriteByte(c)
+		sb.WriteByte(vowels[(id/7+uint64(sb.Len()))%5])
+		if v == 0 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

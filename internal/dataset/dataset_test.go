@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+func generate(t *testing.T, spec Spec) (*Stats, *objstore.Store) {
+	t.Helper()
+	store := objstore.New(storage.NewDisk(4096))
+	stats, err := Generate(spec, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, store
+}
+
+func TestWordInjective(t *testing.T) {
+	seen := make(map[string]uint64)
+	for id := uint64(0); id < 200000; id++ {
+		w := Word(id)
+		if w == "" {
+			t.Fatalf("empty word for %d", id)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("Word collision: %d and %d both map to %q", prev, id, w)
+		}
+		seen[w] = id
+		// Words must survive tokenization unchanged (single lowercase token).
+		toks := textutil.Tokenize(w)
+		if len(toks) != 1 || toks[0] != w {
+			t.Fatalf("Word(%d) = %q does not tokenize to itself: %v", id, w, toks)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Restaurants(0.002)
+	a, storeA := generate(t, spec)
+	b, storeB := generate(t, spec)
+	if a.Objects != b.Objects || a.AvgUniqueWords != b.AvgUniqueWords || a.VocabUsed != b.VocabUsed {
+		t.Errorf("generation not deterministic: %+v vs %+v", a, b)
+	}
+	objA, err := storeA.GetByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objB, err := storeB.GetByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objA.Text != objB.Text || !objA.Point.Equal(objB.Point) {
+		t.Error("first object differs between runs")
+	}
+}
+
+func TestRestaurantsStatistics(t *testing.T) {
+	spec := Restaurants(0.01) // 4,562 objects
+	stats, store := generate(t, spec)
+	if stats.Objects != spec.NumObjects {
+		t.Errorf("objects = %d, want %d", stats.Objects, spec.NumObjects)
+	}
+	// Mean unique words within 15% of the Table 1 target (14).
+	if math.Abs(stats.AvgUniqueWords-14) > 14*0.15 {
+		t.Errorf("avg unique words = %g, want ≈14", stats.AvgUniqueWords)
+	}
+	// Restaurants rows are small: ≈1 block per object.
+	if stats.AvgBlocksPerObj > 1.2 {
+		t.Errorf("blocks/object = %g, want ≈1", stats.AvgBlocksPerObj)
+	}
+	if store.NumObjects() != spec.NumObjects {
+		t.Errorf("store holds %d objects", store.NumObjects())
+	}
+	if stats.SizeMB <= 0 {
+		t.Error("size not accounted")
+	}
+}
+
+func TestHotelsStatistics(t *testing.T) {
+	spec := Hotels(0.005) // 646 objects — hotels docs are big, keep it small
+	stats, _ := generate(t, spec)
+	if math.Abs(stats.AvgUniqueWords-349) > 349*0.15 {
+		t.Errorf("avg unique words = %g, want ≈349", stats.AvgUniqueWords)
+	}
+	// Hotels rows are long: Table 1 reports ~2 blocks per object.
+	if stats.AvgBlocksPerObj < 1.5 || stats.AvgBlocksPerObj > 3 {
+		t.Errorf("blocks/object = %g, want ≈2", stats.AvgBlocksPerObj)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	stats, _ := generate(t, Restaurants(0.01))
+	words := stats.WordsByFreq()
+	if len(words) < 100 {
+		t.Fatalf("vocabulary too small: %d", len(words))
+	}
+	// Zipf: the top word is much more frequent than the 100th.
+	top, hundredth := stats.DocFreq[words[0]], stats.DocFreq[words[99]]
+	if top < 5*hundredth {
+		t.Errorf("frequency skew too flat: top=%d 100th=%d", top, hundredth)
+	}
+	// Sortedness.
+	for i := 1; i < len(words); i++ {
+		if stats.DocFreq[words[i-1]] < stats.DocFreq[words[i]] {
+			t.Fatal("WordsByFreq not sorted")
+		}
+	}
+}
+
+func TestSpatialClustering(t *testing.T) {
+	// Clustered generation should concentrate points: the mean
+	// nearest-cluster distance must be far below the uniform expectation.
+	_, store := generate(t, Restaurants(0.005))
+	var inWorld int
+	if err := store.Scan(func(o objstore.Object, _ objstore.Ptr) error {
+		if o.Point[0] >= -2000 && o.Point[0] <= 12000 && o.Point[1] >= -2000 && o.Point[1] <= 12000 {
+			inWorld++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inWorld < store.NumObjects()*99/100 {
+		t.Errorf("only %d/%d objects near the world box", inWorld, store.NumObjects())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	store := objstore.New(storage.NewDisk(4096))
+	bad := []Spec{
+		{NumObjects: 0, VocabSize: 10, AvgUniqueWords: 3},
+		{NumObjects: 5, VocabSize: 1, AvgUniqueWords: 3},
+		{NumObjects: 5, VocabSize: 10, AvgUniqueWords: 0},
+		{NumObjects: 5, VocabSize: 10, AvgUniqueWords: 3, ZipfSkew: 0.5},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s, store); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	full := Hotels(1)
+	half := Hotels(0.5)
+	if half.NumObjects != full.NumObjects/2 {
+		t.Errorf("scaled objects = %d", half.NumObjects)
+	}
+	if half.AvgUniqueWords != full.AvgUniqueWords {
+		t.Error("scaling must not change per-object text statistics")
+	}
+	if full.NumObjects != 129319 || full.VocabSize != 53906 || full.AvgUniqueWords != 349 {
+		t.Errorf("Hotels(1) != Table 1: %+v", full)
+	}
+	r := Restaurants(1)
+	if r.NumObjects != 456288 || r.VocabSize != 73855 || r.AvgUniqueWords != 14 {
+		t.Errorf("Restaurants(1) != Table 1: %+v", r)
+	}
+	// Out-of-range scales clamp to full.
+	if Hotels(0).NumObjects != full.NumObjects || Hotels(7).NumObjects != full.NumObjects {
+		t.Error("invalid scale not clamped")
+	}
+}

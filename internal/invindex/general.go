@@ -1,0 +1,88 @@
+package invindex
+
+import (
+	"sort"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/objstore"
+)
+
+// RankedResult is one answer of a general (ranked) IIO query.
+type RankedResult struct {
+	Object  objstore.Object
+	Dist    float64
+	IRScore float64
+	Score   float64
+}
+
+// Union reads the posting lists of every word and returns their sorted
+// union — the candidate set of a disjunctive query.
+func (ix *Index) Union(words []string) ([]uint64, error) {
+	seen := make(map[uint64]struct{})
+	for _, w := range words {
+		refs, err := ix.Postings(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			seen[r] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TopKRanked answers a *general* top-k spatial keyword query with the
+// inverted index: the paper's Section 5.1 remark that the baselines "can be
+// extended to answer general top-k spatial keyword queries", made concrete.
+// The posting lists of the query keywords are unioned (OR semantics: an
+// object with any keyword is a candidate), every candidate is loaded and
+// scored exhaustively with f(distance, IRscore), and the k best returned.
+// Like the conjunctive IIO, it is non-incremental: cost independent of k.
+//
+// Scorer and Combiner must match the configuration used by the index being
+// compared against (see core.GeneralOptions).
+func TopKRanked(ix *Index, store *objstore.Store, k int, p geo.Point, keywords []string,
+	scorer *irscore.Scorer, comb irscore.Combiner) ([]RankedResult, IIOStats, error) {
+	var stats IIOStats
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	if comb == nil {
+		comb = irscore.DistanceDiscount{}
+	}
+	normalized, _ := scorer.QueryIDFs(keywords)
+	refs, err := ix.Union(normalized)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.CandidateCount = len(refs)
+	results := make([]RankedResult, 0, len(refs))
+	for _, ref := range refs {
+		obj, err := store.Get(objstore.Ptr(ref))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ObjectsLoaded++
+		dist := p.Dist(obj.Point)
+		ir := scorer.Score(obj.Text, normalized)
+		results = append(results, RankedResult{
+			Object: obj, Dist: dist, IRScore: ir, Score: comb.Combine(dist, ir),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Object.ID < results[j].Object.ID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, stats, nil
+}

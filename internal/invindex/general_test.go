@@ -1,0 +1,102 @@
+package invindex
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/textutil"
+)
+
+func figure1Scorer() *irscore.Scorer {
+	v := textutil.NewVocabulary()
+	for _, h := range figure1 {
+		v.AddDoc(h.text)
+	}
+	return irscore.NewScorer(v.NumDocs(), v.DocFreq)
+}
+
+func TestUnion(t *testing.T) {
+	ix, _, ptrs, _ := buildFigure1(t)
+	got, err := ix.Union([]string{"internet", "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internet: H1,H2,H6,H7; pool: H2,H3,H4,H7,H8 → union is everything but H5.
+	var want []uint64
+	for i, p := range ptrs {
+		if i == 4 { // H5 has neither
+			continue
+		}
+		want = append(want, uint64(p))
+	}
+	sortU64(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	// Unknown word contributes nothing; empty list is empty.
+	got, err = ix.Union([]string{"zzz"})
+	if err != nil || len(got) != 0 {
+		t.Errorf("Union(zzz) = %v, %v", got, err)
+	}
+	got, err = ix.Union(nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Union(nil) = %v, %v", got, err)
+	}
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func TestTopKRankedDisjunctive(t *testing.T) {
+	ix, store, _, _ := buildFigure1(t)
+	scorer := figure1Scorer()
+	results, stats, err := TopKRanked(ix, store, 10, geo.NewPoint(30.5, 100.0),
+		[]string{"internet", "pool"}, scorer, irscore.DistanceDiscount{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjunctive: all 7 hotels with internet OR pool.
+	if len(results) != 7 {
+		t.Fatalf("got %d results, want 7", len(results))
+	}
+	if stats.CandidateCount != 7 || stats.ObjectsLoaded != 7 {
+		t.Errorf("stats = %+v", stats)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Score > results[i-1].Score {
+			t.Error("scores not non-increasing")
+		}
+	}
+	for _, r := range results {
+		if r.IRScore <= 0 {
+			t.Errorf("object %d has zero relevance", r.Object.ID)
+		}
+	}
+}
+
+func TestTopKRankedEdgeCases(t *testing.T) {
+	ix, store, _, _ := buildFigure1(t)
+	scorer := figure1Scorer()
+	// k = 0.
+	res, _, err := TopKRanked(ix, store, 0, geo.NewPoint(0, 0), []string{"pool"}, scorer, nil)
+	if err != nil || res != nil {
+		t.Errorf("k=0: %v %v", res, err)
+	}
+	// k smaller than candidates.
+	res, _, err = TopKRanked(ix, store, 2, geo.NewPoint(0, 0), []string{"pool"}, scorer, nil)
+	if err != nil || len(res) != 2 {
+		t.Errorf("k=2: %d results, %v", len(res), err)
+	}
+	// Unknown keyword only.
+	res, _, err = TopKRanked(ix, store, 3, geo.NewPoint(0, 0), []string{"quasar"}, scorer, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("unknown: %v %v", res, err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package invindex implements the disk-resident inverted index and the
+// Inverted Index Only (IIO) baseline algorithm of the paper (Section 5.1,
+// Figure 7).
+//
+// The index maps each word to a posting list of object references, sorted
+// and delta-varint encoded, packed back to back into one contiguous block
+// region. Retrieving a word's list reads its blocks: one random access plus
+// sequential accesses for the continuation blocks — short lists (rare words)
+// are cheap, long lists (common words) are expensive, which is exactly the
+// selectivity behavior the paper's IIO discussion turns on.
+//
+// The dictionary (word -> list location) is kept in memory at query time,
+// the usual assumption for inverted indexes; its serialized form is also
+// written to the device so the structure's size (Table 2) accounts for it.
+package invindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// listRef locates one posting list inside the postings region.
+type listRef struct {
+	offset uint64 // byte offset within the region
+	length uint32 // encoded byte length
+	count  uint32 // number of postings
+}
+
+// Index is a disk-resident inverted index. Build it by calling Add for every
+// object and then Build once; afterwards it is safe for concurrent readers.
+type Index struct {
+	dev storage.Device
+
+	building map[string][]uint64
+	built    bool
+
+	dict         map[string]listRef
+	firstBlock   storage.BlockID
+	regionBlocks int
+}
+
+// New returns an empty index on dev.
+func New(dev storage.Device) *Index {
+	return &Index{dev: dev, building: make(map[string][]uint64)}
+}
+
+// Add posts an object reference under every distinct word of words. It must
+// be called before Build; words are used as given (normalize upstream).
+func (ix *Index) Add(ref uint64, words []string) {
+	if ix.built {
+		panic("invindex: Add after Build")
+	}
+	seen := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		if w == "" {
+			continue
+		}
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		ix.building[w] = append(ix.building[w], ref)
+	}
+}
+
+// AddDocument tokenizes text and posts ref under each distinct token.
+func (ix *Index) AddDocument(ref uint64, text string) {
+	ix.Add(ref, textutil.UniqueTokens(text))
+}
+
+// Build encodes all posting lists and the dictionary onto the device. After
+// Build the index is read-only.
+func (ix *Index) Build() error {
+	if ix.built {
+		return fmt.Errorf("invindex: already built")
+	}
+	words := make([]string, 0, len(ix.building))
+	for w := range ix.building {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+
+	// Encode every list into one contiguous buffer.
+	ix.dict = make(map[string]listRef, len(words))
+	var region []byte
+	var scratch [binary.MaxVarintLen64]byte
+	for _, w := range words {
+		refs := ix.building[w]
+		sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+		start := len(region)
+		prev := uint64(0)
+		n := 0
+		for i, r := range refs {
+			if i > 0 && r == prev {
+				continue // dedupe defensively
+			}
+			k := binary.PutUvarint(scratch[:], r-prev)
+			region = append(region, scratch[:k]...)
+			prev = r
+			n++
+		}
+		ix.dict[w] = listRef{
+			offset: uint64(start),
+			length: uint32(len(region) - start),
+			count:  uint32(n),
+		}
+	}
+
+	bs := ix.dev.BlockSize()
+	if len(region) > 0 {
+		nblocks := (len(region) + bs - 1) / bs
+		first := ix.dev.AllocRun(nblocks)
+		if err := ix.dev.WriteRun(first, nblocks, region); err != nil {
+			return fmt.Errorf("invindex: write postings: %w", err)
+		}
+		ix.firstBlock = first
+		ix.regionBlocks = nblocks
+	}
+
+	// Serialize the dictionary for size accounting: len|word|offset|length|count.
+	var dictBuf []byte
+	for _, w := range words {
+		r := ix.dict[w]
+		k := binary.PutUvarint(scratch[:], uint64(len(w)))
+		dictBuf = append(dictBuf, scratch[:k]...)
+		dictBuf = append(dictBuf, w...)
+		for _, v := range []uint64{r.offset, uint64(r.length), uint64(r.count)} {
+			k = binary.PutUvarint(scratch[:], v)
+			dictBuf = append(dictBuf, scratch[:k]...)
+		}
+	}
+	if len(dictBuf) > 0 {
+		nblocks := (len(dictBuf) + bs - 1) / bs
+		first := ix.dev.AllocRun(nblocks)
+		if err := ix.dev.WriteRun(first, nblocks, dictBuf); err != nil {
+			return fmt.Errorf("invindex: write dictionary: %w", err)
+		}
+	}
+
+	ix.building = nil
+	ix.built = true
+	return nil
+}
+
+// NumWords returns the number of distinct indexed words.
+func (ix *Index) NumWords() int {
+	if ix.built {
+		return len(ix.dict)
+	}
+	return len(ix.building)
+}
+
+// DocFreq returns the posting count for word (0 if absent).
+func (ix *Index) DocFreq(word string) int {
+	if !ix.built {
+		return len(ix.building[word])
+	}
+	return int(ix.dict[word].count)
+}
+
+// SizeBytes returns the on-device footprint (postings + dictionary).
+func (ix *Index) SizeBytes() int64 { return ix.dev.SizeBytes() }
+
+// SizeMB returns the footprint in megabytes (10^6 bytes).
+func (ix *Index) SizeMB() float64 { return float64(ix.SizeBytes()) / 1e6 }
+
+// Device returns the index's block device (for I/O metering).
+func (ix *Index) Device() storage.Device { return ix.dev }
+
+// Postings reads word's posting list from the device and returns the sorted
+// object references ("I.RetrieveObjectPointersList(w)" of Figure 7). A word
+// absent from the dictionary yields an empty list with no I/O.
+func (ix *Index) Postings(word string) ([]uint64, error) {
+	if !ix.built {
+		return nil, fmt.Errorf("invindex: Postings before Build")
+	}
+	r, ok := ix.dict[word]
+	if !ok || r.count == 0 {
+		return nil, nil
+	}
+	bs := uint64(ix.dev.BlockSize())
+	firstIdx := r.offset / bs
+	lastIdx := (r.offset + uint64(r.length) - 1) / bs
+	nblocks := int(lastIdx-firstIdx) + 1
+	buf, err := ix.dev.ReadRun(ix.firstBlock+storage.BlockID(firstIdx), nblocks)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: read postings for %q: %w", word, err)
+	}
+	data := buf[r.offset-firstIdx*bs:]
+	refs := make([]uint64, 0, r.count)
+	var prev uint64
+	for i := 0; i < int(r.count); i++ {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("invindex: corrupt posting list for %q", word)
+		}
+		data = data[n:]
+		prev += delta
+		refs = append(refs, prev)
+	}
+	return refs, nil
+}
+
+// Intersect reads the posting lists of every word and returns their
+// intersection (Figure 7 lines 1-3): the references of objects containing
+// all the words. Lists are intersected shortest-first. An unknown word
+// short-circuits to an empty result after reading the lists of the words
+// before it, matching the algorithm's left-to-right evaluation.
+func (ix *Index) Intersect(words []string) ([]uint64, error) {
+	if len(words) == 0 {
+		return nil, nil
+	}
+	lists := make([][]uint64, 0, len(words))
+	for _, w := range words {
+		l, err := ix.Postings(w)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, nil
+		}
+		lists = append(lists, l)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil, nil
+		}
+	}
+	return out, nil
+}
+
+// intersectSorted merges two sorted lists, keeping common elements.
+func intersectSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package irscore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialkeyword/internal/textutil"
+)
+
+// corpus builds a scorer over a tiny fixed corpus.
+func corpus() (*Scorer, []string) {
+	docs := []string{
+		"internet pool spa",
+		"pool sauna",
+		"internet internet internet",
+		"gift shop",
+		"pool pool pool gift",
+	}
+	v := textutil.NewVocabulary()
+	for _, d := range docs {
+		v.AddDoc(d)
+	}
+	return NewScorer(v.NumDocs(), v.DocFreq), docs
+}
+
+func TestIDFOrdering(t *testing.T) {
+	s, _ := corpus()
+	// df: pool=3, internet=2, spa=1, absent=0.
+	idfPool := s.IDF("pool")
+	idfInternet := s.IDF("internet")
+	idfSpa := s.IDF("spa")
+	idfAbsent := s.IDF("unicorn")
+	if !(idfPool < idfInternet && idfInternet < idfSpa && idfSpa < idfAbsent) {
+		t.Errorf("idf ordering wrong: pool=%g internet=%g spa=%g absent=%g",
+			idfPool, idfInternet, idfSpa, idfAbsent)
+	}
+	if idfPool <= 0 {
+		t.Error("ubiquitous word must keep positive idf")
+	}
+	// Case-insensitive.
+	if s.IDF("POOL") != idfPool {
+		t.Error("IDF not normalized")
+	}
+}
+
+func TestTFWeight(t *testing.T) {
+	if TFWeight(0) != 0 || TFWeight(-3) != 0 {
+		t.Error("absent term weight must be 0")
+	}
+	if TFWeight(1) != 0.5 {
+		t.Errorf("TFWeight(1) = %g", TFWeight(1))
+	}
+	prev := 0.0
+	for tf := 1; tf < 100; tf++ {
+		w := TFWeight(tf)
+		if w <= prev || w >= 1 {
+			t.Fatalf("TFWeight(%d) = %g not in (prev, 1)", tf, w)
+		}
+		prev = w
+	}
+}
+
+func TestScore(t *testing.T) {
+	s, _ := corpus()
+	// Doc with both keywords beats docs with one.
+	both := s.Score("internet pool spa", []string{"internet", "pool"})
+	onlyPool := s.Score("pool sauna", []string{"internet", "pool"})
+	neither := s.Score("gift shop", []string{"internet", "pool"})
+	if !(both > onlyPool && onlyPool > neither) {
+		t.Errorf("score ordering: both=%g one=%g none=%g", both, onlyPool, neither)
+	}
+	if neither != 0 {
+		t.Errorf("no-match score = %g, want 0", neither)
+	}
+	// Higher tf (saturating) helps but is bounded.
+	tf1 := s.Score("internet", []string{"internet"})
+	tf3 := s.Score("internet internet internet", []string{"internet"})
+	if !(tf3 > tf1) {
+		t.Error("tf must increase score")
+	}
+	if tf3 >= 2*tf1 {
+		t.Error("tf weight must saturate (tf=3 below 2x tf=1)")
+	}
+	// Duplicated query keywords count once.
+	dup := s.Score("internet pool", []string{"internet", "INTERNET", "internet"})
+	single := s.Score("internet pool", []string{"internet"})
+	if dup != single {
+		t.Errorf("duplicate keywords changed score: %g vs %g", dup, single)
+	}
+	// Empty keywords.
+	if s.Score("internet", nil) != 0 {
+		t.Error("empty query must score 0")
+	}
+}
+
+func TestUpperBoundDominatesAllScores(t *testing.T) {
+	// The soundness property the general algorithm relies on: for any
+	// document, Score <= UpperBound over the matched keywords' IDFs.
+	s, docs := corpus()
+	queries := [][]string{
+		{"internet"},
+		{"internet", "pool"},
+		{"internet", "pool", "spa", "gift", "sauna"},
+	}
+	for _, q := range queries {
+		normalized, idfs := s.QueryIDFs(q)
+		ub := UpperBound(idfs)
+		for _, d := range docs {
+			if got := s.Score(d, normalized); got > ub+1e-12 {
+				t.Errorf("Score(%q, %v) = %g exceeds UpperBound %g", d, q, got, ub)
+			}
+		}
+	}
+}
+
+func TestUpperBoundRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 100; trial++ {
+		// Random corpus.
+		v := textutil.NewVocabulary()
+		docs := make([]string, 3+rng.Intn(20))
+		for i := range docs {
+			var d string
+			for j := 0; j < 1+rng.Intn(15); j++ {
+				d += vocab[rng.Intn(len(vocab))] + " "
+			}
+			docs[i] = d
+			v.AddDoc(d)
+		}
+		s := NewScorer(v.NumDocs(), v.DocFreq)
+		// Random query.
+		q := vocab[:1+rng.Intn(len(vocab))]
+		_, idfs := s.QueryIDFs(q)
+		ub := UpperBound(idfs)
+		for _, d := range docs {
+			if got := s.Score(d, q); got > ub+1e-12 {
+				t.Fatalf("trial %d: score %g > ub %g for doc %q query %v", trial, got, ub, d, q)
+			}
+		}
+	}
+}
+
+func TestQueryIDFs(t *testing.T) {
+	s, _ := corpus()
+	normalized, idfs := s.QueryIDFs([]string{"Internet", "POOL", "internet", ""})
+	if len(normalized) != 2 || normalized[0] != "internet" || normalized[1] != "pool" {
+		t.Errorf("normalized = %v", normalized)
+	}
+	if len(idfs) != 2 || idfs[0] != s.IDF("internet") || idfs[1] != s.IDF("pool") {
+		t.Errorf("idfs = %v", idfs)
+	}
+}
+
+func TestDistanceDiscountMonotone(t *testing.T) {
+	c := DistanceDiscount{Scale: 100}
+	// Non-increasing in distance.
+	prev := math.Inf(1)
+	for d := 0.0; d <= 1000; d += 50 {
+		v := c.Combine(d, 1.0)
+		if v > prev {
+			t.Fatalf("f increased with distance at %g", d)
+		}
+		prev = v
+	}
+	// Non-decreasing in IR score.
+	prev = -1
+	for ir := 0.0; ir <= 10; ir += 0.5 {
+		v := c.Combine(50, ir)
+		if v < prev {
+			t.Fatalf("f decreased with ir at %g", ir)
+		}
+		prev = v
+	}
+	// Zero-value defaults work.
+	zero := DistanceDiscount{}
+	if zero.Combine(0, 1) <= zero.Combine(1, 1) {
+		t.Error("zero-value combiner not discounting")
+	}
+	// At zero relevance, closer still beats farther (epsilon floor).
+	if zero.Combine(1, 0) <= zero.Combine(2, 0) {
+		t.Error("epsilon floor missing: zero-relevance ties not broken by distance")
+	}
+}
+
+func TestLinearCombinerMonotone(t *testing.T) {
+	c := LinearCombiner{Alpha: 0.7, Scale: 10}
+	if c.Combine(0, 5) <= c.Combine(100, 5) {
+		t.Error("not decreasing in distance")
+	}
+	if c.Combine(10, 5) <= c.Combine(10, 1) {
+		t.Error("not increasing in ir")
+	}
+	zero := LinearCombiner{}
+	if zero.Combine(0, 2) <= zero.Combine(0, 1) {
+		t.Error("zero-value alpha broken")
+	}
+}
+
+func TestTopIDFPrefix(t *testing.T) {
+	in := []float64{1, 3, 2}
+	out := TopIDFPrefix(in)
+	if out[0] != 3 || out[1] != 2 || out[2] != 1 {
+		t.Errorf("TopIDFPrefix = %v", out)
+	}
+	if in[0] != 1 {
+		t.Error("input mutated")
+	}
+}

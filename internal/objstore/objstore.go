@@ -1,0 +1,295 @@
+// Package objstore implements the object file of the paper's evaluation:
+// "the spatial objects are stored in a plain text file and the leaf nodes of
+// the tree data structures store pointers to the object locations in the
+// file" (Section 6).
+//
+// Objects are serialized as tab-delimited rows — id, dimension, coordinates,
+// then the text document — packed back to back across disk blocks. An object
+// pointer is the byte offset of its row; LoadObject reads the block holding
+// that offset (one random access) plus however many consecutive blocks the
+// row spills into (sequential accesses). This is exactly the cost model
+// behind Table 1's "average # disk blocks per object" column: a Restaurants
+// row fits in one block, a Hotels row typically spans two.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// ID is a dense object identifier assigned in append order, starting at 0.
+type ID uint64
+
+// Ptr locates an object row: the byte offset of the row start in the file.
+// This is the ObjPtr stored in R-Tree and IR²-Tree leaves.
+type Ptr uint64
+
+// Object is a spatial object T = (T.p, T.t): a location plus a text
+// document (paper Section II).
+type Object struct {
+	ID    ID
+	Point geo.Point
+	Text  string
+}
+
+// ErrNotSynced is returned when reading a row that has not been flushed to
+// the device yet.
+var ErrNotSynced = errors.New("objstore: object not synced to device")
+
+// ErrCorrupt is returned when a row fails to parse.
+var ErrCorrupt = errors.New("objstore: corrupt row")
+
+// Store is an append-only object file on a block device. Appends are
+// buffered; call Sync before reading back. Store is not safe for concurrent
+// writers; concurrent readers are safe once synced (reads go through the
+// device, which serializes).
+type Store struct {
+	dev storage.Device
+
+	blocks   []storage.BlockID // i-th file block -> device block
+	synced   uint64            // bytes durably written
+	tail     []byte            // bytes not yet flushed
+	count    uint64            // number of objects appended
+	ptrs     []Ptr             // object ID -> row offset (in-memory directory)
+	blockSum uint64            // total blocks spanned by all rows (for stats)
+}
+
+// New returns an empty object store on dev.
+func New(dev storage.Device) *Store {
+	return &Store{dev: dev}
+}
+
+// NumObjects returns the number of appended objects.
+func (s *Store) NumObjects() int { return int(s.count) }
+
+// Device returns the store's block device (for I/O metering).
+func (s *Store) Device() storage.Device { return s.dev }
+
+// Ptrs returns the row pointer for every object, indexed by ID. The returned
+// slice is owned by the store; callers must not modify it. Index builders
+// use this to scan the file without re-deriving offsets.
+func (s *Store) Ptrs() []Ptr { return s.ptrs }
+
+// Append serializes obj (the ID field is ignored and assigned) and returns
+// its assigned ID and row pointer. The text is sanitized: tabs and newlines
+// become spaces, since rows are line-delimited.
+func (s *Store) Append(point geo.Point, text string) (ID, Ptr) {
+	id := ID(s.count)
+	ptr := Ptr(s.synced + uint64(len(s.tail)))
+	row := encodeRow(id, point, text)
+	s.tail = append(s.tail, row...)
+	s.count++
+	s.ptrs = append(s.ptrs, ptr)
+	s.blockSum += uint64(s.rowBlockSpan(ptr, len(row)))
+	s.flushFullBlocks()
+	return id, ptr
+}
+
+// rowBlockSpan returns how many blocks a row starting at ptr with the given
+// length touches.
+func (s *Store) rowBlockSpan(ptr Ptr, length int) int {
+	bs := uint64(s.dev.BlockSize())
+	first := uint64(ptr) / bs
+	last := (uint64(ptr) + uint64(length) - 1) / bs
+	return int(last - first + 1)
+}
+
+// AvgBlocksPerObject returns the mean number of blocks a row spans — the
+// last column of Table 1.
+func (s *Store) AvgBlocksPerObject() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.blockSum) / float64(s.count)
+}
+
+// flushFullBlocks writes every complete block sitting in the tail buffer.
+func (s *Store) flushFullBlocks() {
+	bs := s.dev.BlockSize()
+	for len(s.tail) >= bs {
+		s.appendBlock(s.tail[:bs])
+		s.tail = s.tail[bs:]
+		s.synced += uint64(bs)
+	}
+}
+
+// appendBlock allocates the next file block and writes data into it.
+func (s *Store) appendBlock(data []byte) {
+	id := s.dev.Alloc()
+	s.blocks = append(s.blocks, id)
+	if err := s.dev.Write(id, data); err != nil {
+		// Writes to a freshly allocated block on a healthy device cannot
+		// fail; a fault hook can make them fail, which tests exercise via
+		// Sync instead. Panic keeps the append path ergonomic.
+		panic(fmt.Sprintf("objstore: append write failed: %v", err))
+	}
+}
+
+// Sync flushes the partially filled tail block, making all appended rows
+// readable. The flushed block is sealed: the logical file is padded with
+// zeros to the next block boundary, so row offsets keep mapping directly to
+// block indexes. (Rows end in '\n' and padding is zero bytes, so readers
+// never confuse padding for data.)
+func (s *Store) Sync() error {
+	if len(s.tail) == 0 {
+		return nil
+	}
+	bs := s.dev.BlockSize()
+	if len(s.tail) > bs {
+		panic("objstore: tail exceeds block size")
+	}
+	id := s.dev.Alloc()
+	s.blocks = append(s.blocks, id)
+	if err := s.dev.Write(id, s.tail); err != nil {
+		s.blocks = s.blocks[:len(s.blocks)-1]
+		s.dev.Free(id)
+		return fmt.Errorf("objstore: sync: %w", err)
+	}
+	s.synced += uint64(bs) // seal: pad to block boundary
+	s.tail = nil
+	return nil
+}
+
+// Get loads the object whose row starts at ptr, reading the row's block(s)
+// from the device. This is the LoadObject of the paper's algorithms; its
+// I/O cost is one random access plus sequential accesses for any
+// continuation blocks.
+func (s *Store) Get(ptr Ptr) (Object, error) {
+	if uint64(ptr) >= s.synced {
+		return Object{}, fmt.Errorf("%w: offset %d >= synced %d", ErrNotSynced, ptr, s.synced)
+	}
+	bs := uint64(s.dev.BlockSize())
+	blockIdx := uint64(ptr) / bs
+	// Read blocks until the row's terminating newline appears.
+	var row []byte
+	offsetInBlock := uint64(ptr) % bs
+	for {
+		if blockIdx >= uint64(len(s.blocks)) {
+			// The row starts in a synced block but its continuation is
+			// still sitting in the tail buffer.
+			return Object{}, fmt.Errorf("%w: row at %d continues past synced data", ErrNotSynced, ptr)
+		}
+		data, err := s.dev.Read(s.blocks[blockIdx])
+		if err != nil {
+			return Object{}, fmt.Errorf("objstore: get %d: %w", ptr, err)
+		}
+		chunk := data[offsetInBlock:]
+		if i := indexByte(chunk, '\n'); i >= 0 {
+			row = append(row, chunk[:i]...)
+			break
+		}
+		row = append(row, chunk...)
+		blockIdx++
+		offsetInBlock = 0
+	}
+	obj, err := decodeRow(row)
+	if err != nil {
+		return Object{}, fmt.Errorf("row at %d: %w", ptr, err)
+	}
+	return obj, nil
+}
+
+// GetByID loads object id via the in-memory pointer directory.
+func (s *Store) GetByID(id ID) (Object, error) {
+	if uint64(id) >= s.count {
+		return Object{}, fmt.Errorf("objstore: no object %d", id)
+	}
+	return s.Get(s.ptrs[id])
+}
+
+// Scan calls fn for every stored object in append order. It stops early and
+// returns fn's error if non-nil. Scan performs device reads (it is how index
+// builders pay for reading the file once).
+func (s *Store) Scan(fn func(Object, Ptr) error) error {
+	for id := uint64(0); id < s.count; id++ {
+		if uint64(s.ptrs[id]) >= s.synced {
+			return fmt.Errorf("%w: object %d", ErrNotSynced, id)
+		}
+		obj, err := s.Get(s.ptrs[id])
+		if err != nil {
+			return err
+		}
+		if err := fn(obj, s.ptrs[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the file's on-disk footprint.
+func (s *Store) SizeBytes() int64 {
+	return int64(len(s.blocks)) * int64(s.dev.BlockSize())
+}
+
+// SizeMB returns the footprint in megabytes (10^6 bytes).
+func (s *Store) SizeMB() float64 { return float64(s.SizeBytes()) / 1e6 }
+
+// encodeRow renders "id \t dim \t c1 .. cd \t text \n" with text sanitized.
+func encodeRow(id ID, p geo.Point, text string) []byte {
+	var b strings.Builder
+	b.Grow(len(text) + 64)
+	b.WriteString(strconv.FormatUint(uint64(id), 10))
+	b.WriteByte('\t')
+	b.WriteString(strconv.Itoa(len(p)))
+	for _, c := range p {
+		b.WriteByte('\t')
+		b.WriteString(strconv.FormatFloat(c, 'g', -1, 64))
+	}
+	b.WriteByte('\t')
+	b.WriteString(sanitize(text))
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// decodeRow parses a row (without its trailing newline).
+func decodeRow(row []byte) (Object, error) {
+	fields := strings.Split(string(row), "\t")
+	if len(fields) < 3 {
+		return Object{}, fmt.Errorf("%w: %d fields", ErrCorrupt, len(fields))
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Object{}, fmt.Errorf("%w: bad id %q", ErrCorrupt, fields[0])
+	}
+	dim, err := strconv.Atoi(fields[1])
+	if err != nil || dim < 0 {
+		return Object{}, fmt.Errorf("%w: bad dimension %q", ErrCorrupt, fields[1])
+	}
+	if len(fields) != dim+3 {
+		return Object{}, fmt.Errorf("%w: want %d fields, have %d", ErrCorrupt, dim+3, len(fields))
+	}
+	p := make(geo.Point, dim)
+	for i := 0; i < dim; i++ {
+		p[i], err = strconv.ParseFloat(fields[2+i], 64)
+		if err != nil {
+			return Object{}, fmt.Errorf("%w: bad coordinate %q", ErrCorrupt, fields[2+i])
+		}
+	}
+	return Object{ID: ID(id), Point: p, Text: fields[dim+2]}, nil
+}
+
+// sanitize replaces row delimiters — and NUL, which marks sealed-block
+// padding during directory rebuilds — in free text with spaces.
+func sanitize(text string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\t' || r == '\n' || r == '\r' || r == 0 {
+			return ' '
+		}
+		return r
+	}, text)
+}
+
+// indexByte is bytes.IndexByte without importing bytes for one call site.
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,334 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+func newStore(blockSize int) (*Store, *storage.Disk) {
+	d := storage.NewDisk(blockSize)
+	return New(d), d
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	s, _ := newStore(128)
+	type row struct {
+		p    geo.Point
+		text string
+	}
+	rows := []row{
+		{geo.NewPoint(25.4, -80.1), "Hotel A tennis court, gift shop, spa, Internet"},
+		{geo.NewPoint(47.3, -122.2), "Hotel B wireless Internet, pool, golf course"},
+		{geo.NewPoint(-33.2, -70.4), "Hotel G Internet, airport transportation, pool"},
+	}
+	var ptrs []Ptr
+	for _, r := range rows {
+		id, ptr := s.Append(r.p, r.text)
+		if int(id) != len(ptrs) {
+			t.Fatalf("id = %d, want %d", id, len(ptrs))
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		obj, err := s.Get(ptrs[i])
+		if err != nil {
+			t.Fatalf("Get(%d): %v", ptrs[i], err)
+		}
+		if obj.ID != ID(i) || !obj.Point.Equal(r.p) || obj.Text != r.text {
+			t.Errorf("object %d = %+v, want %+v", i, obj, r)
+		}
+		byID, err := s.GetByID(ID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byID.Text != r.text {
+			t.Errorf("GetByID mismatch")
+		}
+	}
+}
+
+func TestGetBeforeSyncFails(t *testing.T) {
+	s, _ := newStore(128)
+	_, ptr := s.Append(geo.NewPoint(1, 2), "tiny")
+	if _, err := s.Get(ptr); !errors.Is(err, ErrNotSynced) {
+		t.Errorf("err = %v, want ErrNotSynced", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ptr); err != nil {
+		t.Errorf("after sync: %v", err)
+	}
+}
+
+func TestMultiBlockRow(t *testing.T) {
+	s, d := newStore(64)
+	long := strings.Repeat("amenity ", 50) // ~400 bytes, spans many 64-byte blocks
+	_, ptr := s.Append(geo.NewPoint(0, 0), long)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	obj, err := s.Get(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Text != long {
+		t.Error("long text corrupted")
+	}
+	st := d.Stats()
+	if st.RandomReads != 1 {
+		t.Errorf("random reads = %d, want 1", st.RandomReads)
+	}
+	if st.SequentialReads < 5 {
+		t.Errorf("sequential reads = %d, want >= 5 for a %d-byte row", st.SequentialReads, len(long))
+	}
+	if got := s.AvgBlocksPerObject(); got < 6 {
+		t.Errorf("AvgBlocksPerObject = %g, want >= 6", got)
+	}
+}
+
+func TestRowSpanningSyncBoundary(t *testing.T) {
+	// A row partially flushed by full-block flushing but not synced must
+	// report ErrNotSynced, then read fine after Sync.
+	s, _ := newStore(64)
+	_, p1 := s.Append(geo.NewPoint(1, 1), strings.Repeat("x", 100))
+	if _, err := s.Get(p1); !errors.Is(err, ErrNotSynced) {
+		t.Errorf("err = %v, want ErrNotSynced", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Text) != 100 {
+		t.Errorf("text length %d", len(obj.Text))
+	}
+}
+
+func TestAppendAfterSync(t *testing.T) {
+	// Sync seals the block; later rows must still be addressable.
+	s, _ := newStore(64)
+	_, p1 := s.Append(geo.NewPoint(1, 1), "first")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, p2 := s.Append(geo.NewPoint(2, 2), "second")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		ptr  Ptr
+		text string
+	}{{p1, "first"}, {p2, "second"}} {
+		obj, err := s.Get(tc.ptr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj.Text != tc.text {
+			t.Errorf("Get(%d).Text = %q, want %q", tc.ptr, obj.Text, tc.text)
+		}
+	}
+	if p2%64 != 0 {
+		t.Errorf("post-sync row not block aligned: %d", p2)
+	}
+}
+
+func TestSanitization(t *testing.T) {
+	s, _ := newStore(128)
+	_, ptr := s.Append(geo.NewPoint(0, 0), "tabs\tand\nnewlines\r!")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Text != "tabs and newlines !" {
+		t.Errorf("sanitized text = %q", obj.Text)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s, _ := newStore(64)
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Append(geo.NewPoint(float64(i), 0), fmt.Sprintf("object number %d", i))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	err := s.Scan(func(o Object, p Ptr) error {
+		if int(o.ID) != seen {
+			return fmt.Errorf("out of order: %d at position %d", o.ID, seen)
+		}
+		if o.Point[0] != float64(seen) {
+			return fmt.Errorf("bad point for %d", seen)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Errorf("scanned %d, want %d", seen, n)
+	}
+	// Early stop.
+	count := 0
+	stop := errors.New("stop")
+	err = s.Scan(func(Object, Ptr) error {
+		count++
+		if count == 5 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || count != 5 {
+		t.Errorf("early stop: err=%v count=%d", err, count)
+	}
+}
+
+func TestScanUnsyncedFails(t *testing.T) {
+	s, _ := newStore(64)
+	s.Append(geo.NewPoint(0, 0), "x")
+	if err := s.Scan(func(Object, Ptr) error { return nil }); !errors.Is(err, ErrNotSynced) {
+		t.Errorf("err = %v, want ErrNotSynced", err)
+	}
+}
+
+func TestGetByIDOutOfRange(t *testing.T) {
+	s, _ := newStore(64)
+	if _, err := s.GetByID(0); err == nil {
+		t.Error("expected error for empty store")
+	}
+}
+
+func TestCorruptRow(t *testing.T) {
+	s, d := newStore(64)
+	_, ptr := s.Append(geo.NewPoint(1, 2), "fine")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the row's block with garbage that still has a newline.
+	blk := s.blocks[0]
+	if err := d.Write(blk, []byte("not\ta\tvalid\trow\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ptr); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		row  string
+	}{
+		{"too few fields", "1\t2"},
+		{"bad id", "abc\t2\t1\t2\ttext"},
+		{"bad dim", "1\tx\t1\t2\ttext"},
+		{"dim mismatch", "1\t3\t1\t2\ttext"},
+		{"bad coord", "1\t2\t1\tzz\ttext"},
+		{"negative dim", "1\t-1\ttext"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := decodeRow([]byte(tt.row)); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("decodeRow(%q) err = %v, want ErrCorrupt", tt.row, err)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		dim := 1 + rng.Intn(4)
+		p := make(geo.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 100
+		}
+		text := fmt.Sprintf("random text %d with words %d", rng.Int63(), rng.Int63())
+		row := encodeRow(ID(i), p, text)
+		obj, err := decodeRow(row[:len(row)-1]) // strip newline
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if obj.ID != ID(i) || !obj.Point.Equal(p) || obj.Text != text {
+			t.Fatalf("round trip mismatch: %+v", obj)
+		}
+	}
+}
+
+func TestReadFaultPropagates(t *testing.T) {
+	s, d := newStore(64)
+	_, ptr := s.Append(geo.NewPoint(1, 1), "x")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("io fault")
+	d.SetFault(func(op storage.Op, id storage.BlockID) error {
+		if op == storage.OpRead {
+			return boom
+		}
+		return nil
+	})
+	if _, err := s.Get(ptr); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped fault", err)
+	}
+}
+
+func TestSyncFaultPropagates(t *testing.T) {
+	s, d := newStore(64)
+	s.Append(geo.NewPoint(1, 1), "x")
+	boom := errors.New("write fault")
+	d.SetFault(func(op storage.Op, id storage.BlockID) error {
+		if op == storage.OpWrite {
+			return boom
+		}
+		return nil
+	})
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped fault", err)
+	}
+	// Clearing the fault allows a retry to succeed.
+	d.SetFault(nil)
+	if err := s.Sync(); err != nil {
+		t.Errorf("retry failed: %v", err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	s, _ := newStore(4096)
+	if s.SizeBytes() != 0 || s.NumObjects() != 0 {
+		t.Error("empty store size/count")
+	}
+	for i := 0; i < 100; i++ {
+		s.Append(geo.NewPoint(float64(i), float64(i)), strings.Repeat("word ", 20))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumObjects() != 100 {
+		t.Errorf("NumObjects = %d", s.NumObjects())
+	}
+	if s.SizeBytes() <= 0 || s.SizeMB() != float64(s.SizeBytes())/1e6 {
+		t.Error("size accounting inconsistent")
+	}
+	if avg := s.AvgBlocksPerObject(); avg < 1 {
+		t.Errorf("AvgBlocksPerObject = %g", avg)
+	}
+}

@@ -1,0 +1,211 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialkeyword/internal/core"
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/invindex"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// buildWorld creates a corpus with one very common word, one mid word, and
+// one word unique to a single object, plus all structures and a planner.
+func buildWorld(t *testing.T, n int) (*Planner, []objstore.Object) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(131))
+	store := objstore.New(storage.NewDisk(4096))
+	var texts []string
+	for i := 0; i < n; i++ {
+		text := "common"
+		if i%10 == 0 {
+			text += " tenth"
+		}
+		if i == n/2 {
+			text += " unicorn"
+		}
+		text += fmt.Sprintf(" filler%d", rng.Intn(50))
+		texts = append(texts, text)
+		store.Append(geo.NewPoint(rng.Float64()*1000, rng.Float64()*1000), text)
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.New(storage.NewDisk(4096), store, core.Options{
+		LeafSignature: sigfile.Config{LengthBytes: 16, BitsPerWord: 4},
+		MaxEntries:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Build(); err != nil {
+		t.Fatal(err)
+	}
+	inv := invindex.New(storage.NewDisk(4096))
+	if err := store.Scan(func(o objstore.Object, p objstore.Ptr) error {
+		inv.AddDocument(uint64(p), o.Text)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var objs []objstore.Object
+	if err := store.Scan(func(o objstore.Object, _ objstore.Ptr) error {
+		objs = append(objs, o)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return New(tree, inv, store), objs
+}
+
+func TestExplainRoutesByFrequency(t *testing.T) {
+	p, _ := buildWorld(t, 2000)
+	// A unique keyword: IIO reads one tiny posting list — must win.
+	rare := p.Explain(10, []string{"unicorn"})
+	if rare.Choice != ChooseIIO {
+		t.Errorf("rare keyword routed to %s (iio=%.0f ir2=%.0f)", rare.Choice, rare.CostIIO, rare.CostIR2)
+	}
+	if rare.MinDF != 1 {
+		t.Errorf("MinDF = %d", rare.MinDF)
+	}
+	// A ubiquitous keyword: the IR²-Tree finds k matches immediately.
+	common := p.Explain(10, []string{"common"})
+	if common.Choice != ChooseIR2 {
+		t.Errorf("common keyword routed to %s (iio=%.0f ir2=%.0f)", common.Choice, common.CostIIO, common.CostIR2)
+	}
+	if common.MinDF != 2000 {
+		t.Errorf("MinDF = %d", common.MinDF)
+	}
+	// Conjunction selectivity multiplies: common+tenth behaves like tenth.
+	conj := p.Explain(10, []string{"common", "tenth"})
+	if conj.ExpectedMatches > 250 || conj.ExpectedMatches < 150 {
+		t.Errorf("ExpectedMatches = %g, want ≈200", conj.ExpectedMatches)
+	}
+}
+
+func TestPlannerResultsCorrectOnBothPaths(t *testing.T) {
+	p, objs := buildWorld(t, 1000)
+	queries := []struct {
+		kw   []string
+		want Choice
+		any  bool // mid-selectivity: either path is defensible
+	}{
+		{[]string{"unicorn"}, ChooseIIO, false},
+		{[]string{"common"}, ChooseIR2, false},
+		{[]string{"tenth"}, ChooseIIO, true},
+	}
+	for _, q := range queries {
+		point := geo.NewPoint(500, 500)
+		got, plan, err := p.TopK(5, point, q.kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.any && plan.Choice != q.want {
+			t.Errorf("keywords %v routed to %s, want %s (iio=%.0f ir2=%.0f)",
+				q.kw, plan.Choice, q.want, plan.CostIIO, plan.CostIR2)
+		}
+		// Whatever the path, results must match brute force.
+		want := bruteTopK(objs, 5, point, q.kw)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d results, want %d", q.kw, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Object.ID != want[i] {
+				t.Fatalf("%v rank %d: %d, want %d", q.kw, i, got[i].Object.ID, want[i])
+			}
+		}
+	}
+}
+
+func TestPlannerBeatsSinglePathOverall(t *testing.T) {
+	// Across a workload mixing rare and common keywords, the planner's
+	// actual measured I/O must be at most each single path's.
+	p, _ := buildWorld(t, 1500)
+	devices := []storage.Device{p.Tree.RTree().Device(), p.Inv.Device(), p.Store.Device()}
+	keywords := [][]string{
+		{"unicorn"}, {"common"}, {"tenth"}, {"common", "tenth"}, {"tenth", "unicorn"},
+	}
+	rng := rand.New(rand.NewSource(132))
+	points := make([]geo.Point, len(keywords)*4)
+	for i := range points {
+		points[i] = geo.NewPoint(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	measure := func(run func(geo.Point, []string) error) uint64 {
+		var total uint64
+		for i, pt := range points {
+			kw := keywords[i%len(keywords)]
+			for _, d := range devices {
+				d.ResetStats()
+			}
+			if err := run(pt, kw); err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range devices {
+				total += d.Stats().Random()
+			}
+		}
+		return total
+	}
+	planner := measure(func(pt geo.Point, kw []string) error {
+		_, _, err := p.TopK(10, pt, kw)
+		return err
+	})
+	ir2Only := measure(func(pt geo.Point, kw []string) error {
+		_, _, err := p.Tree.TopK(10, pt, kw)
+		return err
+	})
+	iioOnly := measure(func(pt geo.Point, kw []string) error {
+		_, _, err := invindex.TopK(p.Inv, p.Store, 10, pt, kw)
+		return err
+	})
+	best := ir2Only
+	if iioOnly < best {
+		best = iioOnly
+	}
+	worst := ir2Only
+	if iioOnly > worst {
+		worst = iioOnly
+	}
+	// The router must track the better single path closely (its estimates
+	// are heuristic, so allow 20% slack) and clearly beat the worse one.
+	if float64(planner) > 1.2*float64(best) {
+		t.Errorf("planner I/O %d not within 20%% of best single path (ir2=%d iio=%d)", planner, ir2Only, iioOnly)
+	}
+	if planner >= worst {
+		t.Errorf("planner I/O %d does not beat the worse single path (ir2=%d iio=%d)", planner, ir2Only, iioOnly)
+	}
+}
+
+func bruteTopK(objs []objstore.Object, k int, p geo.Point, keywords []string) []objstore.ID {
+	kws := textutil.NormalizeAll(keywords)
+	var match []objstore.Object
+	for _, o := range objs {
+		if textutil.ContainsAll(o.Text, kws) {
+			match = append(match, o)
+		}
+	}
+	sort.Slice(match, func(i, j int) bool {
+		di, dj := p.Dist(match[i].Point), p.Dist(match[j].Point)
+		if di != dj {
+			return di < dj
+		}
+		return match[i].ID < match[j].ID
+	})
+	if len(match) > k {
+		match = match[:k]
+	}
+	ids := make([]objstore.ID, len(match))
+	for i, o := range match {
+		ids[i] = o.ID
+	}
+	return ids
+}

@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// BulkEntry is one object entry for BulkLoad.
+type BulkEntry struct {
+	Ref  uint64
+	Rect geo.Rect
+	Aux  []byte
+}
+
+// BulkLoad builds the tree from a full entry set with Sort-Tile-Recursive
+// packing (Leutenegger et al.), an extension beyond the paper: the paper
+// constructs trees by repeated Insert, which costs O(n log n) node I/O and
+// produces overlapping nodes; STR packs near-full nodes with minimal
+// overlap in one pass per level. The aux maintenance contract is identical
+// to Insert's: parent payloads are computed through the AuxScheme
+// bottom-up.
+//
+// BulkLoad requires an empty tree and at least one entry. Every node except
+// possibly within the root's chain satisfies the minimum fill (trailing
+// chunks are rebalanced).
+func (t *Tree) BulkLoad(entries []BulkEntry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root != storage.NilBlock {
+		return fmt.Errorf("rtree: BulkLoad on non-empty tree")
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("rtree: BulkLoad with no entries")
+	}
+	auxLen := t.scheme.EntryAuxLen(0)
+	level := make([]entry, len(entries))
+	for i, be := range entries {
+		if be.Rect.Dim() != t.dim {
+			return fmt.Errorf("rtree: bulk entry %d dimension %d, want %d", i, be.Rect.Dim(), t.dim)
+		}
+		if len(be.Aux) != auxLen {
+			return fmt.Errorf("rtree: bulk entry %d payload %d bytes, want %d", i, len(be.Aux), auxLen)
+		}
+		level[i] = entry{ptr: be.Ref, rect: be.Rect.Clone(), aux: cloneBytes(be.Aux)}
+	}
+
+	lvl := 0
+	for {
+		if len(level) <= t.maxE {
+			root := t.allocNode(lvl)
+			root.entries = level
+			if err := t.storeNode(root); err != nil {
+				return err
+			}
+			t.root = root.id
+			t.height = lvl + 1
+			t.size = len(entries)
+			return nil
+		}
+		groups := t.rebalance(t.strPack(level, 0))
+		next := make([]entry, 0, len(groups))
+		for _, g := range groups {
+			n := t.allocNode(lvl)
+			n.entries = g
+			if err := t.storeNode(n); err != nil {
+				return err
+			}
+			aux, err := t.nodeAux(n)
+			if err != nil {
+				return err
+			}
+			next = append(next, entry{ptr: uint64(n.id), rect: n.mbr(), aux: aux})
+		}
+		level = next
+		lvl++
+	}
+}
+
+// strPack tiles entries into groups of at most MaxEntries each, recursing
+// across dimensions: sort by the center of the current dimension, cut into
+// slabs sized for the remaining dimensions, recurse; the last dimension
+// chunks directly.
+func (t *Tree) strPack(entries []entry, dim int) [][]entry {
+	n := len(entries)
+	if n <= t.maxE {
+		return [][]entry{entries}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ci := entries[i].rect.Lo[dim] + entries[i].rect.Hi[dim]
+		cj := entries[j].rect.Lo[dim] + entries[j].rect.Hi[dim]
+		return ci < cj
+	})
+	if dim == t.dim-1 {
+		return t.chunk(entries)
+	}
+	// Number of leaves still needed and slabs across remaining dims.
+	leaves := (n + t.maxE - 1) / t.maxE
+	remaining := t.dim - dim
+	slabs := ceilRoot(leaves, remaining)
+	slabSize := (n + slabs - 1) / slabs
+	if slabSize < t.maxE {
+		slabSize = t.maxE
+	}
+	var groups [][]entry
+	for start := 0; start < n; start += slabSize {
+		end := start + slabSize
+		if end > n {
+			end = n
+		}
+		groups = append(groups, t.strPack(entries[start:end], dim+1)...)
+	}
+	return groups
+}
+
+// chunk splits a sorted run into consecutive groups of MaxEntries; the
+// caller rebalances undersized trailing groups.
+func (t *Tree) chunk(entries []entry) [][]entry {
+	n := len(entries)
+	var groups [][]entry
+	for start := 0; start < n; start += t.maxE {
+		end := start + t.maxE
+		if end > n {
+			end = n
+		}
+		groups = append(groups, entries[start:end])
+	}
+	return groups
+}
+
+// rebalance repairs groups that fall below the minimum fill (the trailing
+// chunk of a slab) by merging them with their predecessor and, if the merge
+// overflows, re-splitting it into two halves that both satisfy the minimum.
+func (t *Tree) rebalance(groups [][]entry) [][]entry {
+	out := make([][]entry, 0, len(groups))
+	for _, g := range groups {
+		if len(g) >= t.minE || len(out) == 0 {
+			out = append(out, g)
+			continue
+		}
+		prev := out[len(out)-1]
+		merged := make([]entry, 0, len(prev)+len(g))
+		merged = append(merged, prev...)
+		merged = append(merged, g...)
+		if len(merged) <= t.maxE {
+			out[len(out)-1] = merged
+			continue
+		}
+		half := len(merged) / 2
+		out[len(out)-1] = merged[:half]
+		out = append(out, merged[half:])
+	}
+	return out
+}
+
+// ceilRoot returns ceil(n^(1/k)) for k >= 1.
+func ceilRoot(n, k int) int {
+	if k <= 1 || n <= 1 {
+		return n
+	}
+	// Integer search: smallest s with s^k >= n.
+	s := 1
+	for pow(s, k) < n {
+		s++
+	}
+	return s
+}
+
+func pow(s, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= s
+		if out < 0 { // overflow guard; n is far smaller in practice
+			return 1 << 62
+		}
+	}
+	return out
+}

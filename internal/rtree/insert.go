@@ -1,0 +1,296 @@
+package rtree
+
+import (
+	"fmt"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// pathStep records one level of a root-to-node descent: the node and the
+// index of the entry through which the descent continued (meaningless in the
+// final step).
+type pathStep struct {
+	node     *Node
+	childIdx int
+}
+
+// Insert adds an object entry (ref, rect, aux) to the tree. This is the
+// paper's Insert algorithm (Figure 5): ChooseLeaf descends by least area
+// enlargement [Gut84], the leaf absorbs the entry, an overflowing node is
+// split with the Quadratic Split technique, and AdjustTree propagates MBRs
+// — and, through the AuxScheme, signatures — to the ancestors.
+//
+// aux must have the scheme's leaf-entry length (nil for a plain tree).
+func (t *Tree) Insert(ref uint64, rect geo.Rect, aux []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rect.Dim() != t.dim {
+		return fmt.Errorf("rtree: insert rect dimension %d, want %d", rect.Dim(), t.dim)
+	}
+	if want := t.scheme.EntryAuxLen(0); len(aux) != want {
+		return fmt.Errorf("rtree: insert payload %d bytes, want %d", len(aux), want)
+	}
+	e := entry{ptr: ref, rect: rect.Clone(), aux: cloneBytes(aux)}
+
+	if t.root == storage.NilBlock {
+		root := t.allocNode(0)
+		root.entries = []entry{e}
+		if err := t.storeNode(root); err != nil {
+			return err
+		}
+		t.root = root.id
+		t.height = 1
+		t.size = 1
+		return nil
+	}
+
+	if err := t.insertAtLevel(e, 0); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// insertAtLevel places entry e into a node at the given level (0 inserts an
+// object into a leaf; higher levels reattach orphaned subtrees during
+// CondenseTree). The caller holds the write lock.
+func (t *Tree) insertAtLevel(e entry, level int) error {
+	path, err := t.chooseNode(e.rect, level)
+	if err != nil {
+		return err
+	}
+	n := path[len(path)-1].node
+	n.entries = append(n.entries, e)
+
+	var split *Node
+	if len(n.entries) > t.maxE {
+		split, err = t.splitNode(n)
+		if err != nil {
+			return err
+		}
+	}
+	return t.adjustTree(path, split)
+}
+
+// chooseNode descends from the root to a node at the target level, at each
+// step picking the child whose MBR needs the least area enlargement to
+// include rect (ties broken by smallest area, then lowest index — Guttman's
+// ChooseLeaf). It returns the full descent path; the last step is the chosen
+// node.
+func (t *Tree) chooseNode(rect geo.Rect, level int) ([]pathStep, error) {
+	n, err := t.loadNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if n.level < level {
+		return nil, fmt.Errorf("rtree: cannot place entry at level %d in tree of height %d", level, t.height)
+	}
+	path := []pathStep{{node: n}}
+	for n.level > level {
+		best, bestEnl, bestArea := -1, 0.0, 0.0
+		for i := range n.entries {
+			enl := n.entries[i].rect.Enlargement(rect)
+			area := n.entries[i].rect.Area()
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		path[len(path)-1].childIdx = best
+		child, err := t.loadNode(storage.BlockID(n.entries[best].ptr))
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathStep{node: child})
+		n = child
+	}
+	return path, nil
+}
+
+// splitNode divides an overflowing node's entries between n and a freshly
+// allocated sibling using the configured split algorithm, returning the
+// sibling. Both nodes end up with at least MinEntries entries.
+func (t *Tree) splitNode(n *Node) (*Node, error) {
+	groupA, groupB := t.splitEntries(n.entries)
+	sibling := t.allocNode(n.level)
+	n.entries = groupA
+	sibling.entries = groupB
+	return sibling, nil
+}
+
+// quadraticSplit implements [Gut84] §3.5.2: PickSeeds chooses the pair of
+// entries that would waste the most area if grouped together; the rest are
+// assigned one by one by PickNext (greatest difference of enlargements),
+// with ties broken by smaller area, then smaller group. If one group gets
+// so large that the other needs every remaining entry to reach minimum
+// fill, the remainder is assigned wholesale.
+func (t *Tree) quadraticSplit(entries []entry) (groupA, groupB []entry) {
+	seedA, seedB := pickSeeds(entries)
+	groupA = append(groupA, entries[seedA])
+	groupB = append(groupB, entries[seedB])
+	rectA := entries[seedA].rect.Clone()
+	rectB := entries[seedB].rect.Clone()
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, entries[i])
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take everything left to reach minimum fill, do it.
+		if len(groupA)+len(rest) == t.minE {
+			groupA = append(groupA, rest...)
+			return groupA, groupB
+		}
+		if len(groupB)+len(rest) == t.minE {
+			groupB = append(groupB, rest...)
+			return groupA, groupB
+		}
+		// PickNext: entry with maximum |d1 - d2|.
+		next, bestDiff := 0, -1.0
+		for i := range rest {
+			d1 := rectA.Enlargement(rest[i].rect)
+			d2 := rectB.Enlargement(rest[i].rect)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				next, bestDiff = i, diff
+			}
+		}
+		e := rest[next]
+		rest = append(rest[:next], rest[next+1:]...)
+		d1 := rectA.Enlargement(e.rect)
+		d2 := rectB.Enlargement(e.rect)
+		toA := d1 < d2
+		if d1 == d2 {
+			// Resolve by smaller area, then fewer entries.
+			a1, a2 := rectA.Area(), rectB.Area()
+			switch {
+			case a1 != a2:
+				toA = a1 < a2
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.rect)
+		}
+	}
+	return groupA, groupB
+}
+
+// pickSeeds returns the indexes of the two entries that waste the most area
+// when paired: maximize area(union) - area(e1) - area(e2).
+func pickSeeds(entries []entry) (int, int) {
+	bestA, bestB, bestWaste := 0, 1, 0.0
+	first := true
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if first || waste > bestWaste {
+				bestA, bestB, bestWaste = i, j, waste
+				first = false
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// adjustTree writes the modified node back and propagates MBR and payload
+// changes to the root, splitting ancestors that overflow and growing the
+// tree when the root itself splits. split is the new sibling produced by a
+// split of the deepest node on the path, or nil.
+//
+// This is the paper's AdjustTree modification: alongside each MBR update,
+// the parent entry's payload is recomputed through the AuxScheme, so
+// signature bits set in a node propagate to all ancestors.
+func (t *Tree) adjustTree(path []pathStep, split *Node) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i].node
+		if err := t.storeNode(n); err != nil {
+			return err
+		}
+		if split != nil {
+			if err := t.storeNode(split); err != nil {
+				return err
+			}
+		}
+
+		if i == 0 {
+			// n is the root.
+			if split == nil {
+				return nil
+			}
+			return t.growRoot(n, split)
+		}
+
+		parent := path[i-1].node
+		idx := path[i-1].childIdx
+		aux, err := t.nodeAux(n)
+		if err != nil {
+			return err
+		}
+		parent.entries[idx] = entry{ptr: uint64(n.id), rect: n.mbr(), aux: aux}
+
+		var nextSplit *Node
+		if split != nil {
+			splitAux, err := t.nodeAux(split)
+			if err != nil {
+				return err
+			}
+			parent.entries = append(parent.entries, entry{
+				ptr: uint64(split.id), rect: split.mbr(), aux: splitAux,
+			})
+			if len(parent.entries) > t.maxE {
+				nextSplit, err = t.splitNode(parent)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		split = nextSplit
+	}
+	return nil
+}
+
+// growRoot replaces the root with a new node one level higher whose two
+// entries are the old root and its split sibling (Figure 5 lines 5-12).
+func (t *Tree) growRoot(old, sibling *Node) error {
+	root := t.allocNode(old.level + 1)
+	oldAux, err := t.nodeAux(old)
+	if err != nil {
+		return err
+	}
+	sibAux, err := t.nodeAux(sibling)
+	if err != nil {
+		return err
+	}
+	root.entries = []entry{
+		{ptr: uint64(old.id), rect: old.mbr(), aux: oldAux},
+		{ptr: uint64(sibling.id), rect: sibling.mbr(), aux: sibAux},
+	}
+	if err := t.storeNode(root); err != nil {
+		return err
+	}
+	t.root = root.id
+	t.height = root.level + 1
+	return nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,85 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spatialkeyword/internal/storage"
+)
+
+// Tree persistence: a tree's volatile state (root pointer, height, object
+// and node counts) can be checkpointed into a dedicated state block on its
+// device and the tree reopened later from that block — which, combined with
+// storage.FileDisk, makes indexes durable across process restarts.
+//
+// The configuration (dimension, capacity, payload scheme) is not stored:
+// like most storage engines, the caller must reopen with the same schema it
+// created with; a fingerprint in the state block catches mismatches.
+
+const treeStateMagic = 0x52545245 // "RTRE"
+
+// stateFingerprint hashes the structural configuration so Open can reject
+// a mismatched schema instead of misreading nodes.
+func (t *Tree) stateFingerprint() uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(uint32(t.dim))
+	mix(uint32(t.maxE))
+	mix(uint32(t.minE))
+	for lvl := 0; lvl < 8; lvl++ {
+		mix(uint32(t.scheme.EntryAuxLen(lvl)))
+	}
+	return h
+}
+
+// Checkpoint writes the tree's state into the given block (allocating one
+// if stateBlock is NilBlock) and returns the block ID to pass to Open
+// later. Call it after mutations have quiesced; the state write is one
+// block I/O.
+func (t *Tree) Checkpoint(stateBlock storage.BlockID) (storage.BlockID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if stateBlock == storage.NilBlock {
+		stateBlock = t.dev.Alloc()
+	}
+	var buf [44]byte
+	binary.LittleEndian.PutUint32(buf[0:4], treeStateMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], t.stateFingerprint())
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(t.root))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(t.height))
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(t.size))
+	binary.LittleEndian.PutUint64(buf[28:36], uint64(t.nodes))
+	if err := t.dev.Write(stateBlock, buf[:]); err != nil {
+		return storage.NilBlock, fmt.Errorf("rtree: checkpoint: %w", err)
+	}
+	return stateBlock, nil
+}
+
+// Open attaches to a previously checkpointed tree on dev. cfg must match
+// the configuration the tree was created with (same dimension, capacity,
+// and payload scheme); a fingerprint mismatch is an error.
+func Open(dev storage.Device, cfg Config, stateBlock storage.BlockID) (*Tree, error) {
+	t, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := dev.Read(stateBlock)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: open: %w", err)
+	}
+	if len(buf) < 36 || binary.LittleEndian.Uint32(buf[0:4]) != treeStateMagic {
+		return nil, fmt.Errorf("rtree: block %d is not a tree state block", stateBlock)
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:8]); got != t.stateFingerprint() {
+		return nil, fmt.Errorf("rtree: configuration fingerprint mismatch (stored %08x, given %08x)",
+			got, t.stateFingerprint())
+	}
+	t.root = storage.BlockID(binary.LittleEndian.Uint64(buf[8:16]))
+	t.height = int(binary.LittleEndian.Uint32(buf[16:20]))
+	t.size = int(binary.LittleEndian.Uint64(buf[20:28]))
+	t.nodes = int(binary.LittleEndian.Uint64(buf[28:36]))
+	return t, nil
+}

@@ -1,0 +1,446 @@
+// Package rtree implements a disk-resident R-Tree (Guttman [Gut84]) with the
+// Hjaltason–Samet incremental nearest-neighbor search [HS99] — the spatial
+// substrate of the paper.
+//
+// The tree is generalized in one dimension beyond Guttman: every entry can
+// carry an opaque auxiliary payload ("aux") whose length is fixed per tree
+// level. A plain R-Tree uses zero-length payloads. The IR²-Tree and
+// MIR²-Tree (package core) store text signatures in the payload and supply
+// an AuxScheme that keeps parent payloads consistent as the tree changes —
+// exactly the paper's modification of AdjustTree and CondenseTree ("if a new
+// bit is set to 1 in a node N, then it must be also set to 1 for N's
+// ancestors").
+//
+// Nodes live on a storage.Device. Node capacity is derived from the block
+// size with payloads *excluded*, following the paper: "in order to have the
+// same number of children as in the corresponding R-tree, we allocate
+// additional disk block(s) to an IR²-Tree node when needed". A node with
+// payloads therefore spans one or more consecutive blocks; loading it costs
+// one random access plus sequential accesses for the continuation blocks.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// nodeHeaderSize is the serialized size of a node header: level (uint32) and
+// entry count (uint32).
+const nodeHeaderSize = 8
+
+// NodeReader is the restricted tree view handed to AuxScheme.NodeAux. Its
+// methods take no locks: NodeAux runs while the tree already holds its own
+// lock, so implementations must use this reader rather than the public Tree
+// methods (which would self-deadlock).
+type NodeReader interface {
+	// LoadNode reads a node (paying its I/O).
+	LoadNode(id storage.BlockID) (*Node, error)
+	// SubtreeObjectRefs returns every object reference under n, reading the
+	// whole subtree.
+	SubtreeObjectRefs(n *Node) ([]uint64, error)
+}
+
+// AuxScheme defines how auxiliary entry payloads are sized and maintained.
+// Implementations must be safe for concurrent readers.
+type AuxScheme interface {
+	// EntryAuxLen returns the payload length in bytes for entries stored in
+	// a node at the given level (level 0 = leaf, whose entries are objects).
+	EntryAuxLen(level int) int
+
+	// NodeAux computes the payload that summarizes node n in its parent's
+	// entry (an entry at level n.Level()+1). The IR²-Tree superimposes n's
+	// entry payloads; the MIR²-Tree re-derives the payload from all objects
+	// in n's subtree, which is what makes its maintenance expensive.
+	NodeAux(r NodeReader, n *Node) ([]byte, error)
+}
+
+// plainScheme is the zero-payload scheme of an ordinary R-Tree.
+type plainScheme struct{}
+
+func (plainScheme) EntryAuxLen(int) int                       { return 0 }
+func (plainScheme) NodeAux(NodeReader, *Node) ([]byte, error) { return nil, nil }
+
+// nodeReader implements NodeReader without locking. It is only handed out
+// while the tree's lock is already held by the calling operation.
+type nodeReader struct{ t *Tree }
+
+func (r nodeReader) LoadNode(id storage.BlockID) (*Node, error) { return r.t.loadNode(id) }
+func (r nodeReader) SubtreeObjectRefs(n *Node) ([]uint64, error) {
+	return r.t.subtreeObjectRefs(n)
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Dim is the dimensionality of indexed rectangles. Required, >= 1.
+	Dim int
+	// MaxEntries is the node capacity M. Zero derives it from the device
+	// block size with zero-length payloads, per the paper.
+	MaxEntries int
+	// MinFill is the minimum fill fraction m/M in (0, 0.5]. Zero means 0.4,
+	// a standard choice for Guttman trees.
+	MinFill float64
+	// Split selects the node-split algorithm. The zero value is
+	// QuadraticSplit, the paper's choice.
+	Split SplitAlgorithm
+	// Scheme maintains entry payloads. Nil means a plain R-Tree.
+	Scheme AuxScheme
+}
+
+// entry is one slot of a node: a pointer (object reference in leaves, child
+// node block in interior nodes), its MBR, and the payload.
+type entry struct {
+	ptr  uint64
+	rect geo.Rect
+	aux  []byte
+}
+
+// Node is an in-memory image of an on-disk node. Nodes are value snapshots:
+// mutating the tree invalidates previously loaded nodes.
+type Node struct {
+	id      storage.BlockID
+	level   int
+	entries []entry
+}
+
+// ID returns the node's first block ID.
+func (n *Node) ID() storage.BlockID { return n.id }
+
+// Level returns the node's level; 0 is the leaf level.
+func (n *Node) Level() int { return n.level }
+
+// NumEntries returns the number of entries in the node.
+func (n *Node) NumEntries() int { return len(n.entries) }
+
+// Entry returns the i-th entry: its pointer (object reference for leaves,
+// child block ID for interior nodes), MBR, and payload. The returned slices
+// alias the node; callers must not modify them.
+func (n *Node) Entry(i int) (ptr uint64, rect geo.Rect, aux []byte) {
+	e := n.entries[i]
+	return e.ptr, e.rect, e.aux
+}
+
+// mbr returns the union of the node's entry rectangles.
+func (n *Node) mbr() geo.Rect {
+	var u geo.Rect
+	for i := range n.entries {
+		u = u.Union(n.entries[i].rect)
+	}
+	return u
+}
+
+// Tree is a disk-resident R-Tree. Concurrent readers are safe; writers
+// (Insert, Delete, RebuildAux) take exclusive locks. Iterators obtained from
+// Seek must not be advanced concurrently with writers.
+type Tree struct {
+	dev    storage.Device
+	dim    int
+	maxE   int
+	minE   int
+	scheme AuxScheme
+	split  SplitAlgorithm
+
+	mu     sync.RWMutex
+	root   storage.BlockID
+	height int // number of levels; 0 = empty tree
+	size   int // number of object entries
+	nodes  int // number of nodes
+}
+
+// New creates an empty tree on dev. It returns an error for invalid
+// configurations (non-positive dimension, capacity below 2, or a block size
+// too small to hold even two payload-free entries).
+func New(dev storage.Device, cfg Config) (*Tree, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("rtree: invalid dimension %d", cfg.Dim)
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = plainScheme{}
+	}
+	maxE := cfg.MaxEntries
+	if maxE == 0 {
+		maxE = (dev.BlockSize() - nodeHeaderSize) / baseEntrySize(cfg.Dim)
+	}
+	if maxE < 2 {
+		return nil, fmt.Errorf("rtree: capacity %d too small (block size %d, dim %d)",
+			maxE, dev.BlockSize(), cfg.Dim)
+	}
+	minFill := cfg.MinFill
+	if minFill == 0 {
+		minFill = 0.4
+	}
+	if minFill < 0 || minFill > 0.5 {
+		return nil, fmt.Errorf("rtree: MinFill %g outside (0, 0.5]", minFill)
+	}
+	minE := int(minFill * float64(maxE))
+	if minE < 1 {
+		minE = 1
+	}
+	return &Tree{
+		dev:    dev,
+		dim:    cfg.Dim,
+		maxE:   maxE,
+		minE:   minE,
+		scheme: scheme,
+		split:  cfg.Split,
+	}, nil
+}
+
+// baseEntrySize is the serialized entry size excluding the payload:
+// an 8-byte pointer plus two corner points of dim float64s each.
+func baseEntrySize(dim int) int { return 8 + dim*16 }
+
+// entrySize is the serialized entry size at the given level.
+func (t *Tree) entrySize(level int) int {
+	return baseEntrySize(t.dim) + t.scheme.EntryAuxLen(level)
+}
+
+// blocksForLevel returns how many consecutive blocks a node at the given
+// level occupies: capacity M entries plus the header, at this level's entry
+// size.
+func (t *Tree) blocksForLevel(level int) int {
+	bytes := nodeHeaderSize + t.maxE*t.entrySize(level)
+	bs := t.dev.BlockSize()
+	return (bytes + bs - 1) / bs
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// MaxEntries returns the node capacity M.
+func (t *Tree) MaxEntries() int { return t.maxE }
+
+// MinEntries returns the node minimum fill m.
+func (t *Tree) MinEntries() int { return t.minE }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height returns the number of levels (0 for an empty tree, 1 for a
+// root-only leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// NumNodes returns the number of nodes.
+func (t *Tree) NumNodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
+
+// Device returns the tree's block device (for I/O metering and sizing).
+func (t *Tree) Device() storage.Device { return t.dev }
+
+// Root loads and returns the root node, or nil for an empty tree.
+func (t *Tree) Root() (*Node, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == storage.NilBlock {
+		return nil, nil
+	}
+	return t.loadNode(t.root)
+}
+
+// LoadNode reads the node starting at block id. It is exported for the
+// search algorithms in package core that traverse the tree themselves.
+func (t *Tree) LoadNode(id storage.BlockID) (*Node, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.loadNode(id)
+}
+
+// loadNode reads and decodes a node. The first block is one (typically
+// random) access; continuation blocks are sequential accesses.
+func (t *Tree) loadNode(id storage.BlockID) (*Node, error) {
+	first, err := t.dev.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: load node %d: %w", id, err)
+	}
+	level := int(binary.LittleEndian.Uint32(first[0:4]))
+	count := int(binary.LittleEndian.Uint32(first[4:8]))
+	if level < 0 || level > 64 || count < 0 || count > t.maxE {
+		return nil, fmt.Errorf("rtree: corrupt node %d: level=%d count=%d", id, level, count)
+	}
+	nblocks := t.blocksForLevel(level)
+	buf := first
+	if nblocks > 1 {
+		rest, err := t.dev.ReadRun(id+1, nblocks-1)
+		if err != nil {
+			return nil, fmt.Errorf("rtree: load node %d continuation: %w", id, err)
+		}
+		buf = append(buf, rest...)
+	}
+	es := t.entrySize(level)
+	need := nodeHeaderSize + count*es
+	if need > len(buf) {
+		return nil, fmt.Errorf("rtree: corrupt node %d: %d entries exceed %d bytes", id, count, len(buf))
+	}
+	n := &Node{id: id, level: level, entries: make([]entry, count)}
+	auxLen := t.scheme.EntryAuxLen(level)
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		e := &n.entries[i]
+		e.ptr = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		lo := make(geo.Point, t.dim)
+		hi := make(geo.Point, t.dim)
+		for d := 0; d < t.dim; d++ {
+			lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for d := 0; d < t.dim; d++ {
+			hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		e.rect = geo.Rect{Lo: lo, Hi: hi}
+		if auxLen > 0 {
+			e.aux = make([]byte, auxLen)
+			copy(e.aux, buf[off:off+auxLen])
+			off += auxLen
+		}
+	}
+	return n, nil
+}
+
+// storeNode encodes and writes a node to its block run.
+func (t *Tree) storeNode(n *Node) error {
+	nblocks := t.blocksForLevel(n.level)
+	es := t.entrySize(n.level)
+	auxLen := t.scheme.EntryAuxLen(n.level)
+	buf := make([]byte, nodeHeaderSize+len(n.entries)*es)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n.level))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(n.entries)))
+	off := nodeHeaderSize
+	for i := range n.entries {
+		e := &n.entries[i]
+		binary.LittleEndian.PutUint64(buf[off:], e.ptr)
+		off += 8
+		for d := 0; d < t.dim; d++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.rect.Lo[d]))
+			off += 8
+		}
+		for d := 0; d < t.dim; d++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.rect.Hi[d]))
+			off += 8
+		}
+		if auxLen > 0 {
+			if len(e.aux) != auxLen {
+				return fmt.Errorf("rtree: node %d level %d: entry payload %d bytes, want %d",
+					n.id, n.level, len(e.aux), auxLen)
+			}
+			copy(buf[off:], e.aux)
+			off += auxLen
+		}
+	}
+	if err := t.dev.WriteRun(n.id, nblocks, buf); err != nil {
+		return fmt.Errorf("rtree: store node %d: %w", n.id, err)
+	}
+	return nil
+}
+
+// allocNode creates a new empty node at the given level.
+func (t *Tree) allocNode(level int) *Node {
+	id := t.dev.AllocRun(t.blocksForLevel(level))
+	t.nodes++
+	return &Node{id: id, level: level}
+}
+
+// freeNode releases a node's blocks.
+func (t *Tree) freeNode(n *Node) {
+	nblocks := t.blocksForLevel(n.level)
+	for i := 0; i < nblocks; i++ {
+		t.dev.Free(n.id + storage.BlockID(i))
+	}
+	t.nodes--
+}
+
+// nodeAux computes a node's parent payload via the scheme. The caller must
+// hold the tree lock (read or write); the scheme gets a lock-free reader.
+func (t *Tree) nodeAux(n *Node) ([]byte, error) {
+	aux, err := t.scheme.NodeAux(nodeReader{t}, n)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: payload for node %d: %w", n.id, err)
+	}
+	want := t.scheme.EntryAuxLen(n.level + 1)
+	if len(aux) != want {
+		return nil, fmt.Errorf("rtree: scheme returned %d payload bytes for level %d entry, want %d",
+			len(aux), n.level+1, want)
+	}
+	return aux, nil
+}
+
+// SubtreeObjectRefs returns the object references of every leaf entry in the
+// subtree rooted at n, reading (and paying the I/O for) every node below n.
+// The MIR²-Tree scheme uses it to recompute ancestor signatures from the
+// underlying objects.
+func (t *Tree) SubtreeObjectRefs(n *Node) ([]uint64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.subtreeObjectRefs(n)
+}
+
+func (t *Tree) subtreeObjectRefs(n *Node) ([]uint64, error) {
+	if n.level == 0 {
+		refs := make([]uint64, len(n.entries))
+		for i := range n.entries {
+			refs[i] = n.entries[i].ptr
+		}
+		return refs, nil
+	}
+	var refs []uint64
+	for i := range n.entries {
+		child, err := t.loadNode(storage.BlockID(n.entries[i].ptr))
+		if err != nil {
+			return nil, err
+		}
+		sub, err := t.subtreeObjectRefs(child)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, sub...)
+	}
+	return refs, nil
+}
+
+// VisitNodes walks the whole tree top-down, calling fn on every node. It
+// reads every node (paying I/O); it exists for invariant checks, statistics,
+// and bulk payload rebuilds.
+func (t *Tree) VisitNodes(fn func(n *Node) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == storage.NilBlock {
+		return nil
+	}
+	return t.visit(t.root, fn)
+}
+
+func (t *Tree) visit(id storage.BlockID, fn func(n *Node) error) error {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(n); err != nil {
+		return err
+	}
+	if n.level == 0 {
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.visit(storage.BlockID(n.entries[i].ptr), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// EntryScorer assigns a priority to a tree entry during best-first search
+// and decides whether to keep it at all. isObject reports whether the entry
+// references an object (it was read from a leaf); level is the level of the
+// node the entry was read from; rect is the entry's MBR and aux its payload.
+// Returning keep = false drops the entry — for the IR² algorithms this is
+// the signature check "if s matches w" of Figure 8; for a plain tree it is
+// always true.
+//
+// Lower scores are dequeued first, so a scorer implementing the paper's
+// general ranking (higher f is better) should return a negated score.
+type EntryScorer func(isObject bool, level int, rect geo.Rect, aux []byte) (score float64, keep bool)
+
+// DistanceScorer returns the scorer of the incremental nearest-neighbor
+// algorithm (Figure 3): the priority of every entry is the minimum distance
+// from the query point to its MBR, and nothing is pruned. The optional prune
+// hook turns it into the distance-first IR² scorer (Figure 8): entries whose
+// payload fails the hook are dropped.
+func DistanceScorer(p geo.Point, prune func(isObject bool, level int, aux []byte) bool) EntryScorer {
+	return func(isObject bool, level int, rect geo.Rect, aux []byte) (float64, bool) {
+		if prune != nil && !prune(isObject, level, aux) {
+			return 0, false
+		}
+		return rect.MinDist(p), true
+	}
+}
+
+// queueItem is one element of the search priority queue U: either an object
+// reference or a node pointer awaiting expansion.
+type queueItem struct {
+	isObject bool
+	ref      uint64          // object reference, when isObject
+	node     storage.BlockID // node pointer, when !isObject
+	score    float64
+	seq      uint64 // insertion order; breaks score ties deterministically
+}
+
+type itemHeap []queueItem
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	// Objects before nodes at equal score: an object's score is exact, so
+	// it can be emitted without expanding more nodes.
+	if h[i].isObject != h[j].isObject {
+		return h[i].isObject
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(queueItem)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TraceKind classifies a traversal trace event.
+type TraceKind int
+
+// The trace event kinds, mirroring the steps of the paper's worked
+// Examples 1 and 3 ("Dequeue N₁; Enqueue N₂; ...").
+const (
+	// TraceExpand: a node was dequeued and loaded for expansion.
+	TraceExpand TraceKind = iota
+	// TraceEnqueueNode: a child node entry passed the scorer and entered
+	// the queue.
+	TraceEnqueueNode
+	// TraceEnqueueObject: an object entry passed the scorer and entered
+	// the queue.
+	TraceEnqueueObject
+	// TracePrune: an entry failed the scorer's keep test (for the IR²
+	// algorithms, its signature did not cover the query's) and was dropped
+	// — the subtree or object is never visited.
+	TracePrune
+	// TraceEmit: an object was dequeued and returned as the next result
+	// candidate.
+	TraceEmit
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceExpand:
+		return "expand"
+	case TraceEnqueueNode:
+		return "enqueue-node"
+	case TraceEnqueueObject:
+		return "enqueue-object"
+	case TracePrune:
+		return "prune"
+	case TraceEmit:
+		return "emit"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one step of a best-first traversal, as delivered to the
+// hook installed with Iter.SetTrace.
+type TraceEvent struct {
+	Kind TraceKind
+	// Node is the block of the node involved (the expanded node for
+	// TraceExpand; the parent node for entry events).
+	Node storage.BlockID
+	// Child is the entry's target: a child node block or an object
+	// reference, depending on Kind.
+	Child uint64
+	// Level is the level of the node the entry was read from (the expanded
+	// node's level for TraceExpand).
+	Level int
+	// Score is the queue priority involved (0 for prunes).
+	Score float64
+}
+
+// Iter is an incremental best-first traversal of the tree: a priority queue
+// initialized with the root, where dequeuing a node expands (and pays the
+// I/O for) it and dequeuing an object emits it (Figure 3 / Figure 8).
+// Objects come out in non-decreasing score order provided the scorer is a
+// lower bound: score(node entry) <= score of anything inside it.
+//
+// An Iter must not be advanced concurrently with tree mutations.
+type Iter struct {
+	t           *Tree
+	scorer      EntryScorer
+	queue       itemHeap
+	seq         uint64
+	nodesLoaded int
+	trace       func(TraceEvent)
+}
+
+// SetTrace installs a hook receiving every traversal step — the library's
+// equivalent of the paper's Example 1/3 walk-throughs. Install before the
+// first Next call; a nil hook disables tracing.
+func (it *Iter) SetTrace(fn func(TraceEvent)) { it.trace = fn }
+
+// Seek starts a best-first traversal with the given scorer. The root enters
+// the queue with score 0 (it is never pruned: the query must consider the
+// whole tree before any of it is expanded).
+func (t *Tree) Seek(scorer EntryScorer) *Iter {
+	it := &Iter{t: t, scorer: scorer}
+	t.mu.RLock()
+	root := t.root
+	t.mu.RUnlock()
+	if root != storage.NilBlock {
+		it.queue = itemHeap{{node: root, score: 0}}
+		it.seq = 1
+	}
+	return it
+}
+
+// NearestNeighbors starts the incremental nearest-neighbor traversal from
+// point p, optionally pruning entries through the hook (nil means no
+// pruning: the classic [HS99] algorithm).
+func (t *Tree) NearestNeighbors(p geo.Point, prune func(isObject bool, level int, aux []byte) bool) *Iter {
+	return t.Seek(DistanceScorer(p, prune))
+}
+
+// Next returns the next object in score order. ok is false when the
+// traversal is exhausted.
+func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
+	for len(it.queue) > 0 {
+		item := heap.Pop(&it.queue).(queueItem)
+		if item.isObject {
+			if it.trace != nil {
+				it.trace(TraceEvent{Kind: TraceEmit, Child: item.ref, Score: item.score})
+			}
+			return item.ref, item.score, true, nil
+		}
+		n, err := it.t.LoadNode(item.node)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("rtree: search: %w", err)
+		}
+		it.nodesLoaded++
+		if it.trace != nil {
+			it.trace(TraceEvent{Kind: TraceExpand, Node: n.id, Level: n.level, Score: item.score})
+		}
+		isObject := n.level == 0
+		for i := range n.entries {
+			e := &n.entries[i]
+			score, keep := it.scorer(isObject, n.level, e.rect, e.aux)
+			if !keep {
+				if it.trace != nil {
+					it.trace(TraceEvent{Kind: TracePrune, Node: n.id, Child: e.ptr, Level: n.level})
+				}
+				continue
+			}
+			qi := queueItem{isObject: isObject, score: score, seq: it.seq}
+			it.seq++
+			if isObject {
+				qi.ref = e.ptr
+				if it.trace != nil {
+					it.trace(TraceEvent{Kind: TraceEnqueueObject, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
+				}
+			} else {
+				qi.node = storage.BlockID(e.ptr)
+				if it.trace != nil {
+					it.trace(TraceEvent{Kind: TraceEnqueueNode, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
+				}
+			}
+			heap.Push(&it.queue, qi)
+		}
+	}
+	return 0, 0, false, nil
+}
+
+// Push re-enqueues an object with a caller-computed score. The general IR²
+// algorithm uses it to push a loaded candidate back with its exact f score
+// when the queue may still contain something better ("U.Enqueue(T, Score)
+// — to be considered later").
+func (it *Iter) Push(ref uint64, score float64) {
+	heap.Push(&it.queue, queueItem{isObject: true, ref: ref, score: score, seq: it.seq})
+	it.seq++
+}
+
+// PeekScore returns the score of the best queued element, or ok = false for
+// an empty queue. The general IR² algorithm compares a candidate's exact
+// score against it ("if Score >= Upper(U.top())").
+func (it *Iter) PeekScore() (float64, bool) {
+	if len(it.queue) == 0 {
+		return 0, false
+	}
+	return it.queue[0].score, true
+}
+
+// NodesLoaded reports how many tree nodes the traversal has expanded — the
+// "node accesses" metric of the evaluation.
+func (it *Iter) NodesLoaded() int { return it.nodesLoaded }

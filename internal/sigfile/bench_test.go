@@ -1,0 +1,55 @@
+package sigfile
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchWords(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("word%04d", i)
+	}
+	return out
+}
+
+func BenchmarkDocSignature350Words(b *testing.B) {
+	// A Hotels-sized document at the paper's 189-byte signature.
+	cfg := Config{LengthBytes: 189, BitsPerWord: 4}
+	words := benchWords(350)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.DocSignature(words)
+	}
+}
+
+func BenchmarkDocSignature14Words(b *testing.B) {
+	// A Restaurants-sized document at the paper's 8-byte signature.
+	cfg := Config{LengthBytes: 8, BitsPerWord: 4}
+	words := benchWords(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.DocSignature(words)
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	cfg := Config{LengthBytes: 189, BitsPerWord: 4}
+	doc := cfg.DocSignature(benchWords(350))
+	q := cfg.DocSignature([]string{"word0001", "word0002"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matches(doc, q)
+	}
+}
+
+func BenchmarkSuperimpose(b *testing.B) {
+	cfg := Config{LengthBytes: 189, BitsPerWord: 4}
+	a := cfg.DocSignature(benchWords(100))
+	c := cfg.DocSignature(benchWords(100)[50:])
+	dst := a.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Superimpose(dst, c)
+	}
+}

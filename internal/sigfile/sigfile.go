@@ -1,0 +1,261 @@
+// Package sigfile implements superimposed-coding signature files, the text
+// access method of Faloutsos & Christodoulakis [FC84] that the IR²-Tree
+// grafts onto the R-Tree.
+//
+// A signature is an m-bit array. Each word of a document sets k pseudo-random
+// bit positions (k = BitsPerWord); the document's signature is the bitwise OR
+// ("superimposition") of its words' signatures. A document *may* contain a
+// query word only if the query word's bits are all set in the document
+// signature; a clear bit proves absence, so signatures never produce false
+// negatives, only false positives.
+//
+// In the IR²-Tree the signature of an interior node is the superimposition of
+// its children's signatures, so a node signature stands in for every document
+// in its subtree; a failed match prunes the whole subtree during search.
+//
+// The package also provides the optimal-length design rule [MC94] used by the
+// Multi-level IR²-Tree: for a signature that will absorb D distinct words at
+// k bits each, the false-positive probability is minimized when about half
+// the bits are set, which happens at m = k·D / ln 2 bits.
+package sigfile
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+)
+
+// Signature is an m-bit superimposed code stored as bytes (bit i lives in
+// byte i/8, mask 1<<(i%8)). The byte representation serializes directly into
+// disk blocks, and the paper reports signature lengths in bytes (189 B for
+// Hotels, 8 B for Restaurants).
+type Signature []byte
+
+// Config fixes the two design parameters of a signature scheme. Signatures
+// from different Configs are not comparable.
+type Config struct {
+	// LengthBytes is the signature length in bytes (m = 8·LengthBytes bits).
+	LengthBytes int
+	// BitsPerWord is k, the number of bit positions each word sets.
+	BitsPerWord int
+}
+
+// DefaultBitsPerWord is the k used throughout the experiments when not
+// stated otherwise.
+const DefaultBitsPerWord = 4
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.LengthBytes <= 0 {
+		return fmt.Errorf("sigfile: non-positive signature length %d", c.LengthBytes)
+	}
+	if c.BitsPerWord <= 0 {
+		return fmt.Errorf("sigfile: non-positive bits per word %d", c.BitsPerWord)
+	}
+	return nil
+}
+
+// Bits returns the signature length in bits.
+func (c Config) Bits() int { return c.LengthBytes * 8 }
+
+// New returns an all-zero signature of the configured length.
+func (c Config) New() Signature { return make(Signature, c.LengthBytes) }
+
+// hashPair derives two independent 64-bit hash values from a word, used for
+// double hashing: bit_i = (h1 + i·h2) mod m.
+func hashPair(word string) (h1, h2 uint64) {
+	f := fnv.New64a()
+	f.Write([]byte(word)) //nolint:errcheck // fnv never fails
+	h1 = f.Sum64()
+	h2 = h1>>33 | 1 // odd, so it cycles through all residues of any m
+	return h1, h2
+}
+
+// SetWord sets word's k bit positions in s. The word should already be
+// normalized (see textutil.Normalize); signatures are byte-exact on the
+// input string.
+func (c Config) SetWord(s Signature, word string) {
+	m := uint64(c.Bits())
+	h1, h2 := hashPair(word)
+	for i := 0; i < c.BitsPerWord; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		s[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// WordSignature returns the signature of a single word.
+func (c Config) WordSignature(word string) Signature {
+	s := c.New()
+	c.SetWord(s, word)
+	return s
+}
+
+// DocSignature returns the superimposition of the given words' signatures —
+// the signature stored with an object in an IR²-Tree leaf.
+func (c Config) DocSignature(words []string) Signature {
+	s := c.New()
+	for _, w := range words {
+		c.SetWord(s, w)
+	}
+	return s
+}
+
+// Superimpose ORs src into dst in place. Both must have equal length; it
+// panics otherwise, since mixing signature lengths is a logic error.
+func Superimpose(dst, src Signature) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sigfile: superimpose length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+// Union returns a new signature that superimposes a and b.
+func Union(a, b Signature) Signature {
+	out := make(Signature, len(a))
+	copy(out, a)
+	Superimpose(out, b)
+	return out
+}
+
+// Matches reports whether a document (or subtree) with signature s may
+// contain everything described by query signature q — i.e. every set bit of
+// q is set in s. This is the "s matches w" test of IR2NearestNeighbor
+// (paper Figure 8, lines 5 and 9). It panics on length mismatch.
+func Matches(s, q Signature) bool {
+	if len(s) != len(q) {
+		panic(fmt.Sprintf("sigfile: match length mismatch %d vs %d", len(s), len(q)))
+	}
+	for i := range q {
+		if s[i]&q[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two signatures are bit-identical.
+func (s Signature) Equal(t Signature) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Signature) Clone() Signature {
+	t := make(Signature, len(s))
+	copy(t, s)
+	return t
+}
+
+// IsZero reports whether no bit is set.
+func (s Signature) IsZero() bool {
+	for _, b := range s {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight returns the number of set bits.
+func (s Signature) Weight() int {
+	var w int
+	for _, b := range s {
+		w += bits.OnesCount8(b)
+	}
+	return w
+}
+
+// Density returns the fraction of set bits in [0, 1].
+func (s Signature) Density() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return float64(s.Weight()) / float64(len(s)*8)
+}
+
+// String renders the signature as hex for debugging.
+func (s Signature) String() string { return fmt.Sprintf("%x", []byte(s)) }
+
+// FalsePositiveProb estimates the probability that a signature with the
+// given bit density spuriously matches a query that sets qbits distinct bit
+// positions: each query bit is independently found set with probability
+// density.
+func FalsePositiveProb(density float64, qbits int) float64 {
+	return math.Pow(density, float64(qbits))
+}
+
+// ExpectedDensity estimates the bit density of a signature of mbits bits
+// after superimposing words distinct words at k bits each:
+// 1 - (1 - 1/m)^(k·words).
+func ExpectedDensity(mbits, k, words int) float64 {
+	if mbits <= 0 {
+		return 1
+	}
+	return 1 - math.Pow(1-1/float64(mbits), float64(k*words))
+}
+
+// OptimalBits returns the signature length in bits that minimizes the
+// false-positive rate for a signature absorbing distinctWords words at k
+// bits per word, per the classic design rule [MC94]: m = k·D / ln 2,
+// which makes the expected density ≈ 1/2. The result is at least 8 bits.
+func OptimalBits(distinctWords, k int) int {
+	m := int(math.Ceil(float64(k*distinctWords) / math.Ln2))
+	if m < 8 {
+		m = 8
+	}
+	return m
+}
+
+// OptimalLengthBytes returns OptimalBits rounded up to whole bytes.
+func OptimalLengthBytes(distinctWords, k int) int {
+	return (OptimalBits(distinctWords, k) + 7) / 8
+}
+
+// LevelConfigs computes per-level signature configurations for a Multi-level
+// IR²-Tree of the given height. Level 0 is the leaf level, which uses the
+// caller-chosen leaf configuration (the experiments sweep this length).
+// Level i (counting up from the leaves) covers roughly fanout^i times more
+// objects, so its signatures absorb more distinct words; each level gets the
+// optimal length for its expected distinct-word count, capped at the corpus
+// vocabulary size (a subtree can never contain more distinct words than the
+// corpus has).
+//
+// avgWordsPerObject is the mean number of distinct words per object document
+// and vocabSize the corpus vocabulary size (both from Table 1 for the
+// paper's datasets).
+func LevelConfigs(leaf Config, height, fanout int, avgWordsPerObject float64, vocabSize int) []Config {
+	if height < 1 {
+		height = 1
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	cfgs := make([]Config, height)
+	cfgs[0] = leaf
+	words := avgWordsPerObject
+	for lvl := 1; lvl < height; lvl++ {
+		// Distinct words in a subtree grow sublinearly with the object
+		// count; modeling them as capped linear growth keeps higher levels
+		// near the vocabulary size, which is the regime that matters.
+		words *= float64(fanout)
+		d := int(math.Ceil(words))
+		if vocabSize > 0 && d > vocabSize {
+			d = vocabSize
+		}
+		cfgs[lvl] = Config{
+			LengthBytes: OptimalLengthBytes(d, leaf.BitsPerWord),
+			BitsPerWord: leaf.BitsPerWord,
+		}
+	}
+	return cfgs
+}

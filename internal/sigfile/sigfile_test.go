@@ -1,0 +1,303 @@
+package sigfile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testCfg = Config{LengthBytes: 16, BitsPerWord: 4}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{LengthBytes: 8, BitsPerWord: 2}, true},
+		{"zero length", Config{LengthBytes: 0, BitsPerWord: 2}, false},
+		{"negative length", Config{LengthBytes: -1, BitsPerWord: 2}, false},
+		{"zero bits", Config{LengthBytes: 8, BitsPerWord: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestWordSignatureDeterministicAndWeight(t *testing.T) {
+	a := testCfg.WordSignature("internet")
+	b := testCfg.WordSignature("internet")
+	if !a.Equal(b) {
+		t.Error("same word produced different signatures")
+	}
+	if w := a.Weight(); w == 0 || w > testCfg.BitsPerWord {
+		t.Errorf("word signature weight = %d, want 1..%d", w, testCfg.BitsPerWord)
+	}
+	if a.Equal(testCfg.WordSignature("pool")) {
+		t.Error("distinct words produced identical signatures (16-byte sig, extremely unlikely)")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// The defining property of superimposed codes: if the document contains
+	// the query words, the match test must succeed.
+	words := []string{"internet", "pool", "spa", "sauna", "tennis", "golf", "concierge"}
+	doc := testCfg.DocSignature(words)
+	for _, w := range words {
+		if !Matches(doc, testCfg.WordSignature(w)) {
+			t.Errorf("false negative for contained word %q", w)
+		}
+	}
+	q := testCfg.DocSignature([]string{"internet", "pool"})
+	if !Matches(doc, q) {
+		t.Error("false negative for contained word pair")
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	cfg := Config{LengthBytes: 8, BitsPerWord: 3}
+	f := func(words []string, pick uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		doc := cfg.DocSignature(words)
+		w := words[int(pick)%len(words)]
+		return Matches(doc, cfg.WordSignature(w))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesRejectsAbsentBits(t *testing.T) {
+	doc := testCfg.DocSignature([]string{"spa"})
+	// A query superimposing many words will almost surely set a bit that a
+	// single-word signature did not.
+	q := testCfg.DocSignature([]string{"internet", "pool", "golf", "sauna"})
+	if Matches(doc, q) {
+		t.Error("single-word doc matched 4-word query (would be a 1-in-many false positive)")
+	}
+}
+
+func TestMatchesEmptyQuery(t *testing.T) {
+	doc := testCfg.DocSignature([]string{"spa"})
+	if !Matches(doc, testCfg.New()) {
+		t.Error("empty query signature must match everything")
+	}
+}
+
+func TestMatchesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Matches(make(Signature, 4), make(Signature, 8))
+}
+
+func TestSuperimposeMonotone(t *testing.T) {
+	a := testCfg.DocSignature([]string{"internet"})
+	b := testCfg.DocSignature([]string{"pool", "spa"})
+	u := Union(a, b)
+	if !Matches(u, a) || !Matches(u, b) {
+		t.Error("union does not cover its parts")
+	}
+	if u.Weight() < a.Weight() || u.Weight() < b.Weight() {
+		t.Error("union weight below part weight")
+	}
+	// Superimpose must not mutate src.
+	before := b.Clone()
+	Superimpose(a, b)
+	if !b.Equal(before) {
+		t.Error("Superimpose mutated src")
+	}
+	if !a.Equal(u) {
+		t.Error("Superimpose != Union")
+	}
+}
+
+func TestSuperimposeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Superimpose(make(Signature, 2), make(Signature, 3))
+}
+
+func TestQuickSuperimpositionPreservesMatches(t *testing.T) {
+	// If s matches q, then s OR anything still matches q — the property that
+	// makes parent-node pruning sound in the IR²-Tree.
+	cfg := Config{LengthBytes: 8, BitsPerWord: 3}
+	f := func(docWords, otherWords, queryWords []string) bool {
+		doc := cfg.DocSignature(docWords)
+		q := cfg.DocSignature(queryWords)
+		if !Matches(doc, q) {
+			return true // antecedent false
+		}
+		parent := Union(doc, cfg.DocSignature(otherWords))
+		return Matches(parent, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureBasics(t *testing.T) {
+	s := testCfg.New()
+	if !s.IsZero() || s.Weight() != 0 || s.Density() != 0 {
+		t.Error("fresh signature not zero")
+	}
+	testCfg.SetWord(s, "x")
+	if s.IsZero() {
+		t.Error("SetWord left signature zero")
+	}
+	c := s.Clone()
+	c[0] ^= 0xFF
+	if s.Equal(c) {
+		t.Error("Clone aliases storage")
+	}
+	if s.Equal(make(Signature, 1)) {
+		t.Error("Equal across lengths")
+	}
+	if (Signature{}).Density() != 0 {
+		t.Error("empty signature density")
+	}
+	if fmt.Sprintf("%v", Signature{0xab, 0x01}) != "ab01" {
+		t.Errorf("String = %v", Signature{0xab, 0x01})
+	}
+}
+
+func TestDensityAndFalsePositiveModel(t *testing.T) {
+	if got := FalsePositiveProb(0.5, 4); math.Abs(got-0.0625) > 1e-12 {
+		t.Errorf("FalsePositiveProb = %g", got)
+	}
+	// ExpectedDensity grows with words and shrinks with length.
+	d1 := ExpectedDensity(64, 4, 5)
+	d2 := ExpectedDensity(64, 4, 20)
+	d3 := ExpectedDensity(512, 4, 20)
+	if !(d1 < d2) || !(d3 < d2) {
+		t.Errorf("density ordering wrong: %g %g %g", d1, d2, d3)
+	}
+	if ExpectedDensity(0, 4, 5) != 1 {
+		t.Error("degenerate length should saturate")
+	}
+}
+
+func TestExpectedDensityMatchesSimulation(t *testing.T) {
+	cfg := Config{LengthBytes: 32, BitsPerWord: 4} // 256 bits
+	const words = 30
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		ws := make([]string, words)
+		for i := range ws {
+			ws[i] = fmt.Sprintf("w%d-%d", trial, rng.Int63())
+		}
+		sum += cfg.DocSignature(ws).Density()
+	}
+	got := sum / trials
+	want := ExpectedDensity(cfg.Bits(), cfg.BitsPerWord, words)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("simulated density %g vs model %g", got, want)
+	}
+}
+
+func TestOptimalBits(t *testing.T) {
+	// m = k·D/ln2: 4 bits/word, 100 words → 577.08 → 578 bits.
+	if got := OptimalBits(100, 4); got != 578 {
+		t.Errorf("OptimalBits(100,4) = %d, want 578", got)
+	}
+	if got := OptimalBits(0, 4); got != 8 {
+		t.Errorf("OptimalBits floor = %d, want 8", got)
+	}
+	if got := OptimalLengthBytes(100, 4); got != 73 {
+		t.Errorf("OptimalLengthBytes(100,4) = %d, want 73", got)
+	}
+	// Optimal design should land near 50% density.
+	d := ExpectedDensity(OptimalBits(200, 4), 4, 200)
+	if d < 0.45 || d > 0.55 {
+		t.Errorf("optimal-length density = %g, want ≈0.5", d)
+	}
+}
+
+func TestLevelConfigs(t *testing.T) {
+	leaf := Config{LengthBytes: 8, BitsPerWord: 4}
+	cfgs := LevelConfigs(leaf, 4, 100, 14, 73855)
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d levels", len(cfgs))
+	}
+	if cfgs[0] != leaf {
+		t.Error("leaf level config replaced")
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].LengthBytes < cfgs[i-1].LengthBytes {
+			t.Errorf("level %d shorter than level %d (%d < %d)",
+				i, i-1, cfgs[i].LengthBytes, cfgs[i-1].LengthBytes)
+		}
+		if cfgs[i].BitsPerWord != leaf.BitsPerWord {
+			t.Errorf("level %d changed k", i)
+		}
+	}
+	// Top level should be capped by vocabulary size:
+	// optimal for 73855 words at k=4.
+	capLen := OptimalLengthBytes(73855, 4)
+	if cfgs[3].LengthBytes != capLen {
+		t.Errorf("top level = %d bytes, want vocab-capped %d", cfgs[3].LengthBytes, capLen)
+	}
+}
+
+func TestLevelConfigsDegenerate(t *testing.T) {
+	leaf := Config{LengthBytes: 8, BitsPerWord: 2}
+	cfgs := LevelConfigs(leaf, 0, 0, 10, 100)
+	if len(cfgs) != 1 || cfgs[0] != leaf {
+		t.Errorf("degenerate LevelConfigs = %v", cfgs)
+	}
+}
+
+func TestFalsePositiveRateEmpirical(t *testing.T) {
+	// With an optimally sized signature the measured false-positive rate for
+	// absent words should be small; with a much-too-short signature it
+	// should be large. This validates the whole design chain end to end.
+	const docWords = 50
+	rng := rand.New(rand.NewSource(99))
+	makeWords := func(n int, tag string) []string {
+		ws := make([]string, n)
+		for i := range ws {
+			ws[i] = fmt.Sprintf("%s-%d", tag, rng.Int63())
+		}
+		return ws
+	}
+	measure := func(cfg Config) float64 {
+		var fp, total int
+		for trial := 0; trial < 30; trial++ {
+			doc := cfg.DocSignature(makeWords(docWords, "doc"))
+			for _, probe := range makeWords(100, "absent") {
+				total++
+				if Matches(doc, cfg.WordSignature(probe)) {
+					fp++
+				}
+			}
+		}
+		return float64(fp) / float64(total)
+	}
+	good := Config{LengthBytes: OptimalLengthBytes(docWords, 4), BitsPerWord: 4}
+	bad := Config{LengthBytes: 4, BitsPerWord: 4}
+	gRate, bRate := measure(good), measure(bad)
+	if gRate > 0.15 {
+		t.Errorf("optimal config false-positive rate %g too high", gRate)
+	}
+	if bRate < gRate {
+		t.Errorf("short signature (%g) outperformed optimal (%g)", bRate, gRate)
+	}
+	if bRate < 0.5 {
+		t.Errorf("4-byte signature over 50 words should be nearly saturated, fp=%g", bRate)
+	}
+}

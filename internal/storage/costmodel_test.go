@@ -1,0 +1,34 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCostModelDominance documents the relationship the evaluation leans
+// on: under the default model, one random access costs more than a hundred
+// sequential ones, so "execution time is primarily proportional to the
+// random access numbers" (paper §6).
+func TestCostModelDominance(t *testing.T) {
+	cm := DefaultCostModel()
+	random := cm.Time(Stats{RandomReads: 1})
+	sequential := cm.Time(Stats{SequentialReads: 100})
+	if random <= sequential {
+		t.Errorf("1 random (%v) should exceed 100 sequential (%v)", random, sequential)
+	}
+}
+
+func TestCostModelZeroStats(t *testing.T) {
+	if got := DefaultCostModel().Time(Stats{}); got != 0 {
+		t.Errorf("empty stats cost %v", got)
+	}
+}
+
+func TestCostModelLinearity(t *testing.T) {
+	cm := CostModel{RandomAccess: 3 * time.Millisecond, SequentialAccess: 1 * time.Millisecond}
+	a := Stats{RandomReads: 2, SequentialWrites: 4}
+	b := Stats{RandomWrites: 1, SequentialReads: 5}
+	if cm.Time(a)+cm.Time(b) != cm.Time(a.Add(b)) {
+		t.Error("cost model not additive")
+	}
+}

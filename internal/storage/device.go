@@ -1,0 +1,57 @@
+package storage
+
+// Device is the block-device abstraction the index structures are built on.
+// *Disk is the canonical implementation; *CachedDisk layers an LRU buffer
+// pool on top of any Device for the buffer-cache ablation experiments.
+type Device interface {
+	// BlockSize returns the block size in bytes.
+	BlockSize() int
+	// Alloc reserves one block.
+	Alloc() BlockID
+	// AllocRun reserves n consecutive blocks, returning the first ID.
+	AllocRun(n int) BlockID
+	// Free releases a block.
+	Free(id BlockID)
+	// Read returns a copy of one block.
+	Read(id BlockID) ([]byte, error)
+	// ReadRun reads n consecutive blocks into one buffer.
+	ReadRun(id BlockID, n int) ([]byte, error)
+	// Write stores up to BlockSize bytes into a block.
+	Write(id BlockID, data []byte) error
+	// WriteRun stores data across n consecutive blocks.
+	WriteRun(id BlockID, n int, data []byte) error
+	// Stats returns a snapshot of the access counters.
+	Stats() Stats
+	// ResetStats zeroes the access counters.
+	ResetStats()
+	// NumBlocks returns the number of allocated blocks.
+	NumBlocks() int
+	// SizeBytes returns the allocated footprint in bytes.
+	SizeBytes() int64
+}
+
+var (
+	_ Device = (*Disk)(nil)
+	_ Device = (*CachedDisk)(nil)
+)
+
+// Meter measures the I/O performed by a bracketed operation on a Device.
+// Typical use:
+//
+//	m := storage.StartMeter(dev)
+//	... perform queries ...
+//	cost := m.Stop()
+type Meter struct {
+	dev   Device
+	start Stats
+}
+
+// StartMeter snapshots the device counters.
+func StartMeter(dev Device) *Meter {
+	return &Meter{dev: dev, start: dev.Stats()}
+}
+
+// Stop returns the I/O performed since StartMeter.
+func (m *Meter) Stop() Stats {
+	return m.dev.Stats().Sub(m.start)
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFileDisk(t *testing.T, blockSize int) *FileDisk {
+	t.Helper()
+	d, err := CreateFileDisk(filepath.Join(t.TempDir(), "disk.db"), blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	d := newFileDisk(t, 64)
+	id := d.Alloc()
+	if err := d.Write(id, []byte("durable bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:13]) != "durable bytes" {
+		t.Errorf("read back %q", got[:13])
+	}
+	for _, b := range got[13:] {
+		if b != 0 {
+			t.Fatal("short write not zero-padded")
+		}
+	}
+}
+
+func TestFileDiskReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.db")
+	d, err := CreateFileDisk(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Alloc()
+	run := d.AllocRun(3)
+	if err := d.Write(a, []byte("single")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRun(run, 3, []byte("spanning multiple blocks of data")); err != nil {
+		t.Fatal(err)
+	}
+	freed := d.Alloc()
+	d.Free(freed)
+	wantBlocks := d.NumBlocks()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.BlockSize() != 128 {
+		t.Errorf("block size = %d", r.BlockSize())
+	}
+	if r.NumBlocks() != wantBlocks {
+		t.Errorf("NumBlocks = %d, want %d", r.NumBlocks(), wantBlocks)
+	}
+	got, err := r.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:6]) != "single" {
+		t.Errorf("data lost across reopen: %q", got[:6])
+	}
+	runData, err := r.ReadRun(run, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(runData[:8]) != "spanning" {
+		t.Errorf("run data lost: %q", runData[:8])
+	}
+	// The freed block is recycled after reopen.
+	if id := r.Alloc(); id != freed {
+		t.Errorf("free list lost: alloc = %d, want recycled %d", id, freed)
+	}
+	fresh, err := r.Read(freed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fresh {
+		if b != 0 {
+			t.Fatal("recycled block not zeroed")
+		}
+	}
+}
+
+func TestFileDiskAccounting(t *testing.T) {
+	d := newFileDisk(t, 64)
+	first := d.AllocRun(4)
+	d.ResetStats()
+	if _, err := d.ReadRun(first, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.RandomReads != 1 || s.SequentialReads != 3 {
+		t.Errorf("ReadRun stats = %+v", s)
+	}
+}
+
+func TestFileDiskBadAccess(t *testing.T) {
+	d := newFileDisk(t, 64)
+	if _, err := d.Read(999); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("read unallocated: %v", err)
+	}
+	if _, err := d.Read(fileMetaBlockID); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("read metadata block: %v", err)
+	}
+	id := d.Alloc()
+	if err := d.Write(id, make([]byte, 65)); !errors.Is(err, ErrBlockTooLarge) {
+		t.Errorf("oversized write: %v", err)
+	}
+	// Free of invalid IDs is a no-op.
+	d.Free(0)
+	d.Free(999)
+}
+
+func TestFileDiskFault(t *testing.T) {
+	d := newFileDisk(t, 64)
+	id := d.Alloc()
+	boom := errors.New("bad sector")
+	d.SetFault(func(op Op, b BlockID) error { return boom })
+	if _, err := d.Read(id); !errors.Is(err, boom) {
+		t.Errorf("fault not propagated: %v", err)
+	}
+	d.SetFault(nil)
+	if _, err := d.Read(id); err != nil {
+		t.Errorf("after clearing fault: %v", err)
+	}
+}
+
+func TestOpenFileDiskRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-disk")
+	if err := writeFile(path, []byte("hello world, definitely not a disk header")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDisk(path); err == nil {
+		t.Error("garbage file opened as disk")
+	}
+	if _, err := OpenFileDisk(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

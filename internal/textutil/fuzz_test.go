@@ -1,0 +1,46 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize: the tokenizer must never panic, always emit non-empty
+// lowercase alphanumeric tokens, and agree with ContainsAll on its own
+// output.
+func FuzzTokenize(f *testing.F) {
+	f.Add("wireless Internet, pool, golf course")
+	f.Add("ünïcödé wörds and 123 numbers")
+	f.Add("\x00\xff\xfe broken utf8 \xc3\x28")
+	f.Add(strings.Repeat("pool ", 1000))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lowercase", tok)
+			}
+		}
+		uniq := UniqueTokens(text)
+		if len(uniq) > len(tokens) {
+			t.Fatal("more unique tokens than tokens")
+		}
+		if !ContainsAll(text, uniq) {
+			t.Fatal("document does not contain its own tokens")
+		}
+		// Tokenization is idempotent: tokenizing the joined tokens yields
+		// the same tokens.
+		again := Tokenize(strings.Join(tokens, " "))
+		if len(again) != len(tokens) {
+			t.Fatalf("not idempotent: %d vs %d tokens", len(again), len(tokens))
+		}
+		for i := range tokens {
+			if again[i] != tokens[i] {
+				t.Fatalf("token %d changed: %q vs %q", i, tokens[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// Package textutil provides the text processing used by the keyword side of
+// the library: tokenization of object descriptions, vocabulary construction,
+// and per-document term statistics.
+//
+// The paper treats an object's text T.t as "the concatenation of the name
+// and amenities attributes" and matches keywords case-insensitively (its
+// running example matches "internet" against "Internet" and
+// "wireless Internet"). Tokenize therefore lower-cases input and splits on
+// any non-alphanumeric rune.
+package textutil
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a document into lower-case word tokens. Runs of letters
+// and digits form tokens; every other rune is a separator. The result
+// preserves document order and may contain duplicates (term frequency
+// information); use UniqueTokens for the distinct-word set.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// UniqueTokens returns the distinct words of a document in first-occurrence
+// order. This is the word set that is hashed into an object's signature and
+// posted into the inverted index.
+func UniqueTokens(text string) []string {
+	tokens := Tokenize(text)
+	seen := make(map[string]struct{}, len(tokens))
+	uniq := tokens[:0]
+	for _, tok := range tokens {
+		if _, ok := seen[tok]; ok {
+			continue
+		}
+		seen[tok] = struct{}{}
+		uniq = append(uniq, tok)
+	}
+	return uniq
+}
+
+// ContainsAll reports whether the document contains every query keyword.
+// This is the conjunctive ("Boolean keyword query") check of the paper's
+// distance-first queries, and the false-positive filter of IR2TopK line 21.
+// Keywords are normalized with the same rules as Tokenize.
+func ContainsAll(text string, keywords []string) bool {
+	if len(keywords) == 0 {
+		return true
+	}
+	set := TokenSet(text)
+	for _, w := range keywords {
+		if _, ok := set[Normalize(w)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAny reports whether the document contains at least one query
+// keyword (the disjunctive semantics of general top-k queries, where "an
+// object containing only some of the query keywords may be in the result").
+func ContainsAny(text string, keywords []string) bool {
+	set := TokenSet(text)
+	for _, w := range keywords {
+		if _, ok := set[Normalize(w)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TokenSet returns the distinct-word set of a document.
+func TokenSet(text string) map[string]struct{} {
+	tokens := Tokenize(text)
+	set := make(map[string]struct{}, len(tokens))
+	for _, tok := range tokens {
+		set[tok] = struct{}{}
+	}
+	return set
+}
+
+// TermFreqs returns the term-frequency map of a document: distinct word ->
+// number of occurrences. Used by the tf-idf IR score of the general
+// algorithm.
+func TermFreqs(text string) map[string]int {
+	tokens := Tokenize(text)
+	tf := make(map[string]int, len(tokens))
+	for _, tok := range tokens {
+		tf[tok]++
+	}
+	return tf
+}
+
+// Normalize applies the token normalization rules to a single keyword,
+// returning the first token of the keyword text ("" if the keyword contains
+// no alphanumeric runes). Query keywords are single words in the paper's
+// model.
+func Normalize(keyword string) string {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0]
+}
+
+// NormalizeAll normalizes a keyword list, dropping empties and duplicates
+// while preserving order.
+func NormalizeAll(keywords []string) []string {
+	out := make([]string, 0, len(keywords))
+	seen := make(map[string]struct{}, len(keywords))
+	for _, w := range keywords {
+		n := Normalize(w)
+		if n == "" {
+			continue
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Vocabulary accumulates corpus-level term statistics: the set of distinct
+// words, their document frequencies, and per-document unique word counts.
+// It backs Table 1's "average # unique words per object" and "total # unique
+// words" columns, the idf component of the IR score, and the optimal
+// signature length computation (which needs the expected number of distinct
+// words per document).
+type Vocabulary struct {
+	docFreq   map[string]int
+	numDocs   int
+	uniqueSum int64
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{docFreq: make(map[string]int)}
+}
+
+// AddDoc folds one document into the statistics using plain tokenization.
+func (v *Vocabulary) AddDoc(text string) {
+	v.AddDocWith(nil, text)
+}
+
+// AddDocWith folds one document in through the given analyzer pipeline
+// (nil behaves like AddDoc). Every document of a corpus must go through
+// the same pipeline.
+func (v *Vocabulary) AddDocWith(a *Analyzer, text string) {
+	uniq := a.Unique(text)
+	for _, w := range uniq {
+		v.docFreq[w]++
+	}
+	v.numDocs++
+	v.uniqueSum += int64(len(uniq))
+}
+
+// NumDocs returns the number of documents added.
+func (v *Vocabulary) NumDocs() int { return v.numDocs }
+
+// NumWords returns the number of distinct words across the corpus.
+func (v *Vocabulary) NumWords() int { return len(v.docFreq) }
+
+// DocFreq returns the number of documents containing word (normalized).
+func (v *Vocabulary) DocFreq(word string) int {
+	return v.docFreq[Normalize(word)]
+}
+
+// AvgUniqueWordsPerDoc returns the mean number of distinct words per
+// document (Table 1's "average # unique words per object").
+func (v *Vocabulary) AvgUniqueWordsPerDoc() float64 {
+	if v.numDocs == 0 {
+		return 0
+	}
+	return float64(v.uniqueSum) / float64(v.numDocs)
+}
+
+// WordsByFreq returns all distinct words ordered by descending document
+// frequency (ties broken lexicographically). Experiment workloads draw
+// query keywords from this ranking.
+func (v *Vocabulary) WordsByFreq() []string {
+	words := make([]string, 0, len(v.docFreq))
+	for w := range v.docFreq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		fi, fj := v.docFreq[words[i]], v.docFreq[words[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return words[i] < words[j]
+	})
+	return words
+}

@@ -1,0 +1,204 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "tennis court", []string{"tennis", "court"}},
+		{"case folding", "wireless Internet, pool", []string{"wireless", "internet", "pool"}},
+		{"punctuation", "wake-up service; no pets!", []string{"wake", "up", "service", "no", "pets"}},
+		{"digits kept", "open 24 hours", []string{"open", "24", "hours"}},
+		{"empty", "", nil},
+		{"only separators", " ,;-- ", nil},
+		{"duplicates preserved", "pool spa pool", []string{"pool", "spa", "pool"}},
+		{"unicode letters", "café Münchén", []string{"café", "münchén"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUniqueTokens(t *testing.T) {
+	got := UniqueTokens("pool spa Pool internet spa")
+	want := []string{"pool", "spa", "internet"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UniqueTokens = %v, want %v", got, want)
+	}
+	if got := UniqueTokens(""); len(got) != 0 {
+		t.Errorf("UniqueTokens(empty) = %v", got)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	// Hotel G from the paper's Figure 1.
+	doc := "Hotel G Internet, airport transportation, pool"
+	tests := []struct {
+		name     string
+		keywords []string
+		want     bool
+	}{
+		{"both present (paper example)", []string{"internet", "pool"}, true},
+		{"case-insensitive query", []string{"INTERNET", "Pool"}, true},
+		{"one missing", []string{"internet", "spa"}, false},
+		{"empty keyword list", nil, true},
+		{"single present", []string{"airport"}, true},
+		{"substring is not a word", []string{"port"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ContainsAll(doc, tt.keywords); got != tt.want {
+				t.Errorf("ContainsAll(%v) = %v, want %v", tt.keywords, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	doc := "sauna, pool, conference rooms"
+	if !ContainsAny(doc, []string{"internet", "pool"}) {
+		t.Error("ContainsAny missed 'pool'")
+	}
+	if ContainsAny(doc, []string{"internet", "spa"}) {
+		t.Error("ContainsAny false positive")
+	}
+	if ContainsAny(doc, nil) {
+		t.Error("ContainsAny with no keywords should be false")
+	}
+}
+
+func TestTermFreqs(t *testing.T) {
+	tf := TermFreqs("pool spa pool POOL")
+	if tf["pool"] != 3 || tf["spa"] != 1 {
+		t.Errorf("TermFreqs = %v", tf)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Internet", "internet"},
+		{"  POOL  ", "pool"},
+		{"wake-up", "wake"},
+		{"", ""},
+		{"!!!", ""},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeAll(t *testing.T) {
+	got := NormalizeAll([]string{"Internet", "pool", "", "INTERNET", "!!", "spa"})
+	want := []string{"internet", "pool", "spa"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NormalizeAll = %v, want %v", got, want)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	// Figure 1 amenity lists (abridged).
+	docs := []string{
+		"tennis court, gift shop, spa, Internet",
+		"wireless Internet, pool, golf course",
+		"spa, continental suites, pool",
+	}
+	for _, d := range docs {
+		v.AddDoc(d)
+	}
+	if v.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d", v.NumDocs())
+	}
+	if got := v.DocFreq("internet"); got != 2 {
+		t.Errorf("DocFreq(internet) = %d, want 2", got)
+	}
+	if got := v.DocFreq("POOL"); got != 2 {
+		t.Errorf("DocFreq(POOL) = %d, want 2 (normalization)", got)
+	}
+	if got := v.DocFreq("sauna"); got != 0 {
+		t.Errorf("DocFreq(sauna) = %d, want 0", got)
+	}
+	// Doc unique counts: 6, 5, 4 → avg 5.
+	if got, want := v.AvgUniqueWordsPerDoc(), 5.0; got != want {
+		t.Errorf("AvgUniqueWordsPerDoc = %g, want %g", got, want)
+	}
+	words := v.WordsByFreq()
+	if len(words) != v.NumWords() {
+		t.Fatalf("WordsByFreq length %d != NumWords %d", len(words), v.NumWords())
+	}
+	for i := 1; i < len(words); i++ {
+		if v.DocFreq(words[i-1]) < v.DocFreq(words[i]) {
+			t.Fatalf("WordsByFreq not sorted at %d: %s(%d) before %s(%d)",
+				i, words[i-1], v.DocFreq(words[i-1]), words[i], v.DocFreq(words[i]))
+		}
+	}
+	// internet/pool/spa (freq 2) must precede freq-1 words.
+	if v.DocFreq(words[0]) != 2 {
+		t.Errorf("most frequent word has freq %d", v.DocFreq(words[0]))
+	}
+}
+
+func TestEmptyVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	if v.AvgUniqueWordsPerDoc() != 0 {
+		t.Error("empty vocabulary average should be 0")
+	}
+	if v.NumWords() != 0 || v.NumDocs() != 0 {
+		t.Error("empty vocabulary counts should be 0")
+	}
+}
+
+func TestQuickTokenizeAlwaysLowercaseAndNonEmpty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" || tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsAllOfOwnTokens(t *testing.T) {
+	// Every document contains all of its own unique tokens.
+	f := func(s string) bool {
+		return ContainsAll(s, UniqueTokens(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUniqueTokensAreUnique(t *testing.T) {
+	f := func(s string) bool {
+		uniq := UniqueTokens(s)
+		seen := make(map[string]struct{}, len(uniq))
+		for _, w := range uniq {
+			if _, dup := seen[w]; dup {
+				return false
+			}
+			seen[w] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package spatialkeyword
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spatialkeyword/internal/core"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+)
+
+// Engine durability. An engine created with NewDurableEngine lives in a
+// directory: the object file and the index each get a file-backed block
+// device, Save checkpoints both structures plus a JSON manifest, and
+// OpenEngine restores the engine from the directory.
+//
+//	eng, _ := spatialkeyword.NewDurableEngine(cfg, dir)
+//	eng.Add(...)
+//	eng.Save()
+//	eng.Close()
+//	...
+//	eng, _ = spatialkeyword.OpenEngine(dir)
+
+// ErrNotDurable is returned by Save on a memory-only engine.
+var ErrNotDurable = errors.New("spatialkeyword: engine has no backing directory")
+
+const (
+	manifestName = "manifest.json"
+	objectsName  = "objects.db"
+	indexName    = "index.db"
+)
+
+// manifest is the engine's durable root: everything needed to reopen.
+type manifest struct {
+	Config     Config   `json:"config"`
+	TreeState  uint64   `json:"tree_state_block"`
+	StoreMeta  uint64   `json:"store_meta_block"`
+	Deleted    []uint64 `json:"deleted"`
+	NumObjects int      `json:"num_objects"`
+}
+
+// NewDurableEngine creates an empty engine whose object file and index live
+// in dir (created if needed; existing engine files are truncated — use
+// OpenEngine to reopen). Call Save to persist state and Close to release
+// the files.
+func NewDurableEngine(cfg Config, dir string) (*Engine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spatialkeyword: create engine dir: %w", err)
+	}
+	bs := cfg.BlockSize
+	if bs == 0 {
+		bs = storage.DefaultBlockSize
+	}
+	objDisk, err := storage.CreateFileDisk(filepath.Join(dir, objectsName), bs)
+	if err != nil {
+		return nil, err
+	}
+	idxDisk, err := storage.CreateFileDisk(filepath.Join(dir, indexName), bs)
+	if err != nil {
+		objDisk.Close()
+		return nil, err
+	}
+	e, err := newEngineOn(cfg, objDisk, idxDisk)
+	if err != nil {
+		objDisk.Close()
+		idxDisk.Close()
+		return nil, err
+	}
+	e.dir = dir
+	return e, nil
+}
+
+// Save flushes pending objects and checkpoints the engine's state to its
+// backing directory. Only durable engines can Save.
+func (e *Engine) Save() error {
+	if e.dir == "" {
+		return ErrNotDurable
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	storeMeta, err := e.store.Checkpoint()
+	if err != nil {
+		return err
+	}
+	treeState, err := e.tree.Checkpoint(storage.NilBlock)
+	if err != nil {
+		return err
+	}
+	m := manifest{
+		Config:     e.cfg,
+		TreeState:  uint64(treeState),
+		StoreMeta:  uint64(storeMeta),
+		NumObjects: e.store.NumObjects(),
+	}
+	for id := range e.deleted {
+		m.Deleted = append(m.Deleted, id)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(e.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(e.dir, manifestName))
+}
+
+// Close releases a durable engine's files (after persisting their device
+// metadata). Memory-only engines have nothing to close.
+func (e *Engine) Close() error {
+	var firstErr error
+	for _, d := range []*storage.FileDisk{e.objFile, e.idxFile} {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.objFile, e.idxFile = nil, nil
+	return firstErr
+}
+
+// OpenEngine restores a durable engine saved in dir.
+func OpenEngine(dir string) (*Engine, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("spatialkeyword: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("spatialkeyword: parse manifest: %w", err)
+	}
+	objDisk, err := storage.OpenFileDisk(filepath.Join(dir, objectsName))
+	if err != nil {
+		return nil, err
+	}
+	idxDisk, err := storage.OpenFileDisk(filepath.Join(dir, indexName))
+	if err != nil {
+		objDisk.Close()
+		return nil, err
+	}
+	store, err := objstore.Open(objDisk, storage.BlockID(m.StoreMeta))
+	if err != nil {
+		objDisk.Close()
+		idxDisk.Close()
+		return nil, err
+	}
+	e, err := assembleEngine(m.Config, objDisk, idxDisk, store, storage.BlockID(m.TreeState))
+	if err != nil {
+		objDisk.Close()
+		idxDisk.Close()
+		return nil, err
+	}
+	e.dir = dir
+	for _, id := range m.Deleted {
+		e.deleted[id] = true
+	}
+	// Rebuild the vocabulary (idf statistics) from the object file; the
+	// engine never removes deleted documents from it, so a full scan
+	// reproduces the live state.
+	if err := store.Scan(func(o objstore.Object, _ objstore.Ptr) error {
+		e.vocab.AddDocWith(e.analyzer(), o.Text)
+		return nil
+	}); err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.live = store.NumObjects() - len(m.Deleted)
+	return e, nil
+}
+
+// assembleEngine builds an Engine around an existing store and a
+// checkpointed tree.
+func assembleEngine(cfg Config, objDisk, idxDisk *storage.FileDisk, store *objstore.Store, treeState storage.BlockID) (*Engine, error) {
+	e, err := engineShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.objDisk = objDisk
+	e.idxDisk = idxDisk
+	e.objFile = objDisk
+	e.idxFile = idxDisk
+	e.store = store
+	tree, err := core.Open(idxDisk, store, e.coreOptions(), treeState)
+	if err != nil {
+		return nil, err
+	}
+	e.tree = tree
+	return e, nil
+}

@@ -1,0 +1,167 @@
+package spatialkeyword
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDurableEngineSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := NewDurableEngine(Config{SignatureBytes: 16}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addFigure1(t, eng)
+	// Delete one hotel so the deleted set is exercised too.
+	if err := eng.Delete(3); err != nil { // Hotel D
+		t.Fatal(err)
+	}
+	want, err := eng.TopK(3, []float64{30.5, 100.0}, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, err := reopened.TopK(3, []float64{30.5, 100.0}, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("results: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Object.ID != want[i].Object.ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("rank %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Deleted object stays deleted.
+	if _, err := reopened.Get(3); !errors.Is(err, ErrDeleted) {
+		t.Errorf("deleted object resurrected: %v", err)
+	}
+	s := reopened.Stats()
+	if s.Objects != 7 {
+		t.Errorf("live objects = %d, want 7", s.Objects)
+	}
+	if s.Vocabulary == 0 {
+		t.Error("vocabulary not rebuilt")
+	}
+	// Ranked queries (which need the vocabulary) still work.
+	ranked, err := reopened.TopKRanked(3, []float64{30.5, 100.0}, "internet", "pool")
+	if err != nil || len(ranked) == 0 {
+		t.Errorf("ranked after reopen: %v %v", ranked, err)
+	}
+	// New writes work and can be saved again.
+	id, err := reopened.Add([]float64{30, 100}, "reopened resort pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := reopened.TopK(1, []float64{30.5, 100.0}, "reopened")
+	if err != nil || len(top) != 1 || top[0].Object.ID != id {
+		t.Fatalf("post-reopen add: %v %v", top, err)
+	}
+	if err := reopened.Save(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableEngineSecondReopen(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := NewDurableEngine(Config{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(141))
+	for i := 0; i < 300; i++ {
+		text := fmt.Sprintf("shop %d %s", i, []string{"coffee", "tea", "books"}[rng.Intn(3)])
+		if _, err := eng.Add([]float64{rng.Float64() * 100, rng.Float64() * 100}, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	// Open, mutate, save, open again.
+	e2, err := OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Add([]float64{50, 50}, "generation two vinyl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e2.Close()
+
+	e3, err := OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if e3.Stats().Objects != 301 {
+		t.Errorf("objects = %d", e3.Stats().Objects)
+	}
+	top, err := e3.TopK(1, []float64{50, 50}, "vinyl")
+	if err != nil || len(top) != 1 || !strings.Contains(top[0].Object.Text, "generation two") {
+		t.Errorf("second-generation object lost: %v %v", top, err)
+	}
+}
+
+func TestSaveOnMemoryEngineFails(t *testing.T) {
+	eng, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("Save on memory engine: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Errorf("Close on memory engine: %v", err)
+	}
+}
+
+func TestOpenEngineErrors(t *testing.T) {
+	if _, err := OpenEngine(t.TempDir()); err == nil {
+		t.Error("open of empty dir succeeded")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	eng, err := NewDurableEngine(Config{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Add([]float64{1, 1}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if err := writeGarbage(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEngine(dir); err == nil {
+		t.Error("garbage manifest accepted")
+	}
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("{not json"), 0o644)
+}

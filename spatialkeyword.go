@@ -1,0 +1,409 @@
+// Package spatialkeyword is a Go implementation of the IR²-Tree from
+// "Keyword Search on Spatial Databases" (De Felipe, Hristidis, Rishe,
+// ICDE 2008): an index answering top-k spatial keyword queries — "the k
+// objects nearest to a point whose text contains these keywords" — by
+// combining an R-Tree with superimposed text signatures so that spatial and
+// textual pruning happen in a single incremental traversal.
+//
+// The Engine type is the high-level entry point:
+//
+//	eng, _ := spatialkeyword.NewEngine(spatialkeyword.Config{})
+//	eng.Add([]float64{25.77, -80.19}, "cuban cafe espresso pastelitos")
+//	eng.Add([]float64{25.79, -80.13}, "beach bar cocktails live music")
+//	results, _ := eng.TopK(5, []float64{25.78, -80.18}, "espresso")
+//
+// Lower-level building blocks (the disk simulator, the R-Tree, signature
+// files, the inverted-index baseline, the experiment harness) live under
+// internal/; the cmd/ tools and examples/ directory show them in action.
+package spatialkeyword
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialkeyword/internal/core"
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// Config parameterizes an Engine. The zero value is a production-reasonable
+// 2-d IR²-Tree with 64-byte signatures on 4 KB blocks.
+type Config struct {
+	// SignatureBytes is the leaf signature length. Longer signatures mean
+	// fewer false positives but a larger index. Zero means 64.
+	SignatureBytes int
+	// BitsPerWord is how many signature bits each word sets. Zero means 4.
+	BitsPerWord int
+	// Multilevel selects the MIR²-Tree variant: per-level optimal signature
+	// lengths, better query pruning, much costlier updates. When set,
+	// ExpectedWordsPerObject must be positive.
+	Multilevel bool
+	// ExpectedWordsPerObject is the anticipated mean number of distinct
+	// words per object (used to size multilevel signatures).
+	ExpectedWordsPerObject float64
+	// ExpectedVocabulary is the anticipated corpus vocabulary size (caps
+	// multilevel signature growth). Zero means 100,000.
+	ExpectedVocabulary int
+	// Dim is the spatial dimensionality. Zero means 2.
+	Dim int
+	// BlockSize is the simulated disk block size. Zero means 4096.
+	BlockSize int
+	// RemoveStopwords drops common English stopwords from documents and
+	// queries before indexing.
+	RemoveStopwords bool
+	// Stemming applies Porter stemming so query keywords match every
+	// inflection of indexed words ("fishing" matches "fish", "fished", ...).
+	Stemming bool
+}
+
+// Object is a spatial object: a point location and a text description.
+type Object struct {
+	// ID is assigned by the engine in insertion order, starting at 0.
+	ID uint64
+	// Point is the object's location.
+	Point []float64
+	// Text is the object's description; keyword matching is case-insensitive
+	// on its words.
+	Text string
+}
+
+// Result is one answer of a distance-first query.
+type Result struct {
+	Object Object
+	// Dist is the Euclidean distance from the query point.
+	Dist float64
+}
+
+// RankedResult is one answer of a ranked (general) query.
+type RankedResult struct {
+	Object Object
+	// Dist is the Euclidean distance from the query point.
+	Dist float64
+	// IRScore is the tf-idf relevance of the object's text to the keywords.
+	IRScore float64
+	// Score is the combined rank value (higher is better).
+	Score float64
+}
+
+// QueryStats describes the work one query performed.
+type QueryStats struct {
+	// NodesLoaded is the number of index nodes read.
+	NodesLoaded int
+	// ObjectsLoaded is the number of objects read from the object file.
+	ObjectsLoaded int
+	// FalsePositives is how many loaded objects were signature false
+	// positives.
+	FalsePositives int
+	// BlocksRandom and BlocksSequential are the disk block accesses.
+	BlocksRandom, BlocksSequential uint64
+}
+
+// Stats describes an engine's contents and footprint.
+type Stats struct {
+	// Objects is the number of live (non-deleted) objects.
+	Objects int
+	// IndexMB and ObjectFileMB are the on-disk footprints.
+	IndexMB, ObjectFileMB float64
+	// TreeHeight is the number of index levels.
+	TreeHeight int
+	// Vocabulary is the number of distinct words ever indexed.
+	Vocabulary int
+}
+
+// ErrDeleted is returned when operating on a deleted object.
+var ErrDeleted = errors.New("spatialkeyword: object deleted")
+
+// ErrUnknownID is returned for out-of-range object IDs.
+var ErrUnknownID = errors.New("spatialkeyword: unknown object id")
+
+// Engine is an in-process spatial keyword search engine backed by an
+// IR²-Tree (or MIR²-Tree) over a simulated disk. Adds are buffered and
+// flushed automatically before queries; see Flush. An Engine is safe for
+// concurrent readers once flushed; writers (Add, Delete, Flush) need
+// external exclusion against readers.
+type Engine struct {
+	cfg     Config
+	dim     int
+	objDisk storage.Device
+	idxDisk storage.Device
+	store   *objstore.Store
+	tree    *core.IR2Tree
+	vocab   *textutil.Vocabulary
+
+	// Durable engines (NewDurableEngine / OpenEngine) also track their
+	// backing directory and file devices; see persistence.go.
+	dir     string
+	objFile *storage.FileDisk
+	idxFile *storage.FileDisk
+
+	pending []uint64 // object IDs appended but not yet indexed
+	deleted map[uint64]bool
+	live    int
+}
+
+// engineShell builds an Engine with defaults applied but no devices or
+// structures attached.
+func engineShell(cfg Config) (*Engine, error) {
+	dim := cfg.Dim
+	if dim == 0 {
+		dim = 2
+	}
+	return &Engine{
+		cfg:     cfg,
+		dim:     dim,
+		vocab:   textutil.NewVocabulary(),
+		deleted: make(map[uint64]bool),
+	}, nil
+}
+
+// analyzer returns the engine's text pipeline (nil for the plain default).
+func (e *Engine) analyzer() *textutil.Analyzer {
+	if !e.cfg.RemoveStopwords && !e.cfg.Stemming {
+		return nil
+	}
+	a := &textutil.Analyzer{Stemming: e.cfg.Stemming}
+	if e.cfg.RemoveStopwords {
+		a.Stopwords = textutil.DefaultStopwords()
+	}
+	return a
+}
+
+// coreOptions derives the IR²-Tree options from the engine configuration,
+// deterministically, so a saved engine reopens with identical structure.
+func (e *Engine) coreOptions() core.Options {
+	cfg := e.cfg
+	sigBytes := cfg.SignatureBytes
+	if sigBytes == 0 {
+		sigBytes = 64
+	}
+	k := cfg.BitsPerWord
+	if k == 0 {
+		k = sigfile.DefaultBitsPerWord
+	}
+	vocabCap := cfg.ExpectedVocabulary
+	if vocabCap == 0 {
+		vocabCap = 100000
+	}
+	return core.Options{
+		LeafSignature:     sigfile.Config{LengthBytes: sigBytes, BitsPerWord: k},
+		Multilevel:        cfg.Multilevel,
+		AvgWordsPerObject: cfg.ExpectedWordsPerObject,
+		VocabSize:         vocabCap,
+		Dim:               e.dim,
+		Analyzer:          e.analyzer(),
+	}
+}
+
+// newEngineOn assembles a fresh engine on the given devices.
+func newEngineOn(cfg Config, objDev, idxDev storage.Device) (*Engine, error) {
+	e, err := engineShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.objDisk = objDev
+	e.idxDisk = idxDev
+	if fd, ok := objDev.(*storage.FileDisk); ok {
+		e.objFile = fd
+	}
+	if fd, ok := idxDev.(*storage.FileDisk); ok {
+		e.idxFile = fd
+	}
+	e.store = objstore.New(objDev)
+	tree, err := core.New(idxDev, e.store, e.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	e.tree = tree
+	return e, nil
+}
+
+// NewEngine creates an empty in-memory engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	bs := cfg.BlockSize
+	if bs == 0 {
+		bs = storage.DefaultBlockSize
+	}
+	return newEngineOn(cfg, storage.NewDisk(bs), storage.NewDisk(bs))
+}
+
+// Add appends an object and schedules it for indexing; it returns the
+// object's ID. The object becomes queryable at the next query (or Flush).
+func (e *Engine) Add(point []float64, text string) (uint64, error) {
+	if len(point) != e.dim {
+		return 0, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
+	}
+	id, _ := e.store.Append(geo.NewPoint(point...), text)
+	e.vocab.AddDocWith(e.analyzer(), text)
+	e.pending = append(e.pending, uint64(id))
+	e.live++
+	return uint64(id), nil
+}
+
+// Flush durably writes buffered objects and indexes them. Queries call it
+// implicitly; explicit calls let callers control when indexing work happens.
+func (e *Engine) Flush() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	if err := e.store.Sync(); err != nil {
+		return err
+	}
+	for _, id := range e.pending {
+		obj, err := e.store.GetByID(objstore.ID(id))
+		if err != nil {
+			return err
+		}
+		if err := e.tree.Insert(obj, e.store.Ptrs()[id]); err != nil {
+			return err
+		}
+	}
+	e.pending = e.pending[:0]
+	return nil
+}
+
+// Get returns a stored object by ID.
+func (e *Engine) Get(id uint64) (Object, error) {
+	if id >= uint64(e.store.NumObjects()) {
+		return Object{}, fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	if e.deleted[id] {
+		return Object{}, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	if err := e.Flush(); err != nil {
+		return Object{}, err
+	}
+	obj, err := e.store.GetByID(objstore.ID(id))
+	if err != nil {
+		return Object{}, err
+	}
+	return Object{ID: uint64(obj.ID), Point: obj.Point, Text: obj.Text}, nil
+}
+
+// Delete removes an object from the index. The object's row remains in the
+// append-only object file but will never be returned again.
+func (e *Engine) Delete(id uint64) error {
+	if id >= uint64(e.store.NumObjects()) {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	if e.deleted[id] {
+		return fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	obj, err := e.store.GetByID(objstore.ID(id))
+	if err != nil {
+		return err
+	}
+	ok, err := e.tree.Delete(obj.Point, e.store.Ptrs()[id])
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d not in index", ErrUnknownID, id)
+	}
+	e.deleted[id] = true
+	e.live--
+	return nil
+}
+
+// TopK returns the k objects containing every keyword, nearest to point
+// first — the paper's distance-first top-k spatial keyword query.
+func (e *Engine) TopK(k int, point []float64, keywords ...string) ([]Result, error) {
+	res, _, err := e.TopKWithStats(k, point, keywords...)
+	return res, err
+}
+
+// TopKWithStats is TopK plus per-query work counters.
+func (e *Engine) TopKWithStats(k int, point []float64, keywords ...string) ([]Result, QueryStats, error) {
+	var qs QueryStats
+	if err := e.Flush(); err != nil {
+		return nil, qs, err
+	}
+	if len(point) != e.dim {
+		return nil, qs, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
+	}
+	m1 := storage.StartMeter(e.idxDisk)
+	m2 := storage.StartMeter(e.objDisk)
+	it := e.tree.Search(geo.NewPoint(point...), keywords)
+	var out []Result
+	for len(out) < k {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, qs, err
+		}
+		if !ok {
+			break
+		}
+		if e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		out = append(out, Result{
+			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+			Dist:   r.Dist,
+		})
+	}
+	st := it.Stats()
+	io := m1.Stop().Add(m2.Stop())
+	qs = QueryStats{
+		NodesLoaded:      st.NodesLoaded,
+		ObjectsLoaded:    st.ObjectsLoaded,
+		FalsePositives:   st.FalsePositives,
+		BlocksRandom:     io.Random(),
+		BlocksSequential: io.Sequential(),
+	}
+	return out, qs, nil
+}
+
+// TopKRanked returns the k objects with the best combined
+// relevance-and-proximity score — the paper's general top-k spatial keyword
+// query (objects may contain only some keywords; tf-idf relevance is
+// discounted by distance).
+func (e *Engine) TopKRanked(k int, point []float64, keywords ...string) ([]RankedResult, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	if len(point) != e.dim {
+		return nil, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
+	}
+	scorer := irscore.NewScorer(e.vocab.NumDocs(), e.vocab.DocFreq).WithAnalyzer(e.analyzer())
+	res, _, err := e.tree.TopKRanked(k+len(e.deleted), geo.NewPoint(point...), keywords, core.GeneralOptions{
+		Scorer:       scorer,
+		Combiner:     irscore.DistanceDiscount{Scale: 100},
+		RequireMatch: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedResult, 0, k)
+	for _, r := range res {
+		if e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		out = append(out, RankedResult{
+			Object:  Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+			Dist:    r.Dist,
+			IRScore: r.IRScore,
+			Score:   r.Score,
+		})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Stats reports the engine's contents and footprint.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Objects:      e.live,
+		IndexMB:      float64(e.idxDisk.SizeBytes()) / 1e6,
+		ObjectFileMB: float64(e.objDisk.SizeBytes()) / 1e6,
+		TreeHeight:   e.tree.RTree().Height(),
+		Vocabulary:   e.vocab.NumWords(),
+	}
+}
