@@ -10,9 +10,9 @@
 //	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
 //	             selectivity | table2 | maintenance |
 //	             ablate-cache | ablate-capacity | ablate-build |
-//	             ablate-split (default all;
-//	             "all" covers the paper experiments, ablations run only when
-//	             named)
+//	             ablate-split | parallel (default all;
+//	             "all" covers the paper experiments; ablations and the
+//	             sharded-throughput experiment run only when named)
 //	-scale       dataset scale factor in (0,1]; 1 = full Table 1 sizes
 //	             (default 0.02 — laptop-friendly)
 //	-queries     queries per measured cell (default 20)
@@ -131,8 +131,8 @@ func run(cfg config) error {
 	ablation := strings.HasPrefix(cfg.experiment, "ablate-")
 	var envs []*bench.Env
 	for _, p := range plans(cfg) {
-		if ablation {
-			break // ablations build their own environments below
+		if ablation || cfg.experiment == "parallel" {
+			break // these experiments build their own environments below
 		}
 		fmt.Printf("building %s environment (scale %g: %d objects, sig %dB)...\n",
 			p.spec.Name, cfg.scale, p.spec.NumObjects, p.sigBytes)
@@ -236,6 +236,31 @@ func run(cfg config) error {
 		}
 		if err := render(t); err != nil {
 			return err
+		}
+	}
+
+	// Scale-out extension: sharded-engine throughput, run only when named
+	// (wall-clock measurement, so it wants a quiet machine).
+	if cfg.experiment == "parallel" {
+		for _, p := range plans(cfg) {
+			t, err := bench.ParallelThroughput(p.spec, p.sigBytes,
+				[]int{1, 2, 4, 8}, []int{1, 4, 16}, cfg.queries, cfg.seed)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			// Disk-time complement: same cost model as the paper figures,
+			// one device per shard, so the numbers are host-independent.
+			d, err := bench.ShardedDiskScaling(p.spec, p.sigBytes,
+				[]int{1, 2, 4, 8}, 4*cfg.queries, cfg.seed, storage.DefaultCostModel())
+			if err != nil {
+				return err
+			}
+			if err := render(d); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,14 +1,18 @@
 // Command skserve exposes a spatial keyword search engine over HTTP — the
 // paper's motivating "online yellow pages" as a running service. It serves
-// a JSON API backed by the IR²-Tree engine, optionally durable on disk.
+// a JSON API backed by the IR²-Tree engine — or, with -shards, by a
+// spatially sharded pool of engines answering queries with a parallel
+// fan-out/merge — optionally durable on disk. SIGINT/SIGTERM drain in-flight
+// requests and checkpoint a durable engine before exiting.
 //
 // Usage:
 //
 //	skserve [flags]
 //
-//	-addr  listen address (default :8080)
-//	-dir   backing directory; empty = in-memory, existing manifest = reopen
-//	-sig   leaf signature bytes (default 64)
+//	-addr    listen address (default :8080)
+//	-dir     backing directory; empty = in-memory, existing manifest = reopen
+//	-sig     leaf signature bytes (default 64)
+//	-shards  number of spatial shards (default 1 = single engine)
 //
 // API:
 //
@@ -19,18 +23,20 @@
 //	                         → distance-first top-k (AND semantics)
 //	GET    /ranked?lat=..&lon=..&k=5&q=internet,pool
 //	                         → general ranked top-k (soft semantics)
-//	GET    /stats            → engine statistics
+//	GET    /stats            → engine, per-shard, and request statistics
+//	GET    /healthz          → liveness probe
 //	POST   /save             → checkpoint a durable engine
 //
 // Example session:
 //
-//	skserve -dir /tmp/yp &
+//	skserve -dir /tmp/yp -shards 4 &
 //	curl -s -XPOST localhost:8080/objects \
 //	  -d '{"point":[25.77,-80.19],"text":"cuban cafe espresso wifi"}'
 //	curl -s 'localhost:8080/search?lat=25.78&lon=-80.18&k=3&q=espresso'
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,68 +44,248 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"spatialkeyword"
+	"spatialkeyword/internal/shard"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		dir  = flag.String("dir", "", "backing directory (empty = in-memory)")
-		sig  = flag.Int("sig", 64, "leaf signature bytes")
+		addr   = flag.String("addr", ":8080", "listen address")
+		dir    = flag.String("dir", "", "backing directory (empty = in-memory)")
+		sig    = flag.Int("sig", 64, "leaf signature bytes")
+		shards = flag.Int("shards", 1, "number of spatial shards")
 	)
 	flag.Parse()
 
-	eng, err := openOrCreate(*dir, spatialkeyword.Config{SignatureBytes: *sig})
+	eng, err := openOrCreate(*dir, spatialkeyword.Config{SignatureBytes: *sig}, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skserve:", err)
 		os.Exit(1)
 	}
 	srv := newServer(eng, *dir != "")
-	log.Printf("skserve listening on %s (durable=%v)", *addr, *dir != "")
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("skserve listening on %s (durable=%v, shards=%d)", *addr, *dir != "", srv.numShards())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("skserve: signal received, draining requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("skserve: shutdown: %v", err)
+		}
+		if err := srv.checkpoint(); err != nil {
+			log.Fatalf("skserve: checkpoint: %v", err)
+		}
+		log.Printf("skserve: bye")
+	}
 }
 
-// openOrCreate reopens an existing durable engine, creates a new durable
-// one, or builds an in-memory engine.
-func openOrCreate(dir string, cfg spatialkeyword.Config) (*spatialkeyword.Engine, error) {
+// engine is the backend contract the HTTP layer serves: satisfied by a
+// single *spatialkeyword.Engine (wrapped in lockedEngine for write
+// exclusion) and by *shard.ShardedEngine, which synchronizes internally.
+type engine interface {
+	Add(point []float64, text string) (uint64, error)
+	Get(id uint64) (spatialkeyword.Object, error)
+	Delete(id uint64) error
+	TopKWithStats(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, spatialkeyword.QueryStats, error)
+	TopKRanked(k int, point []float64, keywords ...string) ([]spatialkeyword.RankedResult, error)
+	Stats() spatialkeyword.Stats
+	Save() error
+	Close() error
+}
+
+// sharded is the optional extension exposing per-shard statistics.
+type sharded interface {
+	NumShards() int
+	ShardStats() []spatialkeyword.Stats
+}
+
+// openOrCreate reopens an existing durable engine (single or sharded,
+// detected from the directory layout), creates a new durable one, or builds
+// an in-memory engine. shards > 1 selects the sharded backend with a hash
+// partitioner — the service accepts arbitrary points, so there is no dataset
+// MBR to grid over.
+func openOrCreate(dir string, cfg spatialkeyword.Config, shards int) (engine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("need at least 1 shard, got %d", shards)
+	}
+	opts := shard.Options{Shards: shards}
 	if dir == "" {
-		return spatialkeyword.NewEngine(cfg)
+		if shards > 1 {
+			return shard.New(cfg, opts)
+		}
+		eng, err := spatialkeyword.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &lockedEngine{eng: eng}, nil
+	}
+	if shard.IsShardedDir(dir) {
+		return shard.Open(dir)
 	}
 	if eng, err := spatialkeyword.OpenEngine(dir); err == nil {
-		return eng, nil
+		return &lockedEngine{eng: eng}, nil
 	}
-	return spatialkeyword.NewDurableEngine(cfg, dir)
+	if shards > 1 {
+		return shard.NewDurable(cfg, dir, opts)
+	}
+	eng, err := spatialkeyword.NewDurableEngine(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &lockedEngine{eng: eng}, nil
 }
 
-// server wraps the engine with the JSON API. The engine permits concurrent
-// readers but writers need exclusion, so a RWMutex mediates: queries take
-// the read lock, mutations the write lock. (Queries may flush pending adds,
-// so they also need the write lock when anything is pending — the server
-// simply flushes inside every mutation to keep queries read-only.)
+// lockedEngine adapts a single Engine to the backend contract. The engine
+// permits concurrent readers but writers need exclusion, so a RWMutex
+// mediates: queries take the read lock, mutations the write lock. Mutations
+// flush before releasing it, keeping queries read-only.
+type lockedEngine struct {
+	mu  sync.RWMutex
+	eng *spatialkeyword.Engine
+}
+
+func (l *lockedEngine) Add(point []float64, text string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id, err := l.eng.Add(point, text)
+	if err == nil {
+		err = l.eng.Flush()
+	}
+	return id, err
+}
+
+func (l *lockedEngine) Get(id uint64) (spatialkeyword.Object, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Get(id)
+}
+
+func (l *lockedEngine) Delete(id uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Delete(id)
+}
+
+func (l *lockedEngine) TopKWithStats(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, spatialkeyword.QueryStats, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.TopKWithStats(k, point, keywords...)
+}
+
+func (l *lockedEngine) TopKRanked(k int, point []float64, keywords ...string) ([]spatialkeyword.RankedResult, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.TopKRanked(k, point, keywords...)
+}
+
+func (l *lockedEngine) Stats() spatialkeyword.Stats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Stats()
+}
+
+func (l *lockedEngine) Save() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Save()
+}
+
+func (l *lockedEngine) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Close()
+}
+
+// requestCounters tracks requests served per endpoint, exposed by /stats.
+type requestCounters struct {
+	Add     atomic.Uint64
+	Get     atomic.Uint64
+	Delete  atomic.Uint64
+	Search  atomic.Uint64
+	Ranked  atomic.Uint64
+	Stats   atomic.Uint64
+	Save    atomic.Uint64
+	Healthz atomic.Uint64
+}
+
+func (c *requestCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"add":     c.Add.Load(),
+		"get":     c.Get.Load(),
+		"delete":  c.Delete.Load(),
+		"search":  c.Search.Load(),
+		"ranked":  c.Ranked.Load(),
+		"stats":   c.Stats.Load(),
+		"save":    c.Save.Load(),
+		"healthz": c.Healthz.Load(),
+	}
+}
+
+// server wraps a backend engine with the JSON API.
 type server struct {
-	mu      sync.RWMutex
-	eng     *spatialkeyword.Engine
+	eng     engine
 	durable bool
+	reqs    requestCounters
 }
 
-func newServer(eng *spatialkeyword.Engine, durable bool) *server {
+func newServer(eng engine, durable bool) *server {
 	return &server{eng: eng, durable: durable}
 }
 
-// routes builds the HTTP mux.
+// numShards reports the backend's shard count (1 for a single engine).
+func (s *server) numShards() int {
+	if sh, ok := s.eng.(sharded); ok {
+		return sh.NumShards()
+	}
+	return 1
+}
+
+// checkpoint persists a durable backend and releases its files — the
+// graceful-shutdown tail after the HTTP server has drained.
+func (s *server) checkpoint() error {
+	if s.durable {
+		if err := s.eng.Save(); err != nil {
+			return err
+		}
+	}
+	return s.eng.Close()
+}
+
+// routes builds the HTTP mux. Every handler bumps its endpoint counter.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /objects", s.handleAdd)
-	mux.HandleFunc("GET /objects/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /ranked", s.handleRanked)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /save", s.handleSave)
+	counted := func(c *atomic.Uint64, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			c.Add(1)
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /objects", counted(&s.reqs.Add, s.handleAdd))
+	mux.HandleFunc("GET /objects/{id}", counted(&s.reqs.Get, s.handleGet))
+	mux.HandleFunc("DELETE /objects/{id}", counted(&s.reqs.Delete, s.handleDelete))
+	mux.HandleFunc("GET /search", counted(&s.reqs.Search, s.handleSearch))
+	mux.HandleFunc("GET /ranked", counted(&s.reqs.Ranked, s.handleRanked))
+	mux.HandleFunc("GET /stats", counted(&s.reqs.Stats, s.handleStats))
+	mux.HandleFunc("GET /healthz", counted(&s.reqs.Healthz, s.handleHealthz))
+	mux.HandleFunc("POST /save", counted(&s.reqs.Save, s.handleSave))
 	return mux
 }
 
@@ -115,12 +301,7 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
 		return
 	}
-	s.mu.Lock()
 	id, err := s.eng.Add(req.Point, req.Text)
-	if err == nil {
-		err = s.eng.Flush()
-	}
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -134,9 +315,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
 		return
 	}
-	s.mu.RLock()
 	obj, err := s.eng.Get(id)
-	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -150,10 +329,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
 		return
 	}
-	s.mu.Lock()
-	err = s.eng.Delete(id)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.eng.Delete(id); err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
@@ -198,9 +374,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
 	results, stats, err := s.eng.TopKWithStats(k, point, keywords...)
-	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -217,9 +391,7 @@ func (s *server) handleRanked(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
 	results, err := s.eng.TopKRanked(k, point, keywords...)
-	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -230,11 +402,30 @@ func (s *server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
+// statsResponse is the GET /stats payload: engine-wide statistics, the
+// per-shard breakdown for a sharded backend, and per-endpoint request
+// counters.
+type statsResponse struct {
+	Engine   spatialkeyword.Stats   `json:"engine"`
+	Shards   []spatialkeyword.Stats `json:"shards,omitempty"`
+	Requests map[string]uint64      `json:"requests"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	st := s.eng.Stats()
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, st)
+	resp := statsResponse{Engine: s.eng.Stats(), Requests: s.reqs.snapshot()}
+	if sh, ok := s.eng.(sharded); ok {
+		resp.Shards = sh.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"durable": s.durable,
+		"shards":  s.numShards(),
+		"objects": s.eng.Stats().Objects,
+	})
 }
 
 func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
@@ -242,10 +433,7 @@ func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, spatialkeyword.ErrNotDurable)
 		return
 	}
-	s.mu.Lock()
-	err := s.eng.Save()
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.eng.Save(); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}

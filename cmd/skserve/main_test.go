@@ -14,8 +14,12 @@ import (
 )
 
 func newTestServer(t *testing.T, durableDir string) (*server, *httptest.Server) {
+	return newShardedTestServer(t, durableDir, 1)
+}
+
+func newShardedTestServer(t *testing.T, durableDir string, shards int) (*server, *httptest.Server) {
 	t.Helper()
-	eng, err := openOrCreate(durableDir, spatialkeyword.Config{SignatureBytes: 16})
+	eng, err := openOrCreate(durableDir, spatialkeyword.Config{SignatureBytes: 16}, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,9 +170,15 @@ func TestStatsAndValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decode[spatialkeyword.Stats](t, resp)
-	if st.Objects != 3 {
+	st := decode[statsResponse](t, resp)
+	if st.Engine.Objects != 3 {
 		t.Errorf("stats = %+v", st)
+	}
+	if st.Requests["add"] != 3 || st.Requests["stats"] != 1 {
+		t.Errorf("request counters = %v", st.Requests)
+	}
+	if len(st.Shards) != 0 {
+		t.Errorf("single engine reported shard stats: %+v", st.Shards)
 	}
 	// Bad inputs.
 	for _, path := range []string{
@@ -280,8 +290,152 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decode[spatialkeyword.Stats](t, resp)
-	if st.Objects != 3+4*20 {
-		t.Errorf("objects = %d, want %d", st.Objects, 3+4*20)
+	st := decode[statsResponse](t, resp)
+	if st.Engine.Objects != 3+4*20 {
+		t.Errorf("objects = %d, want %d", st.Engine.Objects, 3+4*20)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	out := decode[map[string]any](t, resp)
+	if out["status"] != "ok" || out["objects"] != float64(3) || out["shards"] != float64(1) {
+		t.Errorf("healthz = %v", out)
+	}
+}
+
+// TestShardedBackend runs the whole HTTP surface against a ShardedEngine
+// backend: same API, global IDs, per-shard stats in /stats.
+func TestShardedBackend(t *testing.T) {
+	_, ts := newShardedTestServer(t, "", 3)
+	ids := seedHotels(t, ts)
+	if fmt.Sprint(ids) != "[0 1 2]" {
+		t.Errorf("sharded ids = %v", ids)
+	}
+
+	resp, err := http.Get(ts.URL + "/search?lat=30.5&lon=100&k=2&q=internet,pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[searchResponse](t, resp)
+	if len(out.Results) != 2 || !strings.Contains(out.Results[0].Object.Text, "Hotel G") {
+		t.Fatalf("sharded search = %+v", out.Results)
+	}
+
+	resp, err = http.Get(ts.URL + "/ranked?lat=30.5&lon=100&k=5&q=internet,pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := decode[map[string][]spatialkeyword.RankedResult](t, resp)["results"]
+	if len(ranked) != 3 {
+		t.Fatalf("sharded ranked = %d results", len(ranked))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/objects/2", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("sharded delete status %d", dresp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/objects/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("deleted object status %d, want 410", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[statsResponse](t, resp)
+	if st.Engine.Objects != 2 {
+		t.Errorf("sharded stats objects = %d", st.Engine.Objects)
+	}
+	if len(st.Shards) != 3 {
+		t.Errorf("shard stats entries = %d, want 3", len(st.Shards))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decode[map[string]any](t, resp); h["shards"] != float64(3) {
+		t.Errorf("healthz shards = %v", h["shards"])
+	}
+}
+
+// TestShardedDurableReopen checks the directory-layout detection: a dir
+// written by the sharded backend reopens sharded regardless of -shards.
+func TestShardedDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newShardedTestServer(t, dir, 2)
+	seedHotels(t, ts)
+	resp, err := http.Post(ts.URL+"/save", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("sharded save status %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := s.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with shards=1: the layout wins, the engine comes back sharded.
+	s2, ts2 := newShardedTestServer(t, dir, 1)
+	if s2.numShards() != 2 {
+		t.Fatalf("reopened shards = %d, want 2", s2.numShards())
+	}
+	resp, err = http.Get(ts2.URL + "/search?lat=30.5&lon=100&k=5&q=internet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[searchResponse](t, resp)
+	if len(out.Results) != 3 {
+		t.Errorf("after sharded reopen: %d results", len(out.Results))
+	}
+}
+
+// TestCheckpoint exercises the graceful-shutdown tail directly: a durable
+// server persists on checkpoint, an in-memory one just closes.
+func TestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newShardedTestServer(t, dir, 2)
+	seedHotels(t, ts)
+	ts.Close()
+	if err := s.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := newShardedTestServer(t, dir, 2)
+	if got := s2.eng.Stats().Objects; got != 3 {
+		t.Errorf("objects after checkpointed restart = %d, want 3", got)
+	}
+
+	mem, tsm := newTestServer(t, "")
+	tsm.Close()
+	if err := mem.checkpoint(); err != nil {
+		t.Errorf("in-memory checkpoint = %v", err)
+	}
+}
+
+func TestOpenOrCreateRejectsBadShards(t *testing.T) {
+	if _, err := openOrCreate("", spatialkeyword.Config{}, 0); err == nil {
+		t.Error("0 shards should fail")
 	}
 }

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/storage"
+)
+
+func TestParallelThroughput(t *testing.T) {
+	tab, err := ParallelThroughput(dataset.Restaurants(0.0005), 16, []int{1, 2}, []int{1, 4}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 shard counts × 2 client counts", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+		if row[2] == "0" || row[3] == "0" {
+			t.Errorf("zero QPS in row %v", row)
+		}
+	}
+	// The 1-shard rows anchor the speedup column at 1.00x.
+	if !strings.HasPrefix(tab.Rows[0][4], "1.00") {
+		t.Errorf("baseline speedup = %q", tab.Rows[0][4])
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "topkQPS") {
+		t.Error("render missing columns")
+	}
+}
+
+func TestShardedDiskScaling(t *testing.T) {
+	tab, err := ShardedDiskScaling(dataset.Restaurants(0.001), 16, []int{1, 4}, 32, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per shard count", len(tab.Rows))
+	}
+	if !strings.HasPrefix(tab.Rows[0][5], "1.00") {
+		t.Errorf("baseline speedup = %q", tab.Rows[0][5])
+	}
+	one, err := strconv.ParseFloat(tab.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one <= 0 || four <= 0 {
+		t.Fatalf("non-positive modeled QPS: %v vs %v", one, four)
+	}
+	// The acceptance bar for the scale-out extension: with one device per
+	// shard, spreading the workload's disk work across 4 devices must beat
+	// a single device's throughput.
+	if four <= one {
+		t.Errorf("modeled throughput did not scale: 1 shard %.0f QPS, 4 shards %.0f QPS", one, four)
+	}
+}

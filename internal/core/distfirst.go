@@ -95,6 +95,15 @@ func (r *ResultIter) Stats() SearchStats {
 	return r.stats
 }
 
+// PeekBound returns a lower bound on the distance of every result the
+// iterator can still produce: the priority of the best queued entry (an
+// object's exact distance or a subtree MBR's minimum distance). ok is false
+// when the traversal is exhausted. A parallel fan-out merger uses it to stop
+// a shard whose best remaining candidate cannot beat the global k-th result.
+func (r *ResultIter) PeekBound() (float64, bool) {
+	return r.it.PeekScore()
+}
+
 // TopK answers a distance-first top-k spatial keyword query: the k objects
 // containing all keywords, closest to p first (IR2TopK, Figure 8).
 func (x *IR2Tree) TopK(k int, p geo.Point, keywords []string) ([]Result, SearchStats, error) {

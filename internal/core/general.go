@@ -173,6 +173,16 @@ func (r *RankedIter) Stats() SearchStats {
 	return r.stats
 }
 
+// PeekBound returns an upper bound on the score of every result the
+// iterator can still produce: the (un-negated) priority of the best queued
+// entry. ok is false when the traversal is exhausted. A parallel fan-out
+// merger uses it to stop a shard whose best remaining candidate cannot beat
+// the global k-th result.
+func (r *RankedIter) PeekBound() (float64, bool) {
+	s, ok := r.it.PeekScore()
+	return -s, ok
+}
+
 // TopKRanked collects the k best results of SearchRanked.
 func (x *IR2Tree) TopKRanked(k int, p geo.Point, keywords []string, opts GeneralOptions) ([]RankedResult, SearchStats, error) {
 	if k <= 0 {

@@ -3,6 +3,7 @@ package rtree
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/storage"
@@ -148,15 +149,21 @@ type Iter struct {
 func (it *Iter) SetTrace(fn func(TraceEvent)) { it.trace = fn }
 
 // Seek starts a best-first traversal with the given scorer. The root enters
-// the queue with score 0 (it is never pruned: the query must consider the
-// whole tree before any of it is expanded).
+// the queue with score -Inf: it is never pruned (the query must consider the
+// whole tree before any of it is expanded), and -Inf is the one priority
+// that is a sound bound for every scorer — PeekScore must never claim a
+// tighter bound than the scorer itself would assign, and the root has not
+// been scored yet. (Seeding with 0 would be wrong for scorers with negative
+// priorities, such as the general ranked query's negated f scores: a peek
+// before the first Next would report bound 0 and let a top-k merge discard
+// the whole traversal.)
 func (t *Tree) Seek(scorer EntryScorer) *Iter {
 	it := &Iter{t: t, scorer: scorer}
 	t.mu.RLock()
 	root := t.root
 	t.mu.RUnlock()
 	if root != storage.NilBlock {
-		it.queue = itemHeap{{node: root, score: 0}}
+		it.queue = itemHeap{{node: root, score: math.Inf(-1)}}
 		it.seq = 1
 	}
 	return it

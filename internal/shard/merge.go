@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The fan-out/merge machinery. Every shard streams results into one shared
+// collector holding the global best k seen so far. The collector publishes
+// the current k-th key through an atomic, so shards can test their next
+// candidate's bound without taking the lock; a shard stops as soon as its
+// best remaining candidate cannot beat the global k-th result.
+//
+// Correctness of the early stop: the threshold only tightens over time, so
+// if a shard's remaining lower bound is strictly worse than the threshold
+// at any moment, everything it still holds is strictly worse than the final
+// k-th result and can contribute neither a result nor a tie. Candidates
+// exactly at the threshold are still offered (the stop test is strict),
+// which keeps the tie-handling deterministic: ties on the boundary key are
+// broken by smallest object ID, independent of shard arrival order.
+
+// item is one candidate in a collector: its ordering key (distance for
+// distance-first and area queries, score for ranked queries), the global
+// object ID used as the deterministic tie-break, and the caller's payload.
+type item struct {
+	key float64
+	id  uint64
+	val any
+}
+
+// collector is a bounded top-k merge buffer shared by all shards of one
+// query. asc selects the direction: true keeps the k smallest keys
+// (distances), false the k largest (scores). Ties on key prefer the
+// smallest id in both directions.
+type collector struct {
+	k   int
+	asc bool
+
+	mu   sync.Mutex
+	h    boundHeap // worst-kept-first heap, at most k items
+	thr  atomic.Uint64
+	full atomic.Bool
+}
+
+func newCollector(k int, asc bool) *collector {
+	c := &collector{k: k, asc: asc}
+	c.h.asc = asc
+	if asc {
+		c.thr.Store(math.Float64bits(math.Inf(1)))
+	} else {
+		c.thr.Store(math.Float64bits(math.Inf(-1)))
+	}
+	return c
+}
+
+// better reports whether a strictly beats b under the collector's order.
+func (c *collector) better(a, b item) bool {
+	if a.key != b.key {
+		if c.asc {
+			return a.key < b.key
+		}
+		return a.key > b.key
+	}
+	return a.id < b.id
+}
+
+// admissible reports whether a shard whose best remaining candidate has the
+// given bound could still contribute a result or a boundary tie. Shards
+// must stop pulling once this turns false — and it never turns true again,
+// because the threshold only tightens.
+func (c *collector) admissible(bound float64) bool {
+	if !c.full.Load() {
+		return true
+	}
+	thr := math.Float64frombits(c.thr.Load())
+	if c.asc {
+		return bound <= thr
+	}
+	return bound >= thr
+}
+
+// offer submits one candidate. It returns immediately when the candidate
+// cannot enter the current top k.
+func (c *collector) offer(key float64, id uint64, val any) {
+	it := item{key: key, id: id, val: val}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.h.items) < c.k {
+		heap.Push(&c.h, it)
+		if len(c.h.items) == c.k {
+			c.thr.Store(math.Float64bits(c.h.items[0].key))
+			c.full.Store(true)
+		}
+		return
+	}
+	if !c.better(it, c.h.items[0]) {
+		return
+	}
+	c.h.items[0] = it
+	heap.Fix(&c.h, 0)
+	c.thr.Store(math.Float64bits(c.h.items[0].key))
+}
+
+// results returns the collected top k, best first.
+func (c *collector) results() []item {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]item, len(c.h.items))
+	copy(out, c.h.items)
+	// Selection sort is fine at k items; avoid mutating the heap.
+	for i := range out {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if c.better(out[j], out[best]) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out
+}
+
+// boundHeap is a worst-first heap: the root is the weakest kept candidate,
+// the one a better newcomer evicts. For asc (distances) that is the largest
+// (key, id); for ranked scores the smallest key with the largest id.
+type boundHeap struct {
+	items []item
+	asc   bool
+}
+
+func (h *boundHeap) Len() int { return len(h.items) }
+
+func (h *boundHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.key != b.key {
+		if h.asc {
+			return a.key > b.key
+		}
+		return a.key < b.key
+	}
+	return a.id > b.id
+}
+
+func (h *boundHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *boundHeap) Push(x any) { h.items = append(h.items, x.(item)) }
+
+func (h *boundHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}

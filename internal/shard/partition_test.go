@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+)
+
+func TestGridPartitionerLocateRange(t *testing.T) {
+	bounds := geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(100, 100))
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		g, err := NewGridPartitioner(n, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		counts := make([]int, n)
+		for i := 0; i < 2000; i++ {
+			p := geo.NewPoint(rng.Float64()*100, rng.Float64()*100)
+			sh := g.Locate(p)
+			if sh < 0 || sh >= n {
+				t.Fatalf("n=%d: Locate = %d", n, sh)
+			}
+			counts[sh]++
+		}
+		if n > 1 {
+			for sh, c := range counts {
+				if c == 0 {
+					t.Errorf("n=%d: shard %d received no uniform points", n, sh)
+				}
+			}
+		}
+	}
+}
+
+func TestGridPartitionerClampsOutliers(t *testing.T) {
+	g, err := NewGridPartitioner(4, geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(10, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geo.Point{
+		geo.NewPoint(-50, 5), geo.NewPoint(1e9, 1e9), geo.NewPoint(5, -3), geo.NewPoint(11, 12),
+	} {
+		if sh := g.Locate(p); sh < 0 || sh >= 4 {
+			t.Errorf("Locate(%v) = %d", p, sh)
+		}
+	}
+}
+
+// A point inside a rectangle must always land in a shard the rectangle
+// overlaps — including outliers beyond the grid bounds, whose cells extend
+// to infinity.
+func TestGridOverlappingCoversLocate(t *testing.T) {
+	bounds := geo.NewRect(geo.NewPoint(-20, -20), geo.NewPoint(20, 20))
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 5, 9} {
+		g, err := NewGridPartitioner(n, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			// Rectangles and points over a wider range than the bounds.
+			x0, y0 := rng.Float64()*120-60, rng.Float64()*120-60
+			w, h := rng.Float64()*40, rng.Float64()*40
+			r := geo.NewRect(geo.NewPoint(x0, y0), geo.NewPoint(x0+w, y0+h))
+			p := geo.NewPoint(x0+rng.Float64()*w, y0+rng.Float64()*h)
+			want := g.Locate(p)
+			found := false
+			for _, sh := range g.Overlapping(r) {
+				if sh == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: point %v in rect %v locates to shard %d, Overlapping = %v",
+					n, p, r, want, g.Overlapping(r))
+			}
+		}
+	}
+}
+
+func TestGridOverlappingIsSelective(t *testing.T) {
+	g, err := NewGridPartitioner(16, geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rectangle inside one cell should touch far fewer than all shards.
+	got := g.Overlapping(geo.NewRect(geo.NewPoint(1, 1), geo.NewPoint(2, 2)))
+	if len(got) != 1 {
+		t.Errorf("tiny rect overlaps %v, want one shard", got)
+	}
+	all := g.Overlapping(geo.NewRect(geo.NewPoint(-10, -10), geo.NewPoint(110, 110)))
+	if len(all) != 16 {
+		t.Errorf("covering rect overlaps %d shards, want 16", len(all))
+	}
+}
+
+func TestHashPartitioner(t *testing.T) {
+	h, err := NewHashPartitioner(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.NewPoint(3.25, -7.5)
+	if h.Locate(p) != h.Locate(geo.NewPoint(3.25, -7.5)) {
+		t.Error("hash not deterministic")
+	}
+	if got := h.Locate(p); got < 0 || got >= 5 {
+		t.Errorf("Locate = %d", got)
+	}
+	if got := h.Overlapping(geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(1, 1))); len(got) != 5 {
+		t.Errorf("hash Overlapping = %v, want all 5", got)
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[h.Locate(geo.NewPoint(rng.Float64(), rng.Float64()))]++
+	}
+	for sh, c := range counts {
+		if c < 500 {
+			t.Errorf("hash shard %d got %d of 5000 points — badly skewed", sh, c)
+		}
+	}
+}
+
+func TestPartitionerStateRoundtrip(t *testing.T) {
+	g, _ := NewGridPartitioner(6, geo.NewRect(geo.NewPoint(-5, 0), geo.NewPoint(5, 10)))
+	st, err := marshalPartitioner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := unmarshalPartitioner(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := back.(*GridPartitioner)
+	if g2.n != g.n || g2.gx != g.gx || g2.gy != g.gy || !g2.bounds.Equal(g.bounds) {
+		t.Errorf("grid roundtrip: %+v vs %+v", g2, g)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := geo.NewPoint(rng.Float64()*30-15, rng.Float64()*30-15)
+		if g.Locate(p) != g2.Locate(p) {
+			t.Fatalf("roundtripped grid disagrees at %v", p)
+		}
+	}
+
+	h, _ := NewHashPartitioner(3)
+	st, err = marshalPartitioner(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = unmarshalPartitioner(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*HashPartitioner).n != 3 {
+		t.Errorf("hash roundtrip lost shard count")
+	}
+	if _, err := unmarshalPartitioner(partitionerState{Kind: "nope"}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestPartitionerValidation(t *testing.T) {
+	if _, err := NewGridPartitioner(0, geo.NewRect(geo.NewPoint(0), geo.NewPoint(1))); err == nil {
+		t.Error("n=0 grid should fail")
+	}
+	if _, err := NewGridPartitioner(2, geo.Rect{}); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	if _, err := NewHashPartitioner(0); err == nil {
+		t.Error("n=0 hash should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/textutil"
+)
+
+// Durability. A durable sharded engine lives in a directory holding one
+// subdirectory per shard — each a complete durable engine under the
+// existing manifest scheme — plus a top-level sharded manifest recording
+// the partitioner and the global→shard ID assignment:
+//
+//	dir/
+//	  shards.json      partitioner state + assignment (written by Save)
+//	  shard-0000/      manifest.json, objects.db, index.db
+//	  shard-0001/
+//	  ...
+//
+// Per-shard local IDs are insertion-ordered, so the assignment array (the
+// shard index of every global ID, in global order) reconstructs both
+// directions of the ID translation on reopen.
+
+const shardManifestName = "shards.json"
+
+// shardManifest is the sharded engine's durable root.
+type shardManifest struct {
+	Config      spatialkeyword.Config `json:"config"`
+	Partitioner partitionerState      `json:"partitioner"`
+	// Assign holds the shard index of each global object ID.
+	Assign []int `json:"assign"`
+}
+
+// shardDir names the i-th shard's subdirectory.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// IsShardedDir reports whether dir holds a durable sharded engine.
+func IsShardedDir(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, shardManifestName))
+	return err == nil
+}
+
+// NewDurable creates an empty sharded engine whose shards live in
+// subdirectories of dir (created if needed). Call Save to persist state and
+// Close to release the files.
+func NewDurable(cfg spatialkeyword.Config, dir string, opts Options) (*ShardedEngine, error) {
+	part, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: create engine dir: %w", err)
+	}
+	s := &ShardedEngine{cfg: cfg, part: part, vocab: textutil.NewVocabulary(), dir: dir}
+	for i := 0; i < part.Shards(); i++ {
+		eng, err := spatialkeyword.NewDurableEngine(cfg, shardDir(dir, i))
+		if err != nil {
+			s.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		s.shards = append(s.shards, &shardHandle{idx: i, eng: eng})
+	}
+	return s, nil
+}
+
+// Save checkpoints every shard and then the sharded manifest. Only durable
+// engines can Save.
+func (s *ShardedEngine) Save() error {
+	if s.dir == "" {
+		return spatialkeyword.ErrNotDurable
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.eng.Save()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
+	}
+	ps, err := marshalPartitioner(s.part)
+	if err != nil {
+		return err
+	}
+	m := shardManifest{Config: s.cfg, Partitioner: ps}
+	s.mu.RLock()
+	m.Assign = make([]int, len(s.assign))
+	for gid, loc := range s.assign {
+		m.Assign[gid] = loc.shard
+	}
+	s.mu.RUnlock()
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, shardManifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, shardManifestName))
+}
+
+// Close releases every shard's files. Memory-only engines have nothing to
+// close.
+func (s *ShardedEngine) Close() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.eng.Close()
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Open restores a durable sharded engine saved in dir.
+func Open(dir string) (*ShardedEngine, error) {
+	data, err := os.ReadFile(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: read manifest: %w", err)
+	}
+	var m shardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	part, err := unmarshalPartitioner(m.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedEngine{cfg: m.Config, part: part, vocab: textutil.NewVocabulary(), dir: dir}
+	for i := 0; i < part.Shards(); i++ {
+		eng, err := spatialkeyword.OpenEngine(shardDir(dir, i))
+		if err != nil {
+			s.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, &shardHandle{idx: i, eng: eng})
+	}
+	// Rebuild the ID translation from the assignment: local IDs are
+	// insertion-ordered within each shard, in global order.
+	s.assign = make([]shardLoc, len(m.Assign))
+	for gid, shardIdx := range m.Assign {
+		if shardIdx < 0 || shardIdx >= len(s.shards) {
+			s.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("shard: manifest assigns object %d to shard %d of %d", gid, shardIdx, len(s.shards))
+		}
+		sh := s.shards[shardIdx]
+		s.assign[gid] = shardLoc{shard: shardIdx, local: uint64(len(sh.globals))}
+		sh.globals = append(sh.globals, uint64(gid))
+	}
+	for _, sh := range s.shards {
+		if got := sh.eng.NumObjects(); got != len(sh.globals) {
+			s.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("shard %d: manifest assigns %d objects, engine holds %d", sh.idx, len(sh.globals), got)
+		}
+	}
+	// Rebuild corpus statistics from every shard's object file (deleted
+	// rows included, matching single-engine reopen semantics).
+	for _, sh := range s.shards {
+		err := sh.eng.Scan(func(o spatialkeyword.Object) error {
+			s.vocab.AddDocWith(s.analyzer(), o.Text)
+			return nil
+		})
+		if err != nil {
+			s.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,509 @@
+// Package shard scales the spatial keyword engine across CPU cores: a
+// ShardedEngine partitions objects over N independent engines (each a full
+// IR²-Tree over its own simulated disks) using a pluggable spatial
+// partitioner, and answers queries by fanning out to the shards in parallel
+// and merging their result streams.
+//
+// Writes touch exactly one shard, guarded by that shard's own RWMutex, so
+// an insert no longer blocks searches on the rest of the data. Top-k
+// queries (distance-first, area, and general ranked) run one goroutine per
+// shard; each shard streams results into a bounded k-way merge that
+// preserves exact top-k semantics — a shard stops early once its best
+// remaining candidate cannot beat the current global k-th result, which the
+// merge publishes through an atomic bound. Boolean range queries and the
+// maintenance operations route only to the shards whose region intersects
+// the target.
+//
+// Results are identical to a single engine over the same objects: the
+// merge is exact (see the correctness note in merge.go), object IDs are
+// global, and ranked queries score against engine-wide corpus statistics
+// rather than per-shard vocabularies (shard-local idf would re-rank
+// results). Distance ties are broken by smallest global ID, where a single
+// engine breaks them by traversal order.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// Options configures a ShardedEngine.
+type Options struct {
+	// Shards is the number of shards. Zero means 1.
+	Shards int
+	// Partitioner routes points to shards. Nil picks a default: a grid
+	// partitioner over Bounds when Bounds is set, else a hash partitioner
+	// (the fallback for unbounded data). A non-nil Partitioner must agree
+	// with Shards.
+	Partitioner Partitioner
+	// Bounds is the dataset MBR for the default grid partitioner.
+	Bounds geo.Rect
+}
+
+// shardLoc addresses one object inside the sharded engine.
+type shardLoc struct {
+	shard int
+	local uint64
+}
+
+// shardHandle is one shard: an independent engine plus its own lock and the
+// local→global ID translation. The lock follows the engine's contract —
+// queries are concurrent, writes exclusive.
+type shardHandle struct {
+	idx     int
+	mu      sync.RWMutex
+	eng     *spatialkeyword.Engine
+	globals []uint64 // local object ID → global object ID
+}
+
+// ShardedEngine is a spatially partitioned spatial keyword engine. All
+// methods are safe for concurrent use; queries on different shards and
+// writes to different shards proceed in parallel.
+type ShardedEngine struct {
+	cfg    spatialkeyword.Config
+	part   Partitioner
+	shards []*shardHandle
+
+	// mu guards the global ID map and the corpus-wide vocabulary.
+	mu     sync.RWMutex
+	assign []shardLoc // global object ID → location
+	vocab  *textutil.Vocabulary
+
+	dir string // backing directory; empty = in-memory
+}
+
+// resolve fills in Options defaults and builds the partitioner.
+func (o Options) resolve() (Partitioner, error) {
+	n := o.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: %d shards", n)
+	}
+	p := o.Partitioner
+	if p == nil {
+		var err error
+		if !o.Bounds.IsZero() {
+			p, err = NewGridPartitioner(n, o.Bounds)
+		} else {
+			p, err = NewHashPartitioner(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.Shards() != n {
+		return nil, fmt.Errorf("shard: partitioner has %d shards, options say %d", p.Shards(), n)
+	}
+	return p, nil
+}
+
+// New creates an empty in-memory sharded engine; every shard gets the same
+// engine configuration.
+func New(cfg spatialkeyword.Config, opts Options) (*ShardedEngine, error) {
+	part, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedEngine{cfg: cfg, part: part, vocab: textutil.NewVocabulary()}
+	for i := 0; i < part.Shards(); i++ {
+		eng, err := spatialkeyword.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &shardHandle{idx: i, eng: eng})
+	}
+	return s, nil
+}
+
+// NumShards returns the number of shards.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// Partitioner returns the engine's partitioner.
+func (s *ShardedEngine) Partitioner() Partitioner { return s.part }
+
+// analyzer mirrors the per-shard engines' text pipeline so the global
+// vocabulary accumulates the same terms the shards index.
+func (s *ShardedEngine) analyzer() *textutil.Analyzer {
+	if !s.cfg.RemoveStopwords && !s.cfg.Stemming {
+		return nil
+	}
+	a := &textutil.Analyzer{Stemming: s.cfg.Stemming}
+	if s.cfg.RemoveStopwords {
+		a.Stopwords = textutil.DefaultStopwords()
+	}
+	return a
+}
+
+// Add routes the object to its shard by location, indexes it immediately
+// (sharded adds are always flushed, so queries never contend with pending
+// buffers), and returns its global ID.
+func (s *ShardedEngine) Add(point []float64, text string) (uint64, error) {
+	sh := s.shards[s.part.Locate(geo.NewPoint(point...))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	local, err := sh.eng.Add(point, text)
+	if err != nil {
+		return 0, err
+	}
+	if err := sh.eng.Flush(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	gid := uint64(len(s.assign))
+	s.assign = append(s.assign, shardLoc{shard: sh.idx, local: local})
+	s.vocab.AddDocWith(s.analyzer(), text)
+	s.mu.Unlock()
+	sh.globals = append(sh.globals, gid)
+	return gid, nil
+}
+
+// Flush is a no-op: sharded adds index eagerly. It exists so the engine
+// satisfies the same surface as a single Engine.
+func (s *ShardedEngine) Flush() error { return nil }
+
+// locate resolves a global ID, or fails with the engine's error values.
+func (s *ShardedEngine) locate(gid uint64) (shardLoc, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if gid >= uint64(len(s.assign)) {
+		return shardLoc{}, fmt.Errorf("%w: %d", spatialkeyword.ErrUnknownID, gid)
+	}
+	return s.assign[gid], nil
+}
+
+// reglobal rewrites a shard-local error to name the global ID.
+func reglobal(err error, gid uint64) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, spatialkeyword.ErrDeleted):
+		return fmt.Errorf("%w: %d", spatialkeyword.ErrDeleted, gid)
+	case errors.Is(err, spatialkeyword.ErrUnknownID):
+		return fmt.Errorf("%w: %d", spatialkeyword.ErrUnknownID, gid)
+	default:
+		return err
+	}
+}
+
+// Get returns a stored object by global ID.
+func (s *ShardedEngine) Get(gid uint64) (spatialkeyword.Object, error) {
+	loc, err := s.locate(gid)
+	if err != nil {
+		return spatialkeyword.Object{}, err
+	}
+	sh := s.shards[loc.shard]
+	sh.mu.RLock()
+	obj, err := sh.eng.Get(loc.local)
+	sh.mu.RUnlock()
+	if err != nil {
+		return spatialkeyword.Object{}, reglobal(err, gid)
+	}
+	obj.ID = gid
+	return obj, nil
+}
+
+// Delete removes an object from its shard's index.
+func (s *ShardedEngine) Delete(gid uint64) error {
+	loc, err := s.locate(gid)
+	if err != nil {
+		return err
+	}
+	sh := s.shards[loc.shard]
+	sh.mu.Lock()
+	err = sh.eng.Delete(loc.local)
+	sh.mu.Unlock()
+	return reglobal(err, gid)
+}
+
+// fanOut runs fn once per listed shard (nil = all shards) in parallel and
+// returns the first error.
+func (s *ShardedEngine) fanOut(which []int, fn func(sh *shardHandle) error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	run := func(sh *shardHandle) {
+		defer wg.Done()
+		if err := fn(sh); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+	if which == nil {
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go run(sh)
+		}
+	} else {
+		for _, i := range which {
+			wg.Add(1)
+			go run(s.shards[i])
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// streamIter abstracts the two distance-ordered streams (point and area).
+type streamIter interface {
+	Next() (spatialkeyword.Result, bool, error)
+	PeekBound() (float64, bool)
+	Stats() spatialkeyword.QueryStats
+}
+
+// drainDistanceStream pulls one shard's distance-ordered stream into the
+// collector until the shard is exhausted or its bound proves it cannot beat
+// the global k-th result.
+func drainDistanceStream(sh *shardHandle, it streamIter, col *collector) error {
+	for {
+		if bound, ok := it.PeekBound(); !ok || !col.admissible(bound) {
+			return nil
+		}
+		r, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		col.offer(r.Dist, sh.globals[r.Object.ID], r)
+	}
+}
+
+// TopK returns the k objects containing every keyword, nearest to point
+// first — fanned out across all shards.
+func (s *ShardedEngine) TopK(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	res, _, err := s.TopKWithStats(k, point, keywords...)
+	return res, err
+}
+
+// TopKWithStats is TopK plus aggregated per-shard work counters.
+func (s *ShardedEngine) TopKWithStats(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, spatialkeyword.QueryStats, error) {
+	var agg spatialkeyword.QueryStats
+	if k <= 0 {
+		return nil, agg, nil
+	}
+	col := newCollector(k, true)
+	var statsMu sync.Mutex
+	err := s.fanOut(nil, func(sh *shardHandle) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		stop := sh.eng.MeterIO()
+		it, err := sh.eng.Search(point, keywords...)
+		if err != nil {
+			return err
+		}
+		err = drainDistanceStream(sh, it, col)
+		st := it.Stats()
+		random, sequential := stop()
+		statsMu.Lock()
+		agg.NodesLoaded += st.NodesLoaded
+		agg.ObjectsLoaded += st.ObjectsLoaded
+		agg.FalsePositives += st.FalsePositives
+		agg.BlocksRandom += random
+		agg.BlocksSequential += sequential
+		statsMu.Unlock()
+		return err
+	})
+	if err != nil {
+		return nil, agg, err
+	}
+	return distanceResults(col), agg, nil
+}
+
+// distanceResults converts a collector's items back to engine results with
+// global IDs.
+func distanceResults(col *collector) []spatialkeyword.Result {
+	items := col.results()
+	out := make([]spatialkeyword.Result, 0, len(items))
+	for _, it := range items {
+		r := it.val.(spatialkeyword.Result)
+		r.Object.ID = it.id
+		out = append(out, r)
+	}
+	return out
+}
+
+// TopKArea returns the k objects containing every keyword nearest to the
+// query rectangle (zero distance inside it). Like any distance-ranked
+// query it fans out to every shard: objects far outside a shard's region
+// can still be among the k nearest to the area.
+func (s *ShardedEngine) TopKArea(k int, lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	col := newCollector(k, true)
+	err := s.fanOut(nil, func(sh *shardHandle) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		it, err := sh.eng.SearchArea(lo, hi, keywords...)
+		if err != nil {
+			return err
+		}
+		return drainDistanceStream(sh, it, col)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return distanceResults(col), nil
+}
+
+// corpusStats snapshots the engine-wide document count and exposes a
+// concurrency-safe document-frequency reader, so every shard of one ranked
+// query scores with the same global idf weights a single engine would use.
+func (s *ShardedEngine) corpusStats() spatialkeyword.CorpusStats {
+	s.mu.RLock()
+	numDocs := s.vocab.NumDocs()
+	s.mu.RUnlock()
+	return spatialkeyword.CorpusStats{
+		NumDocs: numDocs,
+		DocFreq: func(word string) int {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return s.vocab.DocFreq(word)
+		},
+	}
+}
+
+// TopKRanked returns the k objects with the best combined
+// relevance-and-proximity score, fanned out across all shards and merged by
+// descending score (score ties broken by smallest global ID).
+func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) ([]spatialkeyword.RankedResult, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cs := s.corpusStats()
+	col := newCollector(k, false)
+	err := s.fanOut(nil, func(sh *shardHandle) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		it, err := sh.eng.SearchRankedWith(cs, point, keywords...)
+		if err != nil {
+			return err
+		}
+		for {
+			if bound, ok := it.PeekBound(); !ok || !col.admissible(bound) {
+				return nil
+			}
+			r, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			col.offer(r.Score, sh.globals[r.Object.ID], r)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	items := col.results()
+	out := make([]spatialkeyword.RankedResult, 0, len(items))
+	for _, it := range items {
+		r := it.val.(spatialkeyword.RankedResult)
+		r.Object.ID = it.id
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WithinArea returns every object inside the rectangle containing all the
+// keywords, ordered by global ID. Only shards whose region intersects the
+// rectangle are consulted.
+func (s *ShardedEngine) WithinArea(lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	which := s.part.Overlapping(geo.NewRect(geo.NewPoint(lo...), geo.NewPoint(hi...)))
+	var (
+		mu  sync.Mutex
+		all []spatialkeyword.Result
+	)
+	err := s.fanOut(which, func(sh *shardHandle) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		res, err := sh.eng.WithinArea(lo, hi, keywords...)
+		if err != nil {
+			return err
+		}
+		for i := range res {
+			res[i].Object.ID = sh.globals[res[i].Object.ID]
+		}
+		mu.Lock()
+		all = append(all, res...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortResultsByID(all)
+	return all, nil
+}
+
+// sortResultsByID orders merged range results by global ID, matching the
+// single engine's output order.
+func sortResultsByID(rs []spatialkeyword.Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Object.ID < rs[j].Object.ID })
+}
+
+// Stats sums the per-shard engine statistics: object counts and disk
+// footprints add up, tree height reports the tallest shard, and the
+// vocabulary is the corpus-wide count (shards can share words).
+func (s *ShardedEngine) Stats() spatialkeyword.Stats {
+	var out spatialkeyword.Stats
+	for _, st := range s.ShardStats() {
+		out.Objects += st.Objects
+		out.IndexMB += st.IndexMB
+		out.ObjectFileMB += st.ObjectFileMB
+		if st.TreeHeight > out.TreeHeight {
+			out.TreeHeight = st.TreeHeight
+		}
+	}
+	s.mu.RLock()
+	out.Vocabulary = s.vocab.NumWords()
+	s.mu.RUnlock()
+	return out
+}
+
+// MeterShardIO snapshots every shard's disk counters; the returned stop
+// function reports each shard's block accesses since the snapshot, in shard
+// order. Shards are independent devices, so a fan-out query's modeled disk
+// time is the maximum — not the sum — of the per-shard times; the benchmark
+// harness uses this hook for that accounting. Attribution is exact only
+// while the engine runs one query at a time.
+func (s *ShardedEngine) MeterShardIO() func() []storage.Stats {
+	stops := make([]func() storage.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		stops[i] = sh.eng.MeterIOStats()
+	}
+	return func() []storage.Stats {
+		out := make([]storage.Stats, len(stops))
+		for i, stop := range stops {
+			out[i] = stop()
+		}
+		return out
+	}
+}
+
+// ShardStats returns each shard's own engine statistics, in shard order.
+func (s *ShardedEngine) ShardStats() []spatialkeyword.Stats {
+	out := make([]spatialkeyword.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = sh.eng.Stats()
+		sh.mu.RUnlock()
+	}
+	return out
+}

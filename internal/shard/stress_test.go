@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/geo"
+)
+
+// TestShardedConcurrentStress hammers one sharded engine from many
+// goroutines — inserts, deletes, and all three query types at once — to give
+// the race detector something to chew on, then quiesces and cross-checks the
+// final state against a single engine replaying the same history. Query
+// results during the storm are only sanity-checked (they race with writes by
+// design); the post-quiesce comparison is exact.
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		writers     = 4
+		rowsPerGor  = 60
+		queriers    = 4
+		queryRounds = 40
+		deleteEvery = 3
+	)
+	words := []string{"espresso", "harbor", "noodle", "gallery", "vinyl", "sauna", "taqueria", "cinema"}
+	rowText := func(w, i int) string {
+		return fmt.Sprintf("%s %s shop number %d", words[(w+i)%len(words)], words[(w*3+i*5)%len(words)], i)
+	}
+
+	s, err := New(spatialkeyword.Config{SignatureBytes: 16}, Options{
+		Shards: 4,
+		Bounds: geo.NewRect(geo.NewPoint(0, 0), geo.NewPoint(1000, 1000)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		histMu  sync.Mutex
+		history = map[uint64]spatialkeyword.Object{} // global id → row
+		deleted = map[uint64]bool{}
+	)
+	toDelete := make(chan uint64, writers*rowsPerGor)
+	var writeWG sync.WaitGroup
+
+	// Writers: each inserts its own deterministic rows, records the assigned
+	// global id, and nominates every deleteEvery-th row for deletion.
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < rowsPerGor; i++ {
+				pt := []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+				text := rowText(w, i)
+				id, err := s.Add(pt, text)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				histMu.Lock()
+				history[id] = spatialkeyword.Object{ID: id, Point: pt, Text: text}
+				histMu.Unlock()
+				if i%deleteEvery == 0 {
+					toDelete <- id
+				}
+			}
+		}(w)
+	}
+
+	// Deleter: consumes nominations concurrently with the writers.
+	var delWG sync.WaitGroup
+	delWG.Add(1)
+	go func() {
+		defer delWG.Done()
+		for id := range toDelete {
+			if err := s.Delete(id); err != nil {
+				t.Errorf("delete %d: %v", id, err)
+				return
+			}
+			histMu.Lock()
+			deleted[id] = true
+			histMu.Unlock()
+		}
+	}()
+
+	// Queriers: all three ranked query types plus range, point lookups, and
+	// stats, racing with the writes.
+	var queryWG sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		queryWG.Add(1)
+		go func(q int) {
+			defer queryWG.Done()
+			rng := rand.New(rand.NewSource(int64(q) + 100))
+			for i := 0; i < queryRounds; i++ {
+				p := []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+				kw := words[rng.Intn(len(words))]
+				res, err := s.TopK(5, p, kw)
+				if err != nil {
+					t.Errorf("querier %d TopK: %v", q, err)
+					return
+				}
+				for j := 1; j < len(res); j++ {
+					if res[j].Dist < res[j-1].Dist {
+						t.Errorf("querier %d: TopK out of order", q)
+						return
+					}
+				}
+				if _, err := s.TopKSerial(5, p, kw); err != nil {
+					t.Errorf("querier %d TopKSerial: %v", q, err)
+				}
+				if _, err := s.TopKRanked(5, p, kw, words[rng.Intn(len(words))]); err != nil {
+					t.Errorf("querier %d TopKRanked: %v", q, err)
+					return
+				}
+				lo := []float64{p[0] - 100, p[1] - 100}
+				hi := []float64{p[0] + 100, p[1] + 100}
+				if _, err := s.TopKArea(5, lo, hi, kw); err != nil {
+					t.Errorf("querier %d TopKArea: %v", q, err)
+					return
+				}
+				if _, err := s.WithinArea(lo, hi, kw); err != nil {
+					t.Errorf("querier %d WithinArea: %v", q, err)
+					return
+				}
+				if n := s.Stats().Objects; n < 0 {
+					t.Errorf("querier %d: negative object count %d", q, n)
+					return
+				}
+			}
+		}(q)
+	}
+
+	writeWG.Wait()
+	close(toDelete)
+	delWG.Wait()
+	queryWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced cross-check: replay the same history (rows in global ID
+	// order, then the deletions) into a single engine — IDs line up because
+	// sharded global IDs are insertion-ordered — and compare every query
+	// type exactly.
+	total := writers * rowsPerGor
+	if len(history) != total {
+		t.Fatalf("recorded %d rows, want %d", len(history), total)
+	}
+	single, err := spatialkeyword.NewEngine(spatialkeyword.Config{SignatureBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < uint64(total); id++ {
+		row, ok := history[id]
+		if !ok {
+			t.Fatalf("global id %d never recorded: ids must be dense", id)
+		}
+		got, err := single.Add(row.Point, row.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Fatalf("replay assigned id %d, want %d", got, id)
+		}
+	}
+	for id := range deleted {
+		if err := single.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 10; i++ {
+		p := []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+		kws := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+		want, err := single.TopK(7, p, kws[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.TopK(7, p, kws[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "quiesced TopK", want, got)
+
+		wantR, err := single.TopKRanked(7, p, kws...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := s.TopKRanked(7, p, kws...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanked(t, "quiesced TopKRanked", wantR, gotR)
+
+		lo := []float64{p[0] - 150, p[1] - 150}
+		hi := []float64{p[0] + 150, p[1] + 150}
+		wantW, err := single.WithinArea(lo, hi, kws[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotW, err := s.WithinArea(lo, hi, kws[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotW) != len(wantW) {
+			t.Fatalf("quiesced WithinArea = %d results, want %d", len(gotW), len(wantW))
+		}
+		for j := range wantW {
+			if gotW[j].Object.ID != wantW[j].Object.ID {
+				t.Fatalf("quiesced WithinArea[%d] = id %d, want %d", j, gotW[j].Object.ID, wantW[j].Object.ID)
+			}
+		}
+	}
+}

@@ -23,7 +23,6 @@ import (
 
 	"spatialkeyword/internal/core"
 	"spatialkeyword/internal/geo"
-	"spatialkeyword/internal/irscore"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
@@ -364,35 +363,20 @@ func (e *Engine) TopKWithStats(k int, point []float64, keywords ...string) ([]Re
 // query (objects may contain only some keywords; tf-idf relevance is
 // discounted by distance).
 func (e *Engine) TopKRanked(k int, point []float64, keywords ...string) ([]RankedResult, error) {
-	if err := e.Flush(); err != nil {
-		return nil, err
-	}
-	if len(point) != e.dim {
-		return nil, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
-	}
-	scorer := irscore.NewScorer(e.vocab.NumDocs(), e.vocab.DocFreq).WithAnalyzer(e.analyzer())
-	res, _, err := e.tree.TopKRanked(k+len(e.deleted), geo.NewPoint(point...), keywords, core.GeneralOptions{
-		Scorer:       scorer,
-		Combiner:     irscore.DistanceDiscount{Scale: 100},
-		RequireMatch: true,
-	})
+	it, err := e.SearchRanked(point, keywords...)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]RankedResult, 0, k)
-	for _, r := range res {
-		if e.deleted[uint64(r.Object.ID)] {
-			continue
+	for len(out) < k {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, RankedResult{
-			Object:  Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
-			Dist:    r.Dist,
-			IRScore: r.IRScore,
-			Score:   r.Score,
-		})
-		if len(out) == k {
+		if !ok {
 			break
 		}
+		out = append(out, r)
 	}
 	return out, nil
 }

@@ -1,0 +1,195 @@
+package spatialkeyword
+
+import (
+	"fmt"
+
+	"spatialkeyword/internal/core"
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/storage"
+)
+
+// Streaming query API. Search, SearchArea, and SearchRanked return pull
+// iterators over the same traversals that back TopK, TopKArea, and
+// TopKRanked, so callers that merge several engines' result streams (see
+// internal/shard) can consume exactly as many results as they need and
+// inspect the next candidate's bound without loading it.
+
+// SearchIter streams distance-first results in non-decreasing distance
+// order, skipping deleted objects. It is valid until the engine's next
+// write.
+type SearchIter struct {
+	e  *Engine
+	it *core.ResultIter
+}
+
+// Search starts an incremental distance-first query: the stream behind
+// TopK. Pending adds are flushed first.
+func (e *Engine) Search(point []float64, keywords ...string) (*SearchIter, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	if len(point) != e.dim {
+		return nil, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
+	}
+	return &SearchIter{e: e, it: e.tree.Search(geo.NewPoint(point...), keywords)}, nil
+}
+
+// SearchArea starts an incremental area-distance query: the stream behind
+// TopKArea. Objects inside the rectangle have distance zero.
+func (e *Engine) SearchArea(lo, hi []float64, keywords ...string) (*SearchIter, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	area, err := e.validateArea(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchIter{e: e, it: e.tree.SearchArea(area, keywords)}, nil
+}
+
+// Next returns the next live object containing every keyword. ok is false
+// when the index is exhausted.
+func (s *SearchIter) Next() (Result, bool, error) {
+	for {
+		r, ok, err := s.it.Next()
+		if err != nil || !ok {
+			return Result{}, false, err
+		}
+		if s.e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		return Result{
+			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+			Dist:   r.Dist,
+		}, true, nil
+	}
+}
+
+// PeekBound returns a lower bound on the distance of every result the
+// iterator can still produce; ok is false when it is exhausted.
+func (s *SearchIter) PeekBound() (float64, bool) { return s.it.PeekBound() }
+
+// Stats returns the traversal work counters accumulated so far (node and
+// object accesses; disk blocks are accounted at the device, see
+// TopKWithStats).
+func (s *SearchIter) Stats() QueryStats {
+	st := s.it.Stats()
+	return QueryStats{
+		NodesLoaded:    st.NodesLoaded,
+		ObjectsLoaded:  st.ObjectsLoaded,
+		FalsePositives: st.FalsePositives,
+	}
+}
+
+// CorpusStats describes the document corpus a ranked query scores against.
+// A single engine uses its own vocabulary; a sharded engine injects
+// corpus-wide statistics so every shard ranks with the same idf weights.
+type CorpusStats struct {
+	// NumDocs is the number of documents ever indexed (including deleted
+	// ones, matching Engine semantics: deletions do not rewrite idf).
+	NumDocs int
+	// DocFreq returns the number of documents containing the word.
+	DocFreq func(word string) int
+}
+
+// RankedSearchIter streams general ranked results in non-increasing score
+// order, skipping deleted objects. It is valid until the engine's next
+// write.
+type RankedSearchIter struct {
+	e  *Engine
+	it *core.RankedIter
+}
+
+// SearchRanked starts an incremental general ranked query: the stream
+// behind TopKRanked, scored against the engine's own corpus statistics.
+func (e *Engine) SearchRanked(point []float64, keywords ...string) (*RankedSearchIter, error) {
+	return e.SearchRankedWith(CorpusStats{NumDocs: e.vocab.NumDocs(), DocFreq: e.vocab.DocFreq}, point, keywords...)
+}
+
+// SearchRankedWith is SearchRanked scoring against the given corpus
+// statistics instead of the engine's own vocabulary.
+func (e *Engine) SearchRankedWith(cs CorpusStats, point []float64, keywords ...string) (*RankedSearchIter, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	if len(point) != e.dim {
+		return nil, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
+	}
+	scorer := irscore.NewScorer(cs.NumDocs, cs.DocFreq).WithAnalyzer(e.analyzer())
+	it := e.tree.SearchRanked(geo.NewPoint(point...), keywords, core.GeneralOptions{
+		Scorer:       scorer,
+		Combiner:     irscore.DistanceDiscount{Scale: 100},
+		RequireMatch: true,
+	})
+	return &RankedSearchIter{e: e, it: it}, nil
+}
+
+// Next returns the next best-scoring live object. ok is false when the
+// index is exhausted.
+func (s *RankedSearchIter) Next() (RankedResult, bool, error) {
+	for {
+		r, ok, err := s.it.Next()
+		if err != nil || !ok {
+			return RankedResult{}, false, err
+		}
+		if s.e.deleted[uint64(r.Object.ID)] {
+			continue
+		}
+		return RankedResult{
+			Object:  Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
+			Dist:    r.Dist,
+			IRScore: r.IRScore,
+			Score:   r.Score,
+		}, true, nil
+	}
+}
+
+// PeekBound returns an upper bound on the score of every result the
+// iterator can still produce; ok is false when it is exhausted.
+func (s *RankedSearchIter) PeekBound() (float64, bool) { return s.it.PeekBound() }
+
+// NumObjects returns the number of rows ever appended to the engine's
+// object file, including deleted ones. Valid object IDs are [0, NumObjects).
+func (e *Engine) NumObjects() int { return e.store.NumObjects() }
+
+// Scan visits every row of the object file in ID order — including deleted
+// rows, which still carry the Text that feeds corpus statistics (idf). The
+// caller can filter with IsDeleted. Pending adds are flushed first.
+func (e *Engine) Scan(fn func(Object) error) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	return e.store.Scan(func(o objstore.Object, _ objstore.Ptr) error {
+		return fn(Object{ID: uint64(o.ID), Point: o.Point, Text: o.Text})
+	})
+}
+
+// IsDeleted reports whether the object with the given ID has been deleted.
+// Unknown IDs are not deleted.
+func (e *Engine) IsDeleted(id uint64) bool { return e.deleted[id] }
+
+// MeterIO snapshots the engine's disk counters; the returned function
+// reports the random and sequential block accesses performed since the
+// snapshot. Concurrent queries on the same engine share the counters, so
+// per-query attribution is exact only when the engine runs one query at a
+// time.
+func (e *Engine) MeterIO() func() (random, sequential uint64) {
+	stop := e.MeterIOStats()
+	return func() (uint64, uint64) {
+		io := stop()
+		return io.Random(), io.Sequential()
+	}
+}
+
+// MeterIOStats is MeterIO returning the full device statistics, for
+// in-module instrumentation that feeds a storage.CostModel (external
+// importers cannot name the internal type; use MeterIO instead).
+func (e *Engine) MeterIOStats() func() storage.Stats {
+	m1 := storage.StartMeter(e.idxDisk)
+	m2 := storage.StartMeter(e.objDisk)
+	return func() storage.Stats {
+		return m1.Stop().Add(m2.Stop())
+	}
+}
