@@ -1,0 +1,22 @@
+# Convenience wrappers around scripts/ci.sh, which mirrors the GitHub
+# Actions workflows. `make ci` runs everything CI runs.
+
+.PHONY: build lint test cover bench ci
+
+build:
+	sh scripts/ci.sh build
+
+lint:
+	sh scripts/ci.sh lint
+
+test:
+	sh scripts/ci.sh test
+
+cover:
+	sh scripts/ci.sh cover
+
+bench:
+	sh scripts/ci.sh bench
+
+ci:
+	sh scripts/ci.sh all

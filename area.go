@@ -2,6 +2,7 @@ package spatialkeyword
 
 import (
 	"fmt"
+	"time"
 
 	"spatialkeyword/internal/geo"
 )
@@ -32,12 +33,16 @@ func (e *Engine) TopKArea(k int, lo, hi []float64, keywords ...string) ([]Result
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	stop := e.MeterIOStats()
 	it := e.tree.SearchArea(area, keywords)
 	var out []Result
+	var iterErr error
 	for len(out) < k {
 		r, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			iterErr = err
+			break
 		}
 		if !ok {
 			break
@@ -49,6 +54,16 @@ func (e *Engine) TopKArea(k int, lo, hi []float64, keywords ...string) ([]Result
 			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
 			Dist:   r.Dist,
 		})
+	}
+	st := it.Stats()
+	io := stop()
+	qs := queryStatsOf(st.NodesLoaded, st.ObjectsLoaded, st.FalsePositives,
+		st.EntriesPruned, st.NodesEnqueued, st.ObjectsEnqueued)
+	qs.BlocksRandom = io.Random()
+	qs.BlocksSequential = io.Sequential()
+	e.record("area", k, len(keywords), len(out), qs, time.Since(start), iterErr)
+	if iterErr != nil {
+		return nil, iterErr
 	}
 	return out, nil
 }

@@ -20,6 +20,17 @@
 //	             hotels, 8 for restaurants)
 //	-capacity    R-Tree node capacity (default 0 = derive ~102 from 4 KB)
 //	-seed        workload seed (default 1)
+//	-json        also write the raw measurements (per-cell averages plus a
+//	             per-query modeled-disk-time histogram) as
+//	             BENCH_<experiment>.json
+//	-out         directory for the -json report (default .)
+//	-baseline    baseline report to compare against; exits non-zero when a
+//	             cell's modeled disk time regresses beyond -regress
+//	-regress     allowed relative disk-time growth vs -baseline (default 0.2)
+//
+// Block counts — and therefore modeled disk time — are seed-deterministic,
+// so the -baseline comparison is exact across hosts: CI uses it to catch
+// I/O regressions without trusting runner wall clocks.
 //
 // Example:
 //
@@ -30,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -47,6 +59,10 @@ type config struct {
 	capacity   int
 	seed       int64
 	csvOut     bool
+	jsonOut    bool
+	outDir     string
+	baseline   string
+	regress    float64
 }
 
 func main() {
@@ -59,6 +75,10 @@ func main() {
 	flag.IntVar(&cfg.capacity, "capacity", 0, "node capacity override (0 = derive from block size)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.BoolVar(&cfg.csvOut, "csv", false, "emit CSV instead of aligned text")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "also write BENCH_<experiment>.json with raw measurements")
+	flag.StringVar(&cfg.outDir, "out", ".", "directory for the -json report")
+	flag.StringVar(&cfg.baseline, "baseline", "", "baseline report to compare modeled disk time against")
+	flag.Float64Var(&cfg.regress, "regress", 0.2, "allowed relative disk-time growth vs -baseline")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -120,7 +140,9 @@ func plans(cfg config) []experimentPlan {
 func run(cfg config) error {
 	cm := storage.DefaultCostModel()
 	want := func(name string) bool { return cfg.experiment == "all" || cfg.experiment == name }
+	var tables []*bench.Table
 	render := func(t *bench.Table) error {
+		tables = append(tables, t)
 		if cfg.csvOut {
 			fmt.Printf("# %s\n", t.Title)
 			return t.WriteCSV(os.Stdout)
@@ -262,6 +284,36 @@ func run(cfg config) error {
 				return err
 			}
 		}
+	}
+	return report(cfg, tables)
+}
+
+// report writes the -json file and runs the -baseline comparison.
+func report(cfg config, tables []*bench.Table) error {
+	if !cfg.jsonOut && cfg.baseline == "" {
+		return nil
+	}
+	rep := bench.NewReport(cfg.experiment, tables...)
+	if cfg.jsonOut {
+		path := filepath.Join(cfg.outDir, "BENCH_"+cfg.experiment+".json")
+		if err := rep.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if cfg.baseline != "" {
+		base, err := bench.ReadReportFile(cfg.baseline)
+		if err != nil {
+			return err
+		}
+		regs := bench.Compare(base, rep, cfg.regress)
+		for _, m := range regs {
+			fmt.Fprintln(os.Stderr, "skbench: "+m)
+		}
+		if len(regs) > 0 {
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(regs), cfg.baseline)
+		}
+		fmt.Printf("no disk-time regressions vs %s\n", cfg.baseline)
 	}
 	return nil
 }

@@ -9,10 +9,13 @@
 //
 //	skserve [flags]
 //
-//	-addr    listen address (default :8080)
-//	-dir     backing directory; empty = in-memory, existing manifest = reopen
-//	-sig     leaf signature bytes (default 64)
-//	-shards  number of spatial shards (default 1 = single engine)
+//	-addr       listen address (default :8080)
+//	-dir        backing directory; empty = in-memory, existing manifest = reopen
+//	-sig        leaf signature bytes (default 64)
+//	-shards     number of spatial shards (default 1 = single engine)
+//	-pprof      also mount net/http/pprof under /debug/pprof/
+//	-slowquery  log queries slower than this to stderr as JSON lines
+//	            (default 50ms; 0 disables)
 //
 // API:
 //
@@ -24,6 +27,9 @@
 //	GET    /ranked?lat=..&lon=..&k=5&q=internet,pool
 //	                         → general ranked top-k (soft semantics)
 //	GET    /stats            → engine, per-shard, and request statistics
+//	GET    /metrics          → Prometheus text exposition (query latency
+//	                           histograms, traversal counters, per-shard I/O)
+//	GET    /debug/vars       → the same metrics as expvar-style JSON
 //	GET    /healthz          → liveness probe
 //	POST   /save             → checkpoint a durable engine
 //
@@ -41,27 +47,32 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"spatialkeyword"
+	"spatialkeyword/internal/obs"
 	"spatialkeyword/internal/shard"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		dir    = flag.String("dir", "", "backing directory (empty = in-memory)")
-		sig    = flag.Int("sig", 64, "leaf signature bytes")
-		shards = flag.Int("shards", 1, "number of spatial shards")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dir         = flag.String("dir", "", "backing directory (empty = in-memory)")
+		sig         = flag.Int("sig", 64, "leaf signature bytes")
+		shards      = flag.Int("shards", 1, "number of spatial shards")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowQuery   = flag.Duration("slowquery", 50*time.Millisecond,
+			"log queries slower than this to stderr as JSON lines (0 disables)")
 	)
 	flag.Parse()
 
@@ -70,7 +81,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "skserve:", err)
 		os.Exit(1)
 	}
-	srv := newServer(eng, *dir != "")
+	srv := newServer(eng, *dir != "", serverOptions{
+		pprof:     *enablePprof,
+		slowQuery: *slowQuery,
+		slowLogTo: os.Stderr,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -196,6 +211,14 @@ func (l *lockedEngine) TopKRanked(k int, point []float64, keywords ...string) ([
 	return l.eng.TopKRanked(k, point, keywords...)
 }
 
+// SetMetricsSink installs the sink on the wrapped engine. Called once at
+// startup, before the server accepts requests.
+func (l *lockedEngine) SetMetricsSink(sink obs.Sink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.eng.SetMetricsSink(sink)
+}
+
 func (l *lockedEngine) Stats() spatialkeyword.Stats {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -214,40 +237,69 @@ func (l *lockedEngine) Close() error {
 	return l.eng.Close()
 }
 
-// requestCounters tracks requests served per endpoint, exposed by /stats.
-type requestCounters struct {
-	Add     atomic.Uint64
-	Get     atomic.Uint64
-	Delete  atomic.Uint64
-	Search  atomic.Uint64
-	Ranked  atomic.Uint64
-	Stats   atomic.Uint64
-	Save    atomic.Uint64
-	Healthz atomic.Uint64
+// metricsSinkSetter is the optional backend extension for installing a
+// per-query metrics sink; both backends implement it.
+type metricsSinkSetter interface {
+	SetMetricsSink(sink obs.Sink)
 }
 
-func (c *requestCounters) snapshot() map[string]uint64 {
-	return map[string]uint64{
-		"add":     c.Add.Load(),
-		"get":     c.Get.Load(),
-		"delete":  c.Delete.Load(),
-		"search":  c.Search.Load(),
-		"ranked":  c.Ranked.Load(),
-		"stats":   c.Stats.Load(),
-		"save":    c.Save.Load(),
-		"healthz": c.Healthz.Load(),
-	}
+// serverOptions configures the observability surface.
+type serverOptions struct {
+	pprof     bool          // mount net/http/pprof under /debug/pprof/
+	slowQuery time.Duration // slow-query log threshold; 0 disables
+	slowLogTo io.Writer     // slow-query destination (tests override)
 }
 
-// server wraps a backend engine with the JSON API.
+// server wraps a backend engine with the JSON API. Request counters and
+// per-query metrics live in one obs.Registry, exposed by /metrics
+// (Prometheus text) and /debug/vars (JSON); /stats keeps serving the
+// per-endpoint totals it always had, now read from the same counters.
 type server struct {
 	eng     engine
 	durable bool
-	reqs    requestCounters
+	opts    serverOptions
+	reg     *obs.Registry
+	reqs    map[string]*obs.Counter
+	slow    *obs.SlowLog
 }
 
-func newServer(eng engine, durable bool) *server {
-	return &server{eng: eng, durable: durable}
+// endpoints names every route for the request counter family.
+var endpoints = []string{"add", "get", "delete", "search", "ranked", "stats", "metrics", "vars", "healthz", "save"}
+
+func newServer(eng engine, durable bool, opts serverOptions) *server {
+	s := &server{
+		eng:     eng,
+		durable: durable,
+		opts:    opts,
+		reg:     obs.NewRegistry(),
+		reqs:    make(map[string]*obs.Counter, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		s.reqs[ep] = s.reg.Counter("sk_http_requests_total",
+			"HTTP requests served, by endpoint.", obs.L("endpoint", ep))
+	}
+	sinks := []obs.Sink{obs.NewQueryRecorder(s.reg)}
+	if opts.slowQuery > 0 {
+		w := opts.slowLogTo
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slow = obs.NewSlowLog(w, opts.slowQuery)
+		sinks = append(sinks, s.slow)
+	}
+	if ms, ok := eng.(metricsSinkSetter); ok {
+		ms.SetMetricsSink(obs.MultiSink(sinks...))
+	}
+	return s
+}
+
+// requestSnapshot reads the per-endpoint totals for /stats.
+func (s *server) requestSnapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.reqs))
+	for ep, c := range s.reqs {
+		out[ep] = c.Value()
+	}
+	return out
 }
 
 // numShards reports the backend's shard count (1 for a single engine).
@@ -272,21 +324,43 @@ func (s *server) checkpoint() error {
 // routes builds the HTTP mux. Every handler bumps its endpoint counter.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	counted := func(c *atomic.Uint64, h http.HandlerFunc) http.HandlerFunc {
+	counted := func(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+		c := s.reqs[endpoint]
 		return func(w http.ResponseWriter, r *http.Request) {
-			c.Add(1)
+			c.Inc()
 			h(w, r)
 		}
 	}
-	mux.HandleFunc("POST /objects", counted(&s.reqs.Add, s.handleAdd))
-	mux.HandleFunc("GET /objects/{id}", counted(&s.reqs.Get, s.handleGet))
-	mux.HandleFunc("DELETE /objects/{id}", counted(&s.reqs.Delete, s.handleDelete))
-	mux.HandleFunc("GET /search", counted(&s.reqs.Search, s.handleSearch))
-	mux.HandleFunc("GET /ranked", counted(&s.reqs.Ranked, s.handleRanked))
-	mux.HandleFunc("GET /stats", counted(&s.reqs.Stats, s.handleStats))
-	mux.HandleFunc("GET /healthz", counted(&s.reqs.Healthz, s.handleHealthz))
-	mux.HandleFunc("POST /save", counted(&s.reqs.Save, s.handleSave))
+	mux.HandleFunc("POST /objects", counted("add", s.handleAdd))
+	mux.HandleFunc("GET /objects/{id}", counted("get", s.handleGet))
+	mux.HandleFunc("DELETE /objects/{id}", counted("delete", s.handleDelete))
+	mux.HandleFunc("GET /search", counted("search", s.handleSearch))
+	mux.HandleFunc("GET /ranked", counted("ranked", s.handleRanked))
+	mux.HandleFunc("GET /stats", counted("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", counted("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/vars", counted("vars", s.handleVars))
+	mux.HandleFunc("GET /healthz", counted("healthz", s.handleHealthz))
+	mux.HandleFunc("POST /save", counted("save", s.handleSave))
+	if s.opts.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // best effort to a client
+}
+
+// handleVars serves the registry as expvar-style JSON.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w) //nolint:errcheck // best effort to a client
 }
 
 // addRequest is the POST /objects payload.
@@ -412,7 +486,7 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{Engine: s.eng.Stats(), Requests: s.reqs.snapshot()}
+	resp := statsResponse{Engine: s.eng.Stats(), Requests: s.requestSnapshot()}
 	if sh, ok := s.eng.(sharded); ok {
 		resp.Shards = sh.ShardStats()
 	}

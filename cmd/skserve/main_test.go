@@ -23,7 +23,7 @@ func newShardedTestServer(t *testing.T, durableDir string, shards int) (*server,
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(eng, durableDir != "")
+	s := newServer(eng, durableDir != "", serverOptions{})
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -71,7 +71,7 @@ func CacheAblation(base BuildConfig, cacheSizes []int, k, numKeywords, nQueries 
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, measurementRow(fmt.Sprintf("cache=%d", size), meas))
+			t.Rows = append(t.Rows, t.measurementRow(fmt.Sprintf("cache=%d", size), meas))
 		}
 	}
 	return t, nil
@@ -107,7 +107,7 @@ func CapacityAblation(base BuildConfig, capacities []int, k, numKeywords, nQueri
 			if err != nil {
 				return nil, err
 			}
-			row := measurementRow(fmt.Sprintf("cap=%d", capacity), meas)
+			row := t.measurementRow(fmt.Sprintf("cap=%d", capacity), meas)
 			var h int
 			if m == MethodIR2 {
 				h = env.IR2.RTree().Height()

@@ -17,6 +17,7 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/invindex"
 	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/obs"
 	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
 )
@@ -295,6 +296,12 @@ type Measurement struct {
 	// role of the paper's execution time.
 	AvgDiskTime time.Duration
 	AvgCPUTime  time.Duration
+
+	// DiskTimeHist is the distribution of per-query modeled disk time in
+	// seconds. Block counts are seed-deterministic, so unlike CPU time this
+	// histogram is reproducible across hosts — the benchmark-regression
+	// check in CI compares it between runs.
+	DiskTimeHist obs.HistogramSnapshot
 }
 
 // TotalTime returns modeled disk time plus measured CPU time — the
@@ -352,6 +359,7 @@ func (e *Env) Measure(m Method, queries []Query, cm storage.CostModel) (Measurem
 	var io storage.Stats
 	var cpu time.Duration
 	var results, objects int
+	hist := obs.NewHistogram(obs.LatencyBuckets())
 	for _, q := range queries {
 		meters := make([]*storage.Meter, len(disks))
 		for i, d := range disks {
@@ -368,11 +376,15 @@ func (e *Env) Measure(m Method, queries []Query, cm storage.CostModel) (Measurem
 		}
 		results += n
 		objects += objs
+		var qio storage.Stats
 		for _, mt := range meters {
-			io = io.Add(mt.Stop())
+			qio = qio.Add(mt.Stop())
 		}
+		io = io.Add(qio)
+		hist.Observe(cm.Time(qio).Seconds())
 	}
 	q := float64(len(queries))
+	out.DiskTimeHist = hist.Snapshot()
 	out.AvgResults = float64(results) / q
 	out.AvgObjects = float64(objects) / q
 	out.AvgRandom = float64(io.Random()) / q

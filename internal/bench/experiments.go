@@ -20,6 +20,17 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Cells carries the raw measurements behind the rendered rows (one per
+	// measurementRow call), so machine-readable reports don't re-parse the
+	// formatted strings. Hand-built rows (Table1, Maintenance) have none.
+	Cells []Cell
+}
+
+// Cell is one raw measurement of a sweep: the number behind one table row.
+type Cell struct {
+	Sweep string
+	Meas  Measurement
 }
 
 // Render writes the table as aligned text.
@@ -62,8 +73,9 @@ func fmtDur(d time.Duration) string {
 func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // measurementRow renders one Measurement as a table row prefixed with the
-// sweep value.
-func measurementRow(sweep string, m Measurement) []string {
+// sweep value, and retains the raw measurement in t.Cells.
+func (t *Table) measurementRow(sweep string, m Measurement) []string {
+	t.Cells = append(t.Cells, Cell{Sweep: sweep, Meas: m})
 	return []string{
 		sweep, m.Method.String(),
 		fmtDur(m.TotalTime()), fmtDur(m.AvgDiskTime), fmtDur(m.AvgCPUTime),
@@ -102,7 +114,7 @@ func VaryK(e *Env, ks []int, numKeywords, nQueries int, seed int64, cm storage.C
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, measurementRow(fmt.Sprintf("k=%d", k), meas))
+			t.Rows = append(t.Rows, t.measurementRow(fmt.Sprintf("k=%d", k), meas))
 		}
 	}
 	return t, nil
@@ -133,7 +145,7 @@ func VaryKeywords(e *Env, keywordCounts []int, k, nQueries int, seed int64, cm s
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, measurementRow(fmt.Sprintf("m=%d", m), meas))
+			t.Rows = append(t.Rows, t.measurementRow(fmt.Sprintf("m=%d", m), meas))
 		}
 	}
 	return t, nil
@@ -166,7 +178,7 @@ func VarySigLen(e *Env, lengths []int, k, numKeywords, nQueries int, seed int64,
 		if err != nil {
 			return nil, err
 		}
-		row := measurementRow("any", meas)
+		row := t.measurementRow("any", meas)
 		var sz float64
 		if m == MethodRTree {
 			sz = e.RTree.SizeMB()
@@ -188,7 +200,7 @@ func VarySigLen(e *Env, lengths []int, k, numKeywords, nQueries int, seed int64,
 			if err != nil {
 				return nil, err
 			}
-			row := measurementRow(fmt.Sprintf("sig=%dB", length), meas)
+			row := t.measurementRow(fmt.Sprintf("sig=%dB", length), meas)
 			var sz float64
 			if m == MethodIR2 {
 				sz = sub.IR2.SizeMB()
@@ -433,7 +445,7 @@ func Selectivity(e *Env, ranks []int, k, numKeywords, nQueries int, seed int64, 
 			if err != nil {
 				return nil, err
 			}
-			row := measurementRow(fmt.Sprintf("rank=%d", rank), meas)
+			row := t.measurementRow(fmt.Sprintf("rank=%d", rank), meas)
 			t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", df)}, row...))
 		}
 	}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"spatialkeyword/internal/obs"
+)
+
+// Report is the machine-readable result of one skbench run, written by the
+// -json flag as BENCH_<experiment>.json and consumed by the CI
+// benchmark-regression workflow. Disk metrics (block counts and modeled
+// disk time under the cost model) are seed-deterministic, so a committed
+// baseline report compares exactly across hosts; CPU time is recorded for
+// context but never compared.
+type Report struct {
+	Experiment string        `json:"experiment"`
+	Tables     []ReportTable `json:"tables"`
+}
+
+// ReportTable is one experiment table's raw measurements.
+type ReportTable struct {
+	Title string       `json:"title"`
+	Cells []ReportCell `json:"cells"`
+}
+
+// ReportCell is one (sweep, method) measurement.
+type ReportCell struct {
+	Sweep               string                `json:"sweep"`
+	Method              string                `json:"method"`
+	Queries             int                   `json:"queries"`
+	AvgResults          float64               `json:"avg_results"`
+	AvgRandomBlocks     float64               `json:"avg_random_blocks"`
+	AvgSequentialBlocks float64               `json:"avg_sequential_blocks"`
+	AvgObjectAccesses   float64               `json:"avg_object_accesses"`
+	AvgDiskTimeUS       float64               `json:"avg_disk_time_us"`
+	AvgCPUTimeUS        float64               `json:"avg_cpu_time_us"`
+	DiskTimeHist        obs.HistogramSnapshot `json:"disk_time_hist"`
+}
+
+// NewReport collects the raw cells of the given tables. Tables without
+// cells (hand-built rows like Table 1) are skipped.
+func NewReport(experiment string, tables ...*Table) *Report {
+	r := &Report{Experiment: experiment}
+	for _, t := range tables {
+		if len(t.Cells) == 0 {
+			continue
+		}
+		rt := ReportTable{Title: t.Title}
+		for _, c := range t.Cells {
+			m := c.Meas
+			rt.Cells = append(rt.Cells, ReportCell{
+				Sweep:               c.Sweep,
+				Method:              m.Method.String(),
+				Queries:             m.Queries,
+				AvgResults:          m.AvgResults,
+				AvgRandomBlocks:     m.AvgRandom,
+				AvgSequentialBlocks: m.AvgSequential,
+				AvgObjectAccesses:   m.AvgObjects,
+				AvgDiskTimeUS:       float64(m.AvgDiskTime) / float64(time.Microsecond),
+				AvgCPUTimeUS:        float64(m.AvgCPUTime) / float64(time.Microsecond),
+				DiskTimeHist:        m.DiskTimeHist,
+			})
+		}
+		r.Tables = append(r.Tables, rt)
+	}
+	return r
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var out Report
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bench: bad report: %w", err)
+	}
+	return &out, nil
+}
+
+// ReadReportFile parses the report at path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// cellKey identifies a cell across runs.
+func cellKey(title string, c ReportCell) string {
+	return title + " | " + c.Sweep + " | " + c.Method
+}
+
+// index maps every cell of the report by its key.
+func (r *Report) index() map[string]ReportCell {
+	out := make(map[string]ReportCell)
+	for _, t := range r.Tables {
+		for _, c := range t.Cells {
+			out[cellKey(t.Title, c)] = c
+		}
+	}
+	return out
+}
+
+// Compare checks current against baseline and returns one message per
+// regression: a cell whose modeled disk time grew by more than tolerance
+// (0.20 = 20%), or a baseline cell that disappeared. Only deterministic
+// metrics are compared — CPU time is ignored. An empty slice means no
+// regressions.
+func Compare(baseline, current *Report, tolerance float64) []string {
+	var msgs []string
+	cur := current.index()
+	for _, t := range baseline.Tables {
+		for _, b := range t.Cells {
+			key := cellKey(t.Title, b)
+			c, ok := cur[key]
+			if !ok {
+				msgs = append(msgs, fmt.Sprintf("missing cell: %s", key))
+				continue
+			}
+			if b.AvgDiskTimeUS > 0 && c.AvgDiskTimeUS > b.AvgDiskTimeUS*(1+tolerance) {
+				msgs = append(msgs, fmt.Sprintf(
+					"disk time regression: %s: %.1fµs → %.1fµs (+%.1f%%, tolerance %.0f%%)",
+					key, b.AvgDiskTimeUS, c.AvgDiskTimeUS,
+					100*(c.AvgDiskTimeUS/b.AvgDiskTimeUS-1), 100*tolerance))
+			}
+		}
+	}
+	return msgs
+}

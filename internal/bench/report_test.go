@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/storage"
+)
+
+// buildReport runs a tiny vary-k sweep and packages it as a report.
+func buildReport(t *testing.T) *Report {
+	t.Helper()
+	env, err := BuildEnv(BuildConfig{Spec: dataset.Restaurants(0.001), SigBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := VaryK(env, []int{1, 5}, 2, 4, 1, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewReport("vary-k", tab)
+}
+
+func TestReportRoundTripAndCompare(t *testing.T) {
+	rep := buildReport(t)
+	if len(rep.Tables) != 1 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	cells := rep.Tables[0].Cells
+	if len(cells) != 2*len(AllMethods) {
+		t.Fatalf("cells = %d, want %d", len(cells), 2*len(AllMethods))
+	}
+	for _, c := range cells {
+		if c.Queries != 4 {
+			t.Fatalf("cell %s/%s queries = %d", c.Sweep, c.Method, c.Queries)
+		}
+		if c.DiskTimeHist.Count != 4 {
+			t.Fatalf("cell %s/%s hist count = %d", c.Sweep, c.Method, c.DiskTimeHist.Count)
+		}
+		// The histogram's total must agree with the per-query average.
+		wantSum := c.AvgDiskTimeUS * 4 / 1e6
+		if diff := c.DiskTimeHist.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("cell %s/%s hist sum %g, avg*n %g", c.Sweep, c.Method, c.DiskTimeHist.Sum, wantSum)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := Compare(rep, back, 0.2); len(msgs) != 0 {
+		t.Fatalf("self-compare regressions: %v", msgs)
+	}
+
+	// A deterministic rerun compares clean too.
+	if msgs := Compare(rep, buildReport(t), 0.0); len(msgs) != 0 {
+		t.Fatalf("rerun not deterministic: %v", msgs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Report{Experiment: "x", Tables: []ReportTable{{
+		Title: "T",
+		Cells: []ReportCell{
+			{Sweep: "k=1", Method: "IR2-Tree", AvgDiskTimeUS: 100},
+			{Sweep: "k=5", Method: "IR2-Tree", AvgDiskTimeUS: 100},
+			{Sweep: "k=9", Method: "IR2-Tree", AvgDiskTimeUS: 100},
+		},
+	}}}
+	cur := &Report{Experiment: "x", Tables: []ReportTable{{
+		Title: "T",
+		Cells: []ReportCell{
+			{Sweep: "k=1", Method: "IR2-Tree", AvgDiskTimeUS: 119}, // within 20%
+			{Sweep: "k=5", Method: "IR2-Tree", AvgDiskTimeUS: 121}, // beyond 20%
+			// k=9 missing
+		},
+	}}}
+	msgs := Compare(base, cur, 0.2)
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %v", msgs)
+	}
+	if !strings.Contains(msgs[0], "regression") || !strings.Contains(msgs[0], "k=5") {
+		t.Errorf("msgs[0] = %q", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "missing") || !strings.Contains(msgs[1], "k=9") {
+		t.Errorf("msgs[1] = %q", msgs[1])
+	}
+	if msgs := Compare(base, base, 0); len(msgs) != 0 {
+		t.Fatalf("identical reports: %v", msgs)
+	}
+}

@@ -25,6 +25,21 @@ type SearchStats struct {
 	// query but whose text did not contain all keywords (IR2TopK line 21
 	// failing).
 	FalsePositives int
+	// EntriesPruned is the number of tree entries dropped by the
+	// signature check — subtrees and objects never visited.
+	EntriesPruned int
+	// NodesEnqueued and ObjectsEnqueued count entries that passed the
+	// signature check and entered the traversal's priority queue.
+	NodesEnqueued   int
+	ObjectsEnqueued int
+}
+
+// fillTraversal copies the underlying traversal's counters into s.
+func (s *SearchStats) fillTraversal(t rtree.TraversalStats) {
+	s.NodesLoaded = t.NodesLoaded
+	s.EntriesPruned = t.EntriesPruned
+	s.NodesEnqueued = t.NodesEnqueued
+	s.ObjectsEnqueued = t.ObjectsEnqueued
 }
 
 // Search starts an incremental distance-first top-k spatial keyword query
@@ -72,7 +87,7 @@ func (r *ResultIter) Next() (Result, bool, error) {
 			return Result{}, false, err
 		}
 		if !ok {
-			r.stats.NodesLoaded = r.it.NodesLoaded()
+			r.stats.fillTraversal(r.it.TraversalStats())
 			return Result{}, false, nil
 		}
 		obj, err := r.x.store.Get(objstore.Ptr(ref))
@@ -84,14 +99,14 @@ func (r *ResultIter) Next() (Result, bool, error) {
 			r.stats.FalsePositives++
 			continue
 		}
-		r.stats.NodesLoaded = r.it.NodesLoaded()
+		r.stats.fillTraversal(r.it.TraversalStats())
 		return Result{Object: obj, Dist: dist}, true, nil
 	}
 }
 
 // Stats returns the work counters accumulated so far.
 func (r *ResultIter) Stats() SearchStats {
-	r.stats.NodesLoaded = r.it.NodesLoaded()
+	r.stats.fillTraversal(r.it.TraversalStats())
 	return r.stats
 }
 

@@ -133,13 +133,13 @@ func (r *RankedIter) Next() (RankedResult, bool, error) {
 			return RankedResult{}, false, err
 		}
 		if !ok {
-			r.stats.NodesLoaded = r.it.NodesLoaded()
+			r.stats.fillTraversal(r.it.TraversalStats())
 			return RankedResult{}, false, nil
 		}
 		if c, seen := r.exact[ref]; seen && c.score == score {
 			// Re-dequeued with its exact score: nothing remaining can beat it.
 			delete(r.exact, ref)
-			r.stats.NodesLoaded = r.it.NodesLoaded()
+			r.stats.fillTraversal(r.it.TraversalStats())
 			return c.res, true, nil
 		}
 		obj, err := r.x.store.Get(objstore.Ptr(ref))
@@ -159,7 +159,7 @@ func (r *RankedIter) Next() (RankedResult, bool, error) {
 		res := RankedResult{Object: obj, Dist: dist, IRScore: ir, Score: f}
 		if top, any := r.it.PeekScore(); !any || -f <= top {
 			// Exact score at least as good as every remaining upper bound.
-			r.stats.NodesLoaded = r.it.NodesLoaded()
+			r.stats.fillTraversal(r.it.TraversalStats())
 			return res, true, nil
 		}
 		r.it.Push(ref, -f)
@@ -169,7 +169,7 @@ func (r *RankedIter) Next() (RankedResult, bool, error) {
 
 // Stats returns the work counters accumulated so far.
 func (r *RankedIter) Stats() SearchStats {
-	r.stats.NodesLoaded = r.it.NodesLoaded()
+	r.stats.fillTraversal(r.it.TraversalStats())
 	return r.stats
 }
 

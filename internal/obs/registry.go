@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance of a metric family. Exactly one of
+// c/g/h is non-nil, matching the family kind.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	bounds     []float64 // histogram families only
+	keys       []string  // deterministic series ordering
+	series     map[string]*series
+}
+
+// Registry names and aggregates metrics, and renders them as Prometheus
+// text exposition format or expvar-style JSON. Get-or-create calls take a
+// short lock; the returned Counter/Gauge/Histogram handles are lock-free,
+// so hot paths should hold on to them rather than re-looking them up per
+// event. A Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	names    []string // registration order
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey renders labels canonically (sorted by key) for series lookup.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// get returns the series for (name, labels), creating the family and
+// series on first use. It panics if the same name is reused with a
+// different kind or help string — one family, one meaning.
+func (r *Registry) get(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[key]; ok {
+			r.mu.RUnlock()
+			if f.kind != kind {
+				panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+			}
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case counterKind:
+			s.c = &Counter{}
+		case gaugeKind:
+			s.g = &Gauge{}
+		case histogramKind:
+			s.h = NewHistogram(f.bounds)
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+		sort.Strings(f.keys)
+	}
+	return s
+}
+
+// Counter returns the counter series for (name, labels), registering it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(name, help, counterKind, nil, labels).c
+}
+
+// Gauge returns the gauge series for (name, labels), registering it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(name, help, gaugeKind, nil, labels).g
+}
+
+// Histogram returns the histogram series for (name, labels), registering
+// it on first use. The bounds of the first registration win for the whole
+// family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.get(name, help, histogramKind, bounds, labels).h
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderLabels formats {k="v",...}, with extra appended last (used for the
+// histogram "le" label). Returns "" for no labels.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one line per
+// sample, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			s := f.series[key]
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+			case histogramKind:
+				err = writePromHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s *series) error {
+	snap := s.h.Snapshot()
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := formatFloat(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.labels, L("le", le)), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.labels, L("le", "+Inf")), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels), formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), cum)
+	return err
+}
+
+// WriteJSON renders every registered metric as one JSON object in the
+// style of expvar: metric name → value for unlabelled series, metric name
+// → {"k=\"v\"": value} for labelled ones; histograms render as their
+// snapshots.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	out := make(map[string]any, len(r.names))
+	for name, f := range r.families {
+		seriesVal := func(s *series) any {
+			switch f.kind {
+			case counterKind:
+				return s.c.Value()
+			case gaugeKind:
+				return s.g.Value()
+			default:
+				return s.h.Snapshot()
+			}
+		}
+		if len(f.keys) == 1 && f.keys[0] == "" {
+			out[name] = seriesVal(f.series[""])
+			continue
+		}
+		m := make(map[string]any, len(f.keys))
+		for _, key := range f.keys {
+			m[key] = seriesVal(f.series[key])
+		}
+		out[name] = m
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// QueryRecorder is a Sink that aggregates QueryMetrics into a Registry
+// under stable metric names:
+//
+//	sk_queries_total{op}                  queries finished, by kind
+//	sk_query_errors_total{op}             queries that failed
+//	sk_query_results_total{op}            results returned
+//	sk_query_latency_seconds{op}          wall latency histogram
+//	sk_query_random_blocks{op}            random blocks per query histogram
+//	sk_query_nodes_expanded_total{shard}  index nodes loaded
+//	sk_query_entries_pruned_total{shard}  entries dropped by signature
+//	sk_query_objects_fetched_total{shard} objects read from the object file
+//	sk_query_sig_false_positives_total{shard} fetched-then-rejected objects
+//	sk_io_blocks_total{kind,shard}        disk blocks, random vs sequential
+//
+// Per-op families aggregate whole queries, so only whole-engine records
+// (Shard < 0, rendered as shard="all") feed them; per-shard families take
+// every record, keyed by the shard index, with the whole-engine record's
+// series ("all") doubling as the engine-wide total.
+type QueryRecorder struct {
+	reg *Registry
+}
+
+// NewQueryRecorder returns a recorder aggregating into reg.
+func NewQueryRecorder(reg *Registry) *QueryRecorder {
+	return &QueryRecorder{reg: reg}
+}
+
+// Registry returns the backing registry.
+func (q *QueryRecorder) Registry() *Registry { return q.reg }
+
+// RecordQuery implements Sink.
+func (q *QueryRecorder) RecordQuery(m QueryMetrics) {
+	shard := "all"
+	if m.Shard >= 0 {
+		shard = strconv.Itoa(m.Shard)
+	}
+	sl := L("shard", shard)
+	q.reg.Counter("sk_query_nodes_expanded_total", "Index nodes dequeued and loaded.", sl).Add(uint64(m.NodesExpanded))
+	q.reg.Counter("sk_query_entries_pruned_total", "Entries dropped by the signature check.", sl).Add(uint64(m.EntriesPruned))
+	q.reg.Counter("sk_query_objects_fetched_total", "Objects read from the object file.", sl).Add(uint64(m.ObjectsFetched))
+	q.reg.Counter("sk_query_sig_false_positives_total", "Fetched objects rejected by text verification.", sl).Add(uint64(m.SigFalsePositives))
+	q.reg.Counter("sk_io_blocks_total", "Disk block accesses by kind.", L("kind", "random"), sl).Add(m.RandomBlocks)
+	q.reg.Counter("sk_io_blocks_total", "Disk block accesses by kind.", L("kind", "sequential"), sl).Add(m.SequentialBlocks)
+
+	if m.Shard >= 0 {
+		return // per-shard slice of a query; op-level families take the aggregate record
+	}
+	op := m.Op
+	if op == "" {
+		op = "unknown"
+	}
+	ol := L("op", op)
+	q.reg.Counter("sk_queries_total", "Queries finished, by kind.", ol).Inc()
+	if m.Err {
+		q.reg.Counter("sk_query_errors_total", "Queries that returned an error.", ol).Inc()
+	}
+	q.reg.Counter("sk_query_results_total", "Results returned.", ol).Add(uint64(m.Results))
+	q.reg.Histogram("sk_query_latency_seconds", "Query wall latency.", LatencyBuckets(), ol).Observe(m.Latency.Seconds())
+	q.reg.Histogram("sk_query_random_blocks", "Random disk blocks per query.", BlockBuckets(), ol).Observe(float64(m.RandomBlocks))
+}

@@ -135,12 +135,30 @@ type TraceEvent struct {
 //
 // An Iter must not be advanced concurrently with tree mutations.
 type Iter struct {
-	t           *Tree
-	scorer      EntryScorer
-	queue       itemHeap
-	seq         uint64
-	nodesLoaded int
-	trace       func(TraceEvent)
+	t      *Tree
+	scorer EntryScorer
+	queue  itemHeap
+	seq    uint64
+	stats  TraversalStats
+	trace  func(TraceEvent)
+}
+
+// TraversalStats are the work counters of one traversal — the per-event
+// totals a TraceEvent hook would accumulate, kept as plain increments on
+// the iterator so observability costs nothing when no hook is installed.
+type TraversalStats struct {
+	// NodesLoaded is the number of nodes expanded (the "node accesses"
+	// metric of the paper's evaluation).
+	NodesLoaded int
+	// EntriesPruned is the number of entries the scorer dropped (for the
+	// IR² algorithms: signature mismatches, subtrees never visited).
+	EntriesPruned int
+	// NodesEnqueued and ObjectsEnqueued count entries that passed the
+	// scorer and entered the queue (Push re-enqueues count as objects).
+	NodesEnqueued   int
+	ObjectsEnqueued int
+	// ObjectsEmitted is the number of objects dequeued and returned.
+	ObjectsEmitted int
 }
 
 // SetTrace installs a hook receiving every traversal step — the library's
@@ -182,6 +200,7 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 	for len(it.queue) > 0 {
 		item := heap.Pop(&it.queue).(queueItem)
 		if item.isObject {
+			it.stats.ObjectsEmitted++
 			if it.trace != nil {
 				it.trace(TraceEvent{Kind: TraceEmit, Child: item.ref, Score: item.score})
 			}
@@ -191,7 +210,7 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 		if err != nil {
 			return 0, 0, false, fmt.Errorf("rtree: search: %w", err)
 		}
-		it.nodesLoaded++
+		it.stats.NodesLoaded++
 		if it.trace != nil {
 			it.trace(TraceEvent{Kind: TraceExpand, Node: n.id, Level: n.level, Score: item.score})
 		}
@@ -200,6 +219,7 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 			e := &n.entries[i]
 			score, keep := it.scorer(isObject, n.level, e.rect, e.aux)
 			if !keep {
+				it.stats.EntriesPruned++
 				if it.trace != nil {
 					it.trace(TraceEvent{Kind: TracePrune, Node: n.id, Child: e.ptr, Level: n.level})
 				}
@@ -208,11 +228,13 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 			qi := queueItem{isObject: isObject, score: score, seq: it.seq}
 			it.seq++
 			if isObject {
+				it.stats.ObjectsEnqueued++
 				qi.ref = e.ptr
 				if it.trace != nil {
 					it.trace(TraceEvent{Kind: TraceEnqueueObject, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
 				}
 			} else {
+				it.stats.NodesEnqueued++
 				qi.node = storage.BlockID(e.ptr)
 				if it.trace != nil {
 					it.trace(TraceEvent{Kind: TraceEnqueueNode, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
@@ -231,6 +253,7 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 func (it *Iter) Push(ref uint64, score float64) {
 	heap.Push(&it.queue, queueItem{isObject: true, ref: ref, score: score, seq: it.seq})
 	it.seq++
+	it.stats.ObjectsEnqueued++
 }
 
 // PeekScore returns the score of the best queued element, or ok = false for
@@ -245,4 +268,7 @@ func (it *Iter) PeekScore() (float64, bool) {
 
 // NodesLoaded reports how many tree nodes the traversal has expanded — the
 // "node accesses" metric of the evaluation.
-func (it *Iter) NodesLoaded() int { return it.nodesLoaded }
+func (it *Iter) NodesLoaded() int { return it.stats.NodesLoaded }
+
+// TraversalStats returns all of the traversal's work counters so far.
+func (it *Iter) TraversalStats() TraversalStats { return it.stats }

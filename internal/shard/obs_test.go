@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/obs"
+)
+
+// captureSink records every QueryMetrics delivered to it.
+type captureSink struct {
+	mu   sync.Mutex
+	recs []obs.QueryMetrics
+}
+
+func (c *captureSink) RecordQuery(m obs.QueryMetrics) {
+	c.mu.Lock()
+	c.recs = append(c.recs, m)
+	c.mu.Unlock()
+}
+
+func (c *captureSink) byShard() (perShard []obs.QueryMetrics, agg []obs.QueryMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.recs {
+		if m.Shard >= 0 {
+			perShard = append(perShard, m)
+		} else {
+			agg = append(agg, m)
+		}
+	}
+	return perShard, agg
+}
+
+// TestMetricsSink checks that one fanned-out query delivers one record per
+// shard plus one aggregate record whose counters are the per-shard sums.
+func TestMetricsSink(t *testing.T) {
+	rows, stats, bounds := loadDataset(t, dataset.Restaurants(0.001))
+	const shards = 4
+	eng, err := New(spatialkeyword.Config{}, Options{Shards: shards, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	fill(t, eng, rows)
+
+	sink := &captureSink{}
+	eng.SetMetricsSink(sink)
+
+	kw := stats.WordsByFreq()[:1]
+	res, qs, err := eng.TopKWithStats(5, rows[0].Point, kw...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perShard, agg := sink.byShard()
+	if len(perShard) != shards {
+		t.Fatalf("per-shard records = %d, want %d", len(perShard), shards)
+	}
+	if len(agg) != 1 {
+		t.Fatalf("aggregate records = %d, want 1", len(agg))
+	}
+	seen := map[int]bool{}
+	var nodes int
+	var random uint64
+	for _, m := range perShard {
+		if m.Op != "topk" {
+			t.Fatalf("per-shard op = %q", m.Op)
+		}
+		if seen[m.Shard] {
+			t.Fatalf("duplicate record for shard %d", m.Shard)
+		}
+		seen[m.Shard] = true
+		nodes += m.NodesExpanded
+		random += m.RandomBlocks
+	}
+	a := agg[0]
+	if a.Op != "topk" || a.K != 5 || a.Keywords != len(kw) || a.Results != len(res) {
+		t.Fatalf("aggregate record = %+v", a)
+	}
+	if a.NodesExpanded != nodes || a.NodesExpanded != qs.NodesLoaded {
+		t.Fatalf("aggregate nodes %d, per-shard sum %d, stats %d",
+			a.NodesExpanded, nodes, qs.NodesLoaded)
+	}
+	if a.RandomBlocks != random || a.RandomBlocks != qs.BlocksRandom {
+		t.Fatalf("aggregate random blocks %d, per-shard sum %d, stats %d",
+			a.RandomBlocks, random, qs.BlocksRandom)
+	}
+	if a.Latency <= 0 {
+		t.Fatal("aggregate latency not set")
+	}
+
+	// Ranked and area queries follow the same per-shard + aggregate shape.
+	sink.mu.Lock()
+	sink.recs = nil
+	sink.mu.Unlock()
+	if _, err := eng.TopKRanked(3, rows[0].Point, kw...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TopKArea(3, rows[0].Point, rows[0].Point, kw...); err != nil {
+		t.Fatal(err)
+	}
+	perShard, agg = sink.byShard()
+	if len(perShard) != 2*shards || len(agg) != 2 {
+		t.Fatalf("ranked+area records = %d per-shard, %d aggregate; want %d and 2",
+			len(perShard), len(agg), 2*shards)
+	}
+	if agg[0].Op != "ranked" || agg[1].Op != "area" {
+		t.Fatalf("aggregate ops = %q, %q", agg[0].Op, agg[1].Op)
+	}
+}

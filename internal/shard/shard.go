@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"spatialkeyword"
 	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/obs"
 	"spatialkeyword/internal/storage"
 	"spatialkeyword/internal/textutil"
 )
@@ -77,6 +79,76 @@ type ShardedEngine struct {
 	vocab  *textutil.Vocabulary
 
 	dir string // backing directory; empty = in-memory
+
+	sink obs.Sink // per-query observability sink; nil = disabled
+}
+
+// SetMetricsSink installs (or, with nil, removes) the engine's metrics
+// sink. Each fanned-out query delivers one record per shard (Shard set to
+// the shard index; traversal counters and that shard's disk I/O) plus one
+// aggregate record (Shard = -1) carrying the query's wall latency and
+// result count — so a sink like obs.QueryRecorder can expose both
+// per-shard I/O series and engine-wide totals. Per-shard I/O attribution
+// is exact per query because each shard owns its devices and holds its
+// read lock while the meter brackets the drain. Install before serving
+// traffic; the field itself is not synchronized.
+func (s *ShardedEngine) SetMetricsSink(sink obs.Sink) { s.sink = sink }
+
+// recordShard emits one shard's slice of a fanned-out query.
+func (s *ShardedEngine) recordShard(op string, shard int, st spatialkeyword.QueryStats, io storage.Stats, latency time.Duration, err error) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.RecordQuery(obs.QueryMetrics{
+		Op:                op,
+		Shard:             shard,
+		NodesExpanded:     st.NodesLoaded,
+		EntriesPruned:     st.EntriesPruned,
+		NodesEnqueued:     st.NodesEnqueued,
+		ObjectsEnqueued:   st.ObjectsEnqueued,
+		ObjectsFetched:    st.ObjectsLoaded,
+		SigFalsePositives: st.FalsePositives,
+		RandomBlocks:      io.Random(),
+		SequentialBlocks:  io.Sequential(),
+		Latency:           latency,
+		Err:               err != nil,
+	})
+}
+
+// recordQuery emits the aggregate record of a fanned-out query.
+func (s *ShardedEngine) recordQuery(op string, k, keywords, results int, qs spatialkeyword.QueryStats, latency time.Duration, err error) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.RecordQuery(obs.QueryMetrics{
+		Op:                op,
+		Shard:             -1,
+		K:                 k,
+		Keywords:          keywords,
+		Results:           results,
+		NodesExpanded:     qs.NodesLoaded,
+		EntriesPruned:     qs.EntriesPruned,
+		NodesEnqueued:     qs.NodesEnqueued,
+		ObjectsEnqueued:   qs.ObjectsEnqueued,
+		ObjectsFetched:    qs.ObjectsLoaded,
+		SigFalsePositives: qs.FalsePositives,
+		RandomBlocks:      qs.BlocksRandom,
+		SequentialBlocks:  qs.BlocksSequential,
+		Latency:           latency,
+		Err:               err != nil,
+	})
+}
+
+// addStats accumulates one shard's traversal counters into the aggregate.
+func addStats(agg *spatialkeyword.QueryStats, st spatialkeyword.QueryStats, io storage.Stats) {
+	agg.NodesLoaded += st.NodesLoaded
+	agg.ObjectsLoaded += st.ObjectsLoaded
+	agg.FalsePositives += st.FalsePositives
+	agg.EntriesPruned += st.EntriesPruned
+	agg.NodesEnqueued += st.NodesEnqueued
+	agg.ObjectsEnqueued += st.ObjectsEnqueued
+	agg.BlocksRandom += io.Random()
+	agg.BlocksSequential += io.Sequential()
 }
 
 // resolve fills in Options defaults and builds the partitioner.
@@ -296,32 +368,34 @@ func (s *ShardedEngine) TopKWithStats(k int, point []float64, keywords ...string
 	if k <= 0 {
 		return nil, agg, nil
 	}
+	start := time.Now()
 	col := newCollector(k, true)
 	var statsMu sync.Mutex
 	err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		stop := sh.eng.MeterIO()
+		shardStart := time.Now()
+		stop := sh.eng.MeterIOStats()
 		it, err := sh.eng.Search(point, keywords...)
 		if err != nil {
+			s.recordShard("topk", sh.idx, spatialkeyword.QueryStats{}, stop(), time.Since(shardStart), err)
 			return err
 		}
 		err = drainDistanceStream(sh, it, col)
 		st := it.Stats()
-		random, sequential := stop()
+		io := stop()
+		s.recordShard("topk", sh.idx, st, io, time.Since(shardStart), err)
 		statsMu.Lock()
-		agg.NodesLoaded += st.NodesLoaded
-		agg.ObjectsLoaded += st.ObjectsLoaded
-		agg.FalsePositives += st.FalsePositives
-		agg.BlocksRandom += random
-		agg.BlocksSequential += sequential
+		addStats(&agg, st, io)
 		statsMu.Unlock()
 		return err
 	})
+	results := distanceResults(col)
+	s.recordQuery("topk", k, len(keywords), len(results), agg, time.Since(start), err)
 	if err != nil {
 		return nil, agg, err
 	}
-	return distanceResults(col), agg, nil
+	return results, agg, nil
 }
 
 // distanceResults converts a collector's items back to engine results with
@@ -345,20 +419,35 @@ func (s *ShardedEngine) TopKArea(k int, lo, hi []float64, keywords ...string) ([
 	if k <= 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	var agg spatialkeyword.QueryStats
+	var statsMu sync.Mutex
 	col := newCollector(k, true)
 	err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
+		shardStart := time.Now()
+		stop := sh.eng.MeterIOStats()
 		it, err := sh.eng.SearchArea(lo, hi, keywords...)
 		if err != nil {
+			s.recordShard("area", sh.idx, spatialkeyword.QueryStats{}, stop(), time.Since(shardStart), err)
 			return err
 		}
-		return drainDistanceStream(sh, it, col)
+		err = drainDistanceStream(sh, it, col)
+		st := it.Stats()
+		io := stop()
+		s.recordShard("area", sh.idx, st, io, time.Since(shardStart), err)
+		statsMu.Lock()
+		addStats(&agg, st, io)
+		statsMu.Unlock()
+		return err
 	})
+	results := distanceResults(col)
+	s.recordQuery("area", k, len(keywords), len(results), agg, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
-	return distanceResults(col), nil
+	return results, nil
 }
 
 // corpusStats snapshots the engine-wide document count and exposes a
@@ -385,30 +474,47 @@ func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) (
 	if k <= 0 {
 		return nil, nil
 	}
+	start := time.Now()
 	cs := s.corpusStats()
+	var agg spatialkeyword.QueryStats
+	var statsMu sync.Mutex
 	col := newCollector(k, false)
 	err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
+		shardStart := time.Now()
+		stop := sh.eng.MeterIOStats()
 		it, err := sh.eng.SearchRankedWith(cs, point, keywords...)
 		if err != nil {
+			s.recordShard("ranked", sh.idx, spatialkeyword.QueryStats{}, stop(), time.Since(shardStart), err)
 			return err
 		}
-		for {
-			if bound, ok := it.PeekBound(); !ok || !col.admissible(bound) {
-				return nil
+		drain := func() error {
+			for {
+				if bound, ok := it.PeekBound(); !ok || !col.admissible(bound) {
+					return nil
+				}
+				r, ok, err := it.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				col.offer(r.Score, sh.globals[r.Object.ID], r)
 			}
-			r, ok, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			col.offer(r.Score, sh.globals[r.Object.ID], r)
 		}
+		err = drain()
+		st := it.Stats()
+		io := stop()
+		s.recordShard("ranked", sh.idx, st, io, time.Since(shardStart), err)
+		statsMu.Lock()
+		addStats(&agg, st, io)
+		statsMu.Unlock()
+		return err
 	})
 	if err != nil {
+		s.recordQuery("ranked", k, len(keywords), 0, agg, time.Since(start), err)
 		return nil, err
 	}
 	items := col.results()
@@ -418,6 +524,7 @@ func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) (
 		r.Object.ID = it.id
 		out = append(out, r)
 	}
+	s.recordQuery("ranked", k, len(keywords), len(out), agg, time.Since(start), nil)
 	return out, nil
 }
 

@@ -1,0 +1,64 @@
+package spatialkeyword
+
+import (
+	"time"
+
+	"spatialkeyword/internal/obs"
+)
+
+// QueryMetrics is the per-query observability record delivered to a
+// MetricsSink: one per finished query, populated from the traversal
+// counters the search already keeps and a disk I/O bracket. It is an alias
+// of the internal obs type, so module-internal consumers (cmd/skserve,
+// internal/shard) and external callers share one definition.
+type QueryMetrics = obs.QueryMetrics
+
+// MetricsSink receives one QueryMetrics per finished query. Install one
+// with Engine.SetMetricsSink; implementations must be safe for concurrent
+// use. obs.NewQueryRecorder provides a registry-backed implementation that
+// renders Prometheus text and expvar-style JSON.
+type MetricsSink = obs.Sink
+
+// SetMetricsSink installs (or, with nil, removes) the engine's metrics
+// sink. The sink is invoked once per query — after TopK, TopKRanked, and
+// TopKArea calls, and when a Search stream exhausts — never per traversal
+// step, so the hot path pays only plain counter increments it already
+// paid before any sink existed. Install before sharing the engine between
+// goroutines; the field itself is not synchronized.
+func (e *Engine) SetMetricsSink(s MetricsSink) { e.sink = s }
+
+// queryStatsOf converts the core traversal counters to the public shape.
+func queryStatsOf(nodes, objects, fps, pruned, nodesEnq, objsEnq int) QueryStats {
+	return QueryStats{
+		NodesLoaded:     nodes,
+		ObjectsLoaded:   objects,
+		FalsePositives:  fps,
+		EntriesPruned:   pruned,
+		NodesEnqueued:   nodesEnq,
+		ObjectsEnqueued: objsEnq,
+	}
+}
+
+// record delivers one query's metrics to the sink, if any.
+func (e *Engine) record(op string, k, keywords, results int, qs QueryStats, latency time.Duration, err error) {
+	if e.sink == nil {
+		return
+	}
+	e.sink.RecordQuery(QueryMetrics{
+		Op:                op,
+		Shard:             -1,
+		K:                 k,
+		Keywords:          keywords,
+		Results:           results,
+		NodesExpanded:     qs.NodesLoaded,
+		EntriesPruned:     qs.EntriesPruned,
+		NodesEnqueued:     qs.NodesEnqueued,
+		ObjectsEnqueued:   qs.ObjectsEnqueued,
+		ObjectsFetched:    qs.ObjectsLoaded,
+		SigFalsePositives: qs.FalsePositives,
+		RandomBlocks:      qs.BlocksRandom,
+		SequentialBlocks:  qs.BlocksSequential,
+		Latency:           latency,
+		Err:               err != nil,
+	})
+}

@@ -1,0 +1,227 @@
+package spatialkeyword
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialkeyword/internal/obs"
+)
+
+// seedGrid fills the engine with a deterministic grid of objects. Half the
+// objects carry the word "alpha", a third "beta", the rest padding — so a
+// conjunctive query has matches to find and subtrees to prune.
+func seedGrid(tb testing.TB, e *Engine, n int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	pad := []string{"oak", "elm", "fir", "ash", "yew", "bay", "ivy", "fig"}
+	for i := 0; i < n; i++ {
+		words := []string{pad[rng.Intn(len(pad))], pad[rng.Intn(len(pad))]}
+		if i%2 == 0 {
+			words = append(words, "alpha")
+		}
+		if i%3 == 0 {
+			words = append(words, "beta")
+		}
+		pt := []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+		if _, err := e.Add(pt, strings.Join(words, " ")); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// countTrace counts Explain trace lines containing the marker.
+func countTrace(trace []string, marker string) int {
+	n := 0
+	for _, line := range trace {
+		if strings.Contains(line, marker) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExplainTraceMatchesStats pins the trace events to the traversal
+// counters on a tree that is at least two levels tall: every expand, prune,
+// and enqueue line of the Explain narration must be counted by the
+// identical traversal's SearchIter.Stats().
+func TestExplainTraceMatchesStats(t *testing.T) {
+	// 256-byte blocks cap nodes at a few entries, so 150 objects need a
+	// root above the leaves.
+	e := newEngine(t, Config{SignatureBytes: 8, BlockSize: 256})
+	seedGrid(t, e, 150)
+	if h := e.Stats().TreeHeight; h < 2 {
+		t.Fatalf("tree height %d, want >= 2", h)
+	}
+
+	q := []float64{500, 500}
+	results, trace, err := e.Explain(5, q, "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+
+	// Re-run the identical (deterministic) traversal through the stream
+	// API and pull the same number of results.
+	it, err := e.Search(q, "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(results); i++ {
+		if _, ok, err := it.Next(); err != nil || !ok {
+			t.Fatalf("stream ended early (i=%d, err=%v)", i, err)
+		}
+	}
+	qs := it.Stats()
+
+	if got, want := countTrace(trace, "expand node"), qs.NodesLoaded; got != want {
+		t.Errorf("expand lines = %d, NodesLoaded = %d", got, want)
+	}
+	if got, want := countTrace(trace, "prune "), qs.EntriesPruned; got != want {
+		t.Errorf("prune lines = %d, EntriesPruned = %d", got, want)
+	}
+	if got, want := countTrace(trace, "enqueue subtree"), qs.NodesEnqueued; got != want {
+		t.Errorf("enqueue-subtree lines = %d, NodesEnqueued = %d", got, want)
+	}
+	if got, want := countTrace(trace, "enqueue object"), qs.ObjectsEnqueued; got != want {
+		t.Errorf("enqueue-object lines = %d, ObjectsEnqueued = %d", got, want)
+	}
+	if qs.NodesLoaded < 3 {
+		t.Errorf("NodesLoaded = %d; a 2-level traversal should expand the root and leaves", qs.NodesLoaded)
+	}
+	if qs.EntriesPruned == 0 {
+		t.Error("EntriesPruned = 0; the conjunctive query should prune subtrees")
+	}
+}
+
+// TestSearchIterStatsFalsePositives forces signature collisions with a
+// 1-byte signature and checks the stream's stats expose them: objects were
+// fetched, failed text verification, and were counted as false positives.
+func TestSearchIterStatsFalsePositives(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 1, BitsPerWord: 4})
+	seedGrid(t, e, 150)
+
+	it, err := e.Search([]float64{500, 500}, "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	qs := it.Stats()
+	if qs.FalsePositives == 0 {
+		t.Fatal("1-byte signatures produced no false positives")
+	}
+	if qs.ObjectsLoaded != n+qs.FalsePositives {
+		t.Errorf("ObjectsLoaded = %d, want results %d + false positives %d",
+			qs.ObjectsLoaded, n, qs.FalsePositives)
+	}
+}
+
+// TestEngineSinkRecords checks every query entry point delivers exactly one
+// whole-engine record whose counters match the query's reported stats.
+func TestEngineSinkRecords(t *testing.T) {
+	e := newEngine(t, Config{SignatureBytes: 16})
+	seedGrid(t, e, 60)
+
+	var recs []QueryMetrics
+	e.SetMetricsSink(obs.SinkFunc(func(m QueryMetrics) { recs = append(recs, m) }))
+
+	q := []float64{500, 500}
+	res, qs, err := e.TopKWithStats(3, q, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("topk records = %d", len(recs))
+	}
+	m := recs[0]
+	if m.Op != "topk" || m.Shard != -1 || m.K != 3 || m.Keywords != 1 || m.Results != len(res) {
+		t.Fatalf("topk record = %+v", m)
+	}
+	if m.NodesExpanded != qs.NodesLoaded || m.ObjectsFetched != qs.ObjectsLoaded ||
+		m.SigFalsePositives != qs.FalsePositives || m.EntriesPruned != qs.EntriesPruned ||
+		m.RandomBlocks != qs.BlocksRandom || m.SequentialBlocks != qs.BlocksSequential {
+		t.Fatalf("topk record %+v does not match stats %+v", m, qs)
+	}
+	if m.Latency <= 0 {
+		t.Error("topk latency not recorded")
+	}
+
+	recs = nil
+	if _, err := e.TopKRanked(3, q, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TopKArea(3, []float64{400, 400}, []float64{600, 600}, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// A stream records once, when it exhausts.
+	it, err := e.Search(q, "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResults := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		streamResults++
+	}
+	ops := make([]string, len(recs))
+	for i, r := range recs {
+		ops[i] = r.Op
+	}
+	if fmt.Sprint(ops) != "[ranked area stream]" {
+		t.Fatalf("ops = %v", ops)
+	}
+	if recs[2].Results != streamResults {
+		t.Errorf("stream record results = %d, want %d", recs[2].Results, streamResults)
+	}
+}
+
+// BenchmarkTopKSinkOverhead measures TopK over a 10k-object fixture with
+// the metrics sink disabled vs recording into a registry. The sink fires
+// once per query, so the delta should stay well under 5%.
+func BenchmarkTopKSinkOverhead(b *testing.B) {
+	e, err := NewEngine(Config{SignatureBytes: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedGrid(b, e, 10000)
+	recorder := obs.NewQueryRecorder(obs.NewRegistry())
+	for _, mode := range []struct {
+		name string
+		sink MetricsSink
+	}{{"off", nil}, {"on", recorder}} {
+		b.Run("sink="+mode.name, func(b *testing.B) {
+			e.SetMetricsSink(mode.sink)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.TopK(10, []float64{500, 500}, "alpha", "beta"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	e.SetMetricsSink(nil)
+	_ = time.Now // future: report p99 from the recorder's histogram
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# ci.sh — run the same checks as .github/workflows/ci.yml locally.
+#
+#   build   go build + go vet
+#   lint    gofmt -l (+ staticcheck when installed)
+#   test    go test -race ./...
+#   cover   coverage with the CI floor (scripts/coverage.sh)
+#   bench   benchmark-regression check against benchmarks/baseline.json
+#   all     everything above (the default)
+#
+# staticcheck is optional locally: if the binary is not on PATH the lint
+# step prints a warning and moves on, while CI always installs and runs it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+run_build() {
+	step build
+	go build ./...
+	go vet ./...
+}
+
+run_lint() {
+	step lint
+	out="$(gofmt -l .)"
+	if [ -n "$out" ]; then
+		echo "gofmt needs to be run on:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+	if command -v staticcheck >/dev/null 2>&1; then
+		staticcheck ./...
+	else
+		echo "staticcheck not installed; skipping (CI runs it)" >&2
+	fi
+}
+
+run_test() {
+	step test
+	go test -race ./...
+}
+
+run_cover() {
+	step cover
+	sh scripts/coverage.sh 70
+}
+
+run_bench() {
+	step bench
+	go run ./cmd/skbench \
+		-dataset restaurants -experiment vary-k \
+		-scale 0.01 -queries 10 -seed 1 \
+		-json -out . -baseline benchmarks/baseline.json
+}
+
+case "${1:-all}" in
+build) run_build ;;
+lint) run_lint ;;
+test) run_test ;;
+cover) run_cover ;;
+bench) run_bench ;;
+all)
+	run_build
+	run_lint
+	run_test
+	run_cover
+	run_bench
+	;;
+*)
+	echo "usage: scripts/ci.sh [build|lint|test|cover|bench|all]" >&2
+	exit 2
+	;;
+esac

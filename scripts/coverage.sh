@@ -1,0 +1,16 @@
+#!/bin/sh
+# coverage.sh [floor]
+# Runs the internal packages with coverage and fails if total statement
+# coverage is below the floor (percent, default 70). Writes coverage.out
+# in the working directory.
+set -eu
+
+floor="${1:-70}"
+
+go test -coverprofile=coverage.out ./internal/...
+total="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "total internal coverage: ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+	echo "coverage ${total}% is below the ${floor}% floor" >&2
+	exit 1
+}

@@ -20,6 +20,7 @@ package spatialkeyword
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"spatialkeyword/internal/core"
 	"spatialkeyword/internal/geo"
@@ -97,6 +98,12 @@ type QueryStats struct {
 	// FalsePositives is how many loaded objects were signature false
 	// positives.
 	FalsePositives int
+	// EntriesPruned is how many index entries the signature check dropped
+	// (subtrees and objects never visited).
+	EntriesPruned int
+	// NodesEnqueued and ObjectsEnqueued count entries that passed the
+	// signature check and entered the traversal's priority queue.
+	NodesEnqueued, ObjectsEnqueued int
 	// BlocksRandom and BlocksSequential are the disk block accesses.
 	BlocksRandom, BlocksSequential uint64
 }
@@ -142,6 +149,8 @@ type Engine struct {
 	pending []uint64 // object IDs appended but not yet indexed
 	deleted map[uint64]bool
 	live    int
+
+	sink MetricsSink // per-query observability sink; nil = disabled
 }
 
 // engineShell builds an Engine with defaults applied but no devices or
@@ -326,14 +335,17 @@ func (e *Engine) TopKWithStats(k int, point []float64, keywords ...string) ([]Re
 	if len(point) != e.dim {
 		return nil, qs, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
 	}
+	start := time.Now()
 	m1 := storage.StartMeter(e.idxDisk)
 	m2 := storage.StartMeter(e.objDisk)
 	it := e.tree.Search(geo.NewPoint(point...), keywords)
 	var out []Result
+	var iterErr error
 	for len(out) < k {
 		r, ok, err := it.Next()
 		if err != nil {
-			return nil, qs, err
+			iterErr = err
+			break
 		}
 		if !ok {
 			break
@@ -348,12 +360,13 @@ func (e *Engine) TopKWithStats(k int, point []float64, keywords ...string) ([]Re
 	}
 	st := it.Stats()
 	io := m1.Stop().Add(m2.Stop())
-	qs = QueryStats{
-		NodesLoaded:      st.NodesLoaded,
-		ObjectsLoaded:    st.ObjectsLoaded,
-		FalsePositives:   st.FalsePositives,
-		BlocksRandom:     io.Random(),
-		BlocksSequential: io.Sequential(),
+	qs = queryStatsOf(st.NodesLoaded, st.ObjectsLoaded, st.FalsePositives,
+		st.EntriesPruned, st.NodesEnqueued, st.ObjectsEnqueued)
+	qs.BlocksRandom = io.Random()
+	qs.BlocksSequential = io.Sequential()
+	e.record("topk", k, len(keywords), len(out), qs, time.Since(start), iterErr)
+	if iterErr != nil {
+		return nil, qs, iterErr
 	}
 	return out, qs, nil
 }
@@ -367,16 +380,28 @@ func (e *Engine) TopKRanked(k int, point []float64, keywords ...string) ([]Ranke
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	stop := e.MeterIOStats()
 	out := make([]RankedResult, 0, k)
+	var iterErr error
 	for len(out) < k {
 		r, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			iterErr = err
+			break
 		}
 		if !ok {
 			break
 		}
 		out = append(out, r)
+	}
+	qs := it.Stats()
+	io := stop()
+	qs.BlocksRandom = io.Random()
+	qs.BlocksSequential = io.Sequential()
+	e.record("ranked", k, len(keywords), len(out), qs, time.Since(start), iterErr)
+	if iterErr != nil {
+		return nil, iterErr
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package spatialkeyword
 
 import (
 	"fmt"
+	"time"
 
 	"spatialkeyword/internal/core"
 	"spatialkeyword/internal/geo"
@@ -20,8 +21,12 @@ import (
 // order, skipping deleted objects. It is valid until the engine's next
 // write.
 type SearchIter struct {
-	e  *Engine
-	it *core.ResultIter
+	e        *Engine
+	it       *core.ResultIter
+	keywords int
+	start    time.Time
+	results  int
+	recorded bool
 }
 
 // Search starts an incremental distance-first query: the stream behind
@@ -33,7 +38,8 @@ func (e *Engine) Search(point []float64, keywords ...string) (*SearchIter, error
 	if len(point) != e.dim {
 		return nil, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
 	}
-	return &SearchIter{e: e, it: e.tree.Search(geo.NewPoint(point...), keywords)}, nil
+	return &SearchIter{e: e, it: e.tree.Search(geo.NewPoint(point...), keywords),
+		keywords: len(keywords), start: time.Now()}, nil
 }
 
 // SearchArea starts an incremental area-distance query: the stream behind
@@ -46,7 +52,8 @@ func (e *Engine) SearchArea(lo, hi []float64, keywords ...string) (*SearchIter, 
 	if err != nil {
 		return nil, err
 	}
-	return &SearchIter{e: e, it: e.tree.SearchArea(area, keywords)}, nil
+	return &SearchIter{e: e, it: e.tree.SearchArea(area, keywords),
+		keywords: len(keywords), start: time.Now()}, nil
 }
 
 // Next returns the next live object containing every keyword. ok is false
@@ -55,11 +62,18 @@ func (s *SearchIter) Next() (Result, bool, error) {
 	for {
 		r, ok, err := s.it.Next()
 		if err != nil || !ok {
+			// A stream has no explicit Close; its one metrics record fires
+			// when the traversal ends (exhaustion or error).
+			if !s.recorded {
+				s.recorded = true
+				s.e.record("stream", 0, s.keywords, s.results, s.Stats(), time.Since(s.start), err)
+			}
 			return Result{}, false, err
 		}
 		if s.e.deleted[uint64(r.Object.ID)] {
 			continue
 		}
+		s.results++
 		return Result{
 			Object: Object{ID: uint64(r.Object.ID), Point: r.Object.Point, Text: r.Object.Text},
 			Dist:   r.Dist,
@@ -72,15 +86,12 @@ func (s *SearchIter) Next() (Result, bool, error) {
 func (s *SearchIter) PeekBound() (float64, bool) { return s.it.PeekBound() }
 
 // Stats returns the traversal work counters accumulated so far (node and
-// object accesses; disk blocks are accounted at the device, see
-// TopKWithStats).
+// object accesses plus signature pruning counts; disk blocks are accounted
+// at the device, see TopKWithStats).
 func (s *SearchIter) Stats() QueryStats {
 	st := s.it.Stats()
-	return QueryStats{
-		NodesLoaded:    st.NodesLoaded,
-		ObjectsLoaded:  st.ObjectsLoaded,
-		FalsePositives: st.FalsePositives,
-	}
+	return queryStatsOf(st.NodesLoaded, st.ObjectsLoaded, st.FalsePositives,
+		st.EntriesPruned, st.NodesEnqueued, st.ObjectsEnqueued)
 }
 
 // CorpusStats describes the document corpus a ranked query scores against.
@@ -149,6 +160,15 @@ func (s *RankedSearchIter) Next() (RankedResult, bool, error) {
 // PeekBound returns an upper bound on the score of every result the
 // iterator can still produce; ok is false when it is exhausted.
 func (s *RankedSearchIter) PeekBound() (float64, bool) { return s.it.PeekBound() }
+
+// Stats returns the traversal work counters accumulated so far (node and
+// object accesses plus signature pruning counts; disk blocks are accounted
+// at the device).
+func (s *RankedSearchIter) Stats() QueryStats {
+	st := s.it.Stats()
+	return queryStatsOf(st.NodesLoaded, st.ObjectsLoaded, st.FalsePositives,
+		st.EntriesPruned, st.NodesEnqueued, st.ObjectsEnqueued)
+}
 
 // NumObjects returns the number of rows ever appended to the engine's
 // object file, including deleted ones. Valid object IDs are [0, NumObjects).
