@@ -1,7 +1,7 @@
 # Convenience wrappers around scripts/ci.sh, which mirrors the GitHub
 # Actions workflows. `make ci` runs everything CI runs.
 
-.PHONY: build lint test cover bench ci
+.PHONY: build lint test cover bench fuzz ci
 
 build:
 	sh scripts/ci.sh build
@@ -17,6 +17,9 @@ cover:
 
 bench:
 	sh scripts/ci.sh bench
+
+fuzz:
+	sh scripts/ci.sh fuzz
 
 ci:
 	sh scripts/ci.sh all

@@ -247,7 +247,7 @@ func BenchmarkMaintenanceInsert(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				id, ptr := e.Store.Append(src.Point, src.Text)
+				id, ptr, _ := e.Store.Append(src.Point, src.Text)
 				objs[i] = pending{uint64(id), uint64(ptr)}
 			}
 			if err := e.Store.Sync(); err != nil {

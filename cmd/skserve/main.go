@@ -30,7 +30,8 @@
 //	GET    /metrics          → Prometheus text exposition (query latency
 //	                           histograms, traversal counters, per-shard I/O)
 //	GET    /debug/vars       → the same metrics as expvar-style JSON
-//	GET    /healthz          → liveness probe
+//	GET    /healthz          → liveness probe; sharded backends report
+//	                           degraded status and per-shard health
 //	POST   /save             → checkpoint a durable engine
 //
 // Example session:
@@ -243,6 +244,15 @@ type metricsSinkSetter interface {
 	SetMetricsSink(sink obs.Sink)
 }
 
+// healthReporter is the optional backend extension for degraded-mode
+// serving: the sharded engine takes a faulted shard out of rotation and
+// keeps answering from the rest, and this surface reports that state.
+type healthReporter interface {
+	Degraded() bool
+	Health() []shard.ShardHealth
+	SetHealthMetrics(errs *obs.Counter, unhealthy *obs.Gauge)
+}
+
 // serverOptions configures the observability surface.
 type serverOptions struct {
 	pprof     bool          // mount net/http/pprof under /debug/pprof/
@@ -290,6 +300,14 @@ func newServer(eng engine, durable bool, opts serverOptions) *server {
 	if ms, ok := eng.(metricsSinkSetter); ok {
 		ms.SetMetricsSink(obs.MultiSink(sinks...))
 	}
+	if hr, ok := eng.(healthReporter); ok {
+		hr.SetHealthMetrics(
+			s.reg.Counter("sk_shard_errors_total",
+				"Storage faults that degraded a shard."),
+			s.reg.Gauge("sk_shards_unhealthy",
+				"Shards currently marked unhealthy and out of rotation."),
+		)
+	}
 	return s
 }
 
@@ -315,6 +333,7 @@ func (s *server) numShards() int {
 func (s *server) checkpoint() error {
 	if s.durable {
 		if err := s.eng.Save(); err != nil {
+			s.eng.Close() //nolint:errcheck // best-effort release; the save error is the headline
 			return err
 		}
 	}
@@ -494,12 +513,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":  "ok",
 		"durable": s.durable,
 		"shards":  s.numShards(),
 		"objects": s.eng.Stats().Objects,
-	})
+	}
+	if hr, ok := s.eng.(healthReporter); ok {
+		if hr.Degraded() {
+			resp["status"] = "degraded"
+		}
+		resp["shard_health"] = hr.Health()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {

@@ -342,7 +342,10 @@ func Maintenance(e *Env, batch int, seed int64, cm storage.CostModel) (*Table, e
 			return nil, err
 		}
 		p := geo.NewPoint(src.Point[0]+rng.NormFloat64()*10, src.Point[1]+rng.NormFloat64()*10)
-		_, ptr := e.Store.Append(p, src.Text)
+		_, ptr, err := e.Store.Append(p, src.Text)
+		if err != nil {
+			return nil, err
+		}
 		if err := e.Store.Sync(); err != nil {
 			return nil, err
 		}

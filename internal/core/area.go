@@ -25,7 +25,7 @@ func (x *IR2Tree) SearchArea(area geo.Rect, keywords []string) *ResultIter {
 		return s
 	}
 	scorer := func(isObject bool, level int, rect geo.Rect, aux []byte) (float64, bool) {
-		if !sigfile.Matches(sigfile.Signature(aux), querySig(level)) {
+		if !sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(level)) {
 			return 0, false
 		}
 		return rectDist(rect, area), true

@@ -62,7 +62,7 @@ func (x *IR2Tree) Search(p geo.Point, keywords []string) *ResultIter {
 		return s
 	}
 	prune := func(isObject bool, level int, aux []byte) bool {
-		return sigfile.Matches(sigfile.Signature(aux), querySig(level))
+		return sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(level))
 	}
 	it := x.rt.NearestNeighbors(p, prune)
 	return &ResultIter{x: x, it: it, keywords: kws}

@@ -77,7 +77,7 @@ func (x *IR2Tree) SearchRanked(p geo.Point, keywords []string, opts GeneralOptio
 		sigs := keywordSigs(level)
 		var matched float64
 		for i, ws := range sigs {
-			if sigfile.Matches(sigfile.Signature(aux), ws) {
+			if sigfile.MatchesTolerant(sigfile.Signature(aux), ws) {
 				matched += idfs[i]
 			}
 		}

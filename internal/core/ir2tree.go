@@ -151,7 +151,12 @@ func (s *sigScheme) NodeAux(t rtree.NodeReader, n *rtree.Node) ([]byte, error) {
 		sig := cfg.New()
 		for i := 0; i < n.NumEntries(); i++ {
 			_, _, aux := n.Entry(i)
-			sigfile.Superimpose(sig, sigfile.Signature(aux))
+			// The entry aux was decoded from disk; a length mismatch means
+			// a corrupt node, not a programming error, so use the checked
+			// variant and attribute the failure to the node's block.
+			if err := sigfile.SuperimposeChecked(sig, sigfile.Signature(aux)); err != nil {
+				return nil, fmt.Errorf("core: node %d entry %d: %w", n.ID(), i, err)
+			}
 		}
 		return sig, nil
 	}

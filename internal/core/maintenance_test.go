@@ -38,7 +38,7 @@ func TestInsertMaintainsSignatures(t *testing.T) {
 			rows := randomRows(rng, 120)
 			var objs []objstore.Object
 			for i, r := range rows {
-				_, ptr := store.Append(geo.NewPoint(r.lat, r.lon), r.text)
+				_, ptr, _ := store.Append(geo.NewPoint(r.lat, r.lon), r.text)
 				if err := store.Sync(); err != nil {
 					t.Fatal(err)
 				}
@@ -131,7 +131,7 @@ func TestDeleteMaintainsSignatures(t *testing.T) {
 func TestSignatureBitsNeverLostOnInsert(t *testing.T) {
 	f := buildFixture(t, figure1, 3, 16)
 	// Add a hotel with a brand-new word far away.
-	_, ptr := f.store.Append(geo.NewPoint(80, 80), "Hotel Z heliport")
+	_, ptr, _ := f.store.Append(geo.NewPoint(80, 80), "Hotel Z heliport")
 	if err := f.store.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestMIR2MaintenanceCostsMore(t *testing.T) {
 	rows := randomRows(rng, 300)
 	f := buildFixture(t, rows, 4, 8)
 
-	_, ptr := f.store.Append(geo.NewPoint(123, 456), "fresh place with pool and spa")
+	_, ptr, _ := f.store.Append(geo.NewPoint(123, 456), "fresh place with pool and spa")
 	if err := f.store.Sync(); err != nil {
 		t.Fatal(err)
 	}

@@ -114,7 +114,7 @@ func TestDurableIndexEndToEnd(t *testing.T) {
 			}
 
 			// The reopened index accepts updates.
-			_, ptr := store2.Append(geo.NewPoint(400, 400), "durable pool palace")
+			_, ptr, _ := store2.Append(geo.NewPoint(400, 400), "durable pool palace")
 			if err := store2.Sync(); err != nil {
 				t.Fatal(err)
 			}

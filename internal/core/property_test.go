@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -201,5 +202,94 @@ func TestQuickMIR2InteriorCoverage(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQuickCheckpointFaultIsolation is the save-path hardening property: a
+// fault plan that kills the device partway through build-and-checkpoint
+// must surface as a typed I/O fault — never a panic, never a silent
+// success — and whenever the whole pipeline does succeed, reopening the
+// checkpoint must reproduce the in-memory oracle exactly.
+func TestQuickCheckpointFaultIsolation(t *testing.T) {
+	vocab := []string{"ape", "bee", "cat", "dog", "elk", "fox"}
+	f := func(seed int64, nObjs, failAt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nObjs)%40 + 5
+		store := objstore.New(storage.NewDisk(4096))
+		type rec struct {
+			pt   geo.Point
+			text string
+		}
+		oracle := make([]rec, n)
+		for i := range oracle {
+			text := fmt.Sprintf("obj%d %s %s", i, vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))])
+			oracle[i] = rec{geo.NewPoint(rng.Float64()*100, rng.Float64()*100), text}
+			if _, _, err := store.Append(oracle[i].pt, oracle[i].text); err != nil {
+				return false
+			}
+		}
+		if err := store.Sync(); err != nil {
+			return false
+		}
+		// The index device dies on the failAt-th write (0 = never): the
+		// kill lands anywhere in build or checkpoint depending on n.
+		plan := storage.FaultPlan{Seed: seed}
+		if failAt > 0 {
+			plan.FailWritesFrom = uint64(failAt)
+		}
+		dev := storage.NewFaultDevice(storage.NewDisk(512), plan)
+		opts := Options{
+			LeafSignature: sigfile.Config{LengthBytes: 16, BitsPerWord: 2},
+			MaxEntries:    4,
+		}
+		tree, err := New(dev, store, opts)
+		if err != nil {
+			return false
+		}
+		pipeline := func() (storage.BlockID, error) {
+			if err := tree.Build(); err != nil {
+				return storage.NilBlock, err
+			}
+			return tree.Checkpoint(storage.NilBlock)
+		}
+		state, err := pipeline()
+		if err != nil {
+			// The kill fired: it must be the typed injected fault, with
+			// block provenance, and classified as an I/O fault.
+			var fe *storage.FaultError
+			if !errors.As(err, &fe) || !storage.IsIOFault(err) {
+				t.Logf("seed %d failAt %d: untyped failure %v", seed, failAt, err)
+				return false
+			}
+			return true
+		}
+		// The pipeline survived (failAt beyond its write count, or 0):
+		// disarm the plan and verify the checkpoint against the oracle.
+		dev.SetPlan(storage.FaultPlan{})
+		reopened, err := Open(dev, store, opts, state)
+		if err != nil {
+			t.Logf("seed %d: reopen of successful checkpoint: %v", seed, err)
+			return false
+		}
+		keyword := vocab[rng.Intn(len(vocab))]
+		p := geo.NewPoint(rng.Float64()*100, rng.Float64()*100)
+		got, _, err := reopened.TopK(n, p, []string{keyword})
+		if err != nil {
+			return false
+		}
+		var want []objstore.ID
+		for i, r := range oracle {
+			if textutil.ContainsAll(r.text, []string{keyword}) {
+				want = append(want, objstore.ID(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: reopened tree found %d, oracle %d", seed, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
 	}
 }

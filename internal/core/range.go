@@ -45,7 +45,7 @@ func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, Search
 			if !rect.Intersects(area) {
 				continue
 			}
-			if !sigfile.Matches(sigfile.Signature(aux), querySig(n.Level())) {
+			if !sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(n.Level())) {
 				continue
 			}
 			if n.Level() > 0 {

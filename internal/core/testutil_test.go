@@ -64,7 +64,7 @@ func buildFixture(t *testing.T, rows []struct {
 	}
 	f.store = objstore.New(f.objDisk)
 	for _, r := range rows {
-		_, ptr := f.store.Append(geo.NewPoint(r.lat, r.lon), r.text)
+		_, ptr, _ := f.store.Append(geo.NewPoint(r.lat, r.lon), r.text)
 		f.ptrs = append(f.ptrs, ptr)
 		f.vocab.AddDoc(r.text)
 	}

@@ -222,7 +222,9 @@ func Generate(spec Spec, store *objstore.Store) (*Stats, error) {
 			}
 		}
 		uniqueSum += int64(len(order))
-		store.Append(p, b.String())
+		if _, _, err := store.Append(p, b.String()); err != nil {
+			return nil, err
+		}
 	}
 	if err := store.Sync(); err != nil {
 		return nil, err

@@ -1,0 +1,16 @@
+// Package faultmatrix cross-checks every index substrate against every
+// injected storage failure mode. It holds no production code: the package
+// exists for its test, which drives the fault matrix
+//
+//	{read-error, write-error, bit-flip, torn-run, alloc-fail}
+//	    × {rtree, invindex, sigfile (via IR²-Tree aux), objstore}
+//
+// and asserts the hardening contract end to end — a faulted device never
+// panics a substrate, the failure surfaces as a typed error
+// (*storage.FaultError or *storage.CorruptBlockError) carrying the block it
+// hit, storage.IsIOFault classifies it, and no goroutines leak.
+//
+// The matrix lives in its own package, rather than one test per substrate,
+// so the contract is stated — and extended — in exactly one place: a new
+// fault kind or a new substrate is one more row or column here.
+package faultmatrix

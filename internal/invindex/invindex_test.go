@@ -40,7 +40,7 @@ func buildFigure1(t *testing.T) (*Index, *objstore.Store, []objstore.Ptr, *stora
 	ix := New(ixDisk)
 	var ptrs []objstore.Ptr
 	for _, h := range figure1 {
-		_, ptr := store.Append(geo.NewPoint(h.lat, h.lon), h.text)
+		_, ptr, _ := store.Append(geo.NewPoint(h.lat, h.lon), h.text)
 		ix.AddDocument(uint64(ptr), h.text)
 		ptrs = append(ptrs, ptr)
 	}

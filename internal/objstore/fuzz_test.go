@@ -40,7 +40,7 @@ func FuzzAppendGet(f *testing.F) {
 	f.Add("", 1e300, -1e300)
 	f.Fuzz(func(t *testing.T, text string, x, y float64) {
 		s, _ := newStore(64)
-		_, ptr := s.Append(geo.NewPoint(x, y), text)
+		_, ptr, _ := s.Append(geo.NewPoint(x, y), text)
 		if err := s.Sync(); err != nil {
 			t.Fatal(err)
 		}

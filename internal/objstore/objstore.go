@@ -78,7 +78,11 @@ func (s *Store) Ptrs() []Ptr { return s.ptrs }
 // Append serializes obj (the ID field is ignored and assigned) and returns
 // its assigned ID and row pointer. The text is sanitized: tabs and newlines
 // become spaces, since rows are line-delimited.
-func (s *Store) Append(point geo.Point, text string) (ID, Ptr) {
+//
+// A non-nil error means the device rejected a block flush. The row itself
+// is still buffered (the returned ID and Ptr remain valid), so a later
+// Append or Sync retries the flush once the device recovers.
+func (s *Store) Append(point geo.Point, text string) (ID, Ptr, error) {
 	id := ID(s.count)
 	ptr := Ptr(s.synced + uint64(len(s.tail)))
 	row := encodeRow(id, point, text)
@@ -86,8 +90,10 @@ func (s *Store) Append(point geo.Point, text string) (ID, Ptr) {
 	s.count++
 	s.ptrs = append(s.ptrs, ptr)
 	s.blockSum += uint64(s.rowBlockSpan(ptr, len(row)))
-	s.flushFullBlocks()
-	return id, ptr
+	if err := s.flushFullBlocks(); err != nil {
+		return id, ptr, fmt.Errorf("objstore: append: %w", err)
+	}
+	return id, ptr, nil
 }
 
 // rowBlockSpan returns how many blocks a row starting at ptr with the given
@@ -109,25 +115,32 @@ func (s *Store) AvgBlocksPerObject() float64 {
 }
 
 // flushFullBlocks writes every complete block sitting in the tail buffer.
-func (s *Store) flushFullBlocks() {
+// On error the unflushed bytes stay in the tail, so the flush is retryable.
+func (s *Store) flushFullBlocks() error {
 	bs := s.dev.BlockSize()
 	for len(s.tail) >= bs {
-		s.appendBlock(s.tail[:bs])
+		if err := s.appendBlock(s.tail[:bs]); err != nil {
+			return err
+		}
 		s.tail = s.tail[bs:]
 		s.synced += uint64(bs)
 	}
+	return nil
 }
 
-// appendBlock allocates the next file block and writes data into it.
-func (s *Store) appendBlock(data []byte) {
+// appendBlock allocates the next file block and writes data into it. A
+// failed write releases the allocation and leaves the file unchanged.
+func (s *Store) appendBlock(data []byte) error {
 	id := s.dev.Alloc()
-	s.blocks = append(s.blocks, id)
-	if err := s.dev.Write(id, data); err != nil {
-		// Writes to a freshly allocated block on a healthy device cannot
-		// fail; a fault hook can make them fail, which tests exercise via
-		// Sync instead. Panic keeps the append path ergonomic.
-		panic(fmt.Sprintf("objstore: append write failed: %v", err))
+	if id == storage.NilBlock {
+		return fmt.Errorf("objstore: append: %w", storage.ErrDeviceFull)
 	}
+	if err := s.dev.Write(id, data); err != nil {
+		s.dev.Free(id)
+		return err
+	}
+	s.blocks = append(s.blocks, id)
+	return nil
 }
 
 // Sync flushes the partially filled tail block, making all appended rows
@@ -144,6 +157,9 @@ func (s *Store) Sync() error {
 		panic("objstore: tail exceeds block size")
 	}
 	id := s.dev.Alloc()
+	if id == storage.NilBlock {
+		return fmt.Errorf("objstore: sync: %w", storage.ErrDeviceFull)
+	}
 	s.blocks = append(s.blocks, id)
 	if err := s.dev.Write(id, s.tail); err != nil {
 		s.blocks = s.blocks[:len(s.blocks)-1]

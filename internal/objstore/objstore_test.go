@@ -29,7 +29,7 @@ func TestAppendGetRoundTrip(t *testing.T) {
 	}
 	var ptrs []Ptr
 	for _, r := range rows {
-		id, ptr := s.Append(r.p, r.text)
+		id, ptr, _ := s.Append(r.p, r.text)
 		if int(id) != len(ptrs) {
 			t.Fatalf("id = %d, want %d", id, len(ptrs))
 		}
@@ -58,7 +58,7 @@ func TestAppendGetRoundTrip(t *testing.T) {
 
 func TestGetBeforeSyncFails(t *testing.T) {
 	s, _ := newStore(128)
-	_, ptr := s.Append(geo.NewPoint(1, 2), "tiny")
+	_, ptr, _ := s.Append(geo.NewPoint(1, 2), "tiny")
 	if _, err := s.Get(ptr); !errors.Is(err, ErrNotSynced) {
 		t.Errorf("err = %v, want ErrNotSynced", err)
 	}
@@ -73,7 +73,7 @@ func TestGetBeforeSyncFails(t *testing.T) {
 func TestMultiBlockRow(t *testing.T) {
 	s, d := newStore(64)
 	long := strings.Repeat("amenity ", 50) // ~400 bytes, spans many 64-byte blocks
-	_, ptr := s.Append(geo.NewPoint(0, 0), long)
+	_, ptr, _ := s.Append(geo.NewPoint(0, 0), long)
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestRowSpanningSyncBoundary(t *testing.T) {
 	// A row partially flushed by full-block flushing but not synced must
 	// report ErrNotSynced, then read fine after Sync.
 	s, _ := newStore(64)
-	_, p1 := s.Append(geo.NewPoint(1, 1), strings.Repeat("x", 100))
+	_, p1, _ := s.Append(geo.NewPoint(1, 1), strings.Repeat("x", 100))
 	if _, err := s.Get(p1); !errors.Is(err, ErrNotSynced) {
 		t.Errorf("err = %v, want ErrNotSynced", err)
 	}
@@ -120,11 +120,11 @@ func TestRowSpanningSyncBoundary(t *testing.T) {
 func TestAppendAfterSync(t *testing.T) {
 	// Sync seals the block; later rows must still be addressable.
 	s, _ := newStore(64)
-	_, p1 := s.Append(geo.NewPoint(1, 1), "first")
+	_, p1, _ := s.Append(geo.NewPoint(1, 1), "first")
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	_, p2 := s.Append(geo.NewPoint(2, 2), "second")
+	_, p2, _ := s.Append(geo.NewPoint(2, 2), "second")
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestAppendAfterSync(t *testing.T) {
 
 func TestSanitization(t *testing.T) {
 	s, _ := newStore(128)
-	_, ptr := s.Append(geo.NewPoint(0, 0), "tabs\tand\nnewlines\r!")
+	_, ptr, _ := s.Append(geo.NewPoint(0, 0), "tabs\tand\nnewlines\r!")
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestGetByIDOutOfRange(t *testing.T) {
 
 func TestCorruptRow(t *testing.T) {
 	s, d := newStore(64)
-	_, ptr := s.Append(geo.NewPoint(1, 2), "fine")
+	_, ptr, _ := s.Append(geo.NewPoint(1, 2), "fine")
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 
 func TestReadFaultPropagates(t *testing.T) {
 	s, d := newStore(64)
-	_, ptr := s.Append(geo.NewPoint(1, 1), "x")
+	_, ptr, _ := s.Append(geo.NewPoint(1, 1), "x")
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,9 @@ func (s *Store) Checkpoint() (storage.BlockID, error) {
 		binary.LittleEndian.PutUint64(buf[20+8*i:], uint64(id))
 	}
 	meta := s.dev.AllocRun(nblocks)
+	if meta == storage.NilBlock {
+		return storage.NilBlock, fmt.Errorf("objstore: checkpoint: %w", storage.ErrDeviceFull)
+	}
 	if err := s.dev.WriteRun(meta, nblocks, buf); err != nil {
 		return storage.NilBlock, fmt.Errorf("objstore: checkpoint: %w", err)
 	}

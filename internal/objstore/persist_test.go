@@ -62,7 +62,7 @@ func TestCheckpointOpenInMemory(t *testing.T) {
 		t.Errorf("block stats mismatch: %g vs %g", s.AvgBlocksPerObject(), r2.AvgBlocksPerObject())
 	}
 	// The reopened store keeps accepting appends.
-	_, ptr := r2.Append(geo.NewPoint(9, 9), "appended after reopen")
+	_, ptr, _ := r2.Append(geo.NewPoint(9, 9), "appended after reopen")
 	if err := r2.Sync(); err != nil {
 		t.Fatal(err)
 	}

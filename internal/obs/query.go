@@ -47,6 +47,9 @@ type QueryMetrics struct {
 	Latency time.Duration
 	// Err reports whether the query failed.
 	Err bool
+	// Degraded reports whether the answer is partial because one or more
+	// shards were out of rotation (sharded aggregate records only).
+	Degraded bool
 }
 
 // Sink receives one QueryMetrics per finished query. Implementations must

@@ -282,6 +282,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 //
 //	sk_queries_total{op}                  queries finished, by kind
 //	sk_query_errors_total{op}             queries that failed
+//	sk_query_degraded_total{op}           partial answers (shards skipped)
 //	sk_query_results_total{op}            results returned
 //	sk_query_latency_seconds{op}          wall latency histogram
 //	sk_query_random_blocks{op}            random blocks per query histogram
@@ -332,6 +333,9 @@ func (q *QueryRecorder) RecordQuery(m QueryMetrics) {
 	q.reg.Counter("sk_queries_total", "Queries finished, by kind.", ol).Inc()
 	if m.Err {
 		q.reg.Counter("sk_query_errors_total", "Queries that returned an error.", ol).Inc()
+	}
+	if m.Degraded {
+		q.reg.Counter("sk_query_degraded_total", "Queries answered partially with shards out of rotation.", ol).Inc()
 	}
 	q.reg.Counter("sk_query_results_total", "Results returned.", ol).Add(uint64(m.Results))
 	q.reg.Histogram("sk_query_latency_seconds", "Query wall latency.", LatencyBuckets(), ol).Observe(m.Latency.Seconds())

@@ -81,5 +81,23 @@ func Open(dev storage.Device, cfg Config, stateBlock storage.BlockID) (*Tree, er
 	t.height = int(binary.LittleEndian.Uint32(buf[16:20]))
 	t.size = int(binary.LittleEndian.Uint64(buf[20:28]))
 	t.nodes = int(binary.LittleEndian.Uint64(buf[28:36]))
+	if t.height < 0 || (t.root == storage.NilBlock) != (t.height == 0) {
+		return nil, fmt.Errorf("rtree: corrupt state block %d (root %d, height %d)",
+			stateBlock, t.root, t.height)
+	}
+	// Recovery check: the checkpointed root must decode and sit at the
+	// checkpointed height. This catches a state block pointing into blocks
+	// that were recycled or torn after the checkpoint, before a query walks
+	// into them.
+	if t.root != storage.NilBlock {
+		rootNode, err := t.loadNode(t.root)
+		if err != nil {
+			return nil, fmt.Errorf("rtree: open: root unreadable: %w", err)
+		}
+		if rootNode.Level() != t.height-1 {
+			return nil, fmt.Errorf("rtree: corrupt root block %d: level %d does not match height %d",
+				t.root, rootNode.Level(), t.height)
+		}
+	}
 	return t, nil
 }

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"spatialkeyword"
+)
+
+// armShardCrash makes the sharded save die at one step: step i < shards
+// kills it before shard i saves, step == shards kills it before the
+// shards.json commit (after every shard advanced its own generation).
+func armShardCrash(step int) (restore func()) {
+	errCrash := errors.New("simulated crash")
+	saveStepHook = func(s int) error {
+		if s >= step {
+			return errCrash
+		}
+		return nil
+	}
+	origWrite, origRename := fsWriteFile, fsRename
+	if step < 0 { // crash inside the manifest write itself
+		saveStepHook = nil
+		fsWriteFile = func(string, []byte, os.FileMode) error { return errCrash }
+		fsRename = func(string, string) error { return errCrash }
+	}
+	return func() {
+		saveStepHook = nil
+		fsWriteFile, fsRename = origWrite, origRename
+	}
+}
+
+// shardedTexts collects every live object's text across all shards.
+func shardedTexts(t *testing.T, s *ShardedEngine) []string {
+	t.Helper()
+	var texts []string
+	for _, sh := range s.shards {
+		if err := sh.eng.Scan(func(o spatialkeyword.Object) error {
+			texts = append(texts, o.Text)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(texts)
+	return texts
+}
+
+// TestShardedSaveCrashReopensConsistentGeneration kills the sharded save at
+// every step — before each shard's save, before the manifest commit, and
+// inside the manifest write — and checks that Open always reassembles one
+// mutually consistent generation: either all shards old or all shards new,
+// matching what the committed shards.json pins.
+func TestShardedSaveCrashReopensConsistentGeneration(t *testing.T) {
+	dir := t.TempDir()
+	cfg := spatialkeyword.Config{SignatureBytes: 16}
+	s, err := NewDurable(cfg, dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []string
+	for i := 0; i < 30; i++ {
+		text := fmt.Sprintf("base %d poi", i)
+		if _, err := s.Add([]float64{float64(i % 6), float64(i / 6)}, text); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, text)
+	}
+	sort.Strings(oracle)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash steps: -1 = inside the manifest write, 0..2 = before shard i's
+	// save, 3 = after all shard saves but before the manifest commit.
+	steps := []int{-1, 0, 1, 2, 3}
+	for iter := 0; iter < 20; iter++ {
+		step := steps[iter%len(steps)]
+		text := fmt.Sprintf("iter %d poi", iter)
+		if _, err := s.Add([]float64{float64(iter % 6), float64(iter % 5)}, text); err != nil {
+			t.Fatal(err)
+		}
+		restore := armShardCrash(step)
+		saveErr := s.Save()
+		restore()
+		if saveErr == nil {
+			t.Fatalf("iter %d step %d: crashed save reported success", iter, step)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+		s, err = Open(dir)
+		if err != nil {
+			t.Fatalf("iter %d step %d: reopen after crash: %v", iter, step, err)
+		}
+		if got := shardedTexts(t, s); !reflect.DeepEqual(got, oracle) {
+			t.Fatalf("iter %d step %d: recovered %d objects, committed %d",
+				iter, step, len(got), len(oracle))
+		}
+		// Queries see exactly the committed set.
+		res, err := s.TopK(len(oracle)+4, []float64{3, 3}, "poi")
+		if err != nil {
+			t.Fatalf("iter %d: query after recovery: %v", iter, err)
+		}
+		if len(res) != len(oracle) {
+			t.Fatalf("iter %d step %d: query found %d, committed %d", iter, step, len(res), len(oracle))
+		}
+	}
+
+	// One clean save commits everything added since the baseline (the
+	// re-adds above were lost with each crash — re-add a marker).
+	if _, err := s.Add([]float64{1, 1}, "final poi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatalf("clean save after crash loop: %v", err)
+	}
+	oracle = append(oracle, "final poi")
+	sort.Strings(oracle)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := shardedTexts(t, s); !reflect.DeepEqual(got, oracle) {
+		t.Fatalf("clean save content mismatch: %d vs %d", len(got), len(oracle))
+	}
+}
+
+// TestSaveRefusesUnhealthyShard: once a shard has degraded, Save must not
+// snapshot its (suspect) working files as a new generation — it refuses with
+// ErrUnhealthyShard before touching the disk, and the last committed
+// manifest keeps recovery intact. Repairing the fault and calling
+// ResetHealth re-enables saves.
+func TestSaveRefusesUnhealthyShard(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurable(spatialkeyword.Config{SignatureBytes: 16}, dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var oracle []string
+	for i := 0; i < 12; i++ {
+		text := fmt.Sprintf("poi %d stable", i)
+		if _, err := s.Add([]float64{float64(i), float64(i % 3)}, text); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, text)
+	}
+	sort.Strings(oracle)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade shard 1: fault its reads and trip the fault with a query.
+	if !s.InjectShardFault(1, failAllReads) {
+		t.Fatal("InjectShardFault refused")
+	}
+	if _, qs, err := s.TopKWithStats(len(oracle), []float64{0, 0}, "stable"); err != nil {
+		t.Fatalf("degraded query: %v", err)
+	} else if !qs.Degraded {
+		t.Fatal("fault did not degrade the query")
+	}
+
+	err = s.Save()
+	if !errors.Is(err, ErrUnhealthyShard) {
+		t.Fatalf("Save on unhealthy shard: got %v, want ErrUnhealthyShard", err)
+	}
+
+	// Repair + reset puts the shard back in rotation and saves work again.
+	if !s.InjectShardFault(1, nil) {
+		t.Fatal("InjectShardFault(nil) refused")
+	}
+	if n := s.ResetHealth(); n != 1 {
+		t.Fatalf("ResetHealth reset %d shards, want 1", n)
+	}
+	if _, err := s.Add([]float64{50, 50}, "post repair"); err != nil {
+		t.Fatal(err)
+	}
+	oracle = append(oracle, "post repair")
+	sort.Strings(oracle)
+	if err := s.Save(); err != nil {
+		t.Fatalf("save after repair: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shardedTexts(t, s); !reflect.DeepEqual(got, oracle) {
+		t.Fatalf("reopen content mismatch: got %d objects, want %d", len(got), len(oracle))
+	}
+}

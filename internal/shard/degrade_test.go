@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/obs"
+	"spatialkeyword/internal/storage"
+)
+
+// degradeFixture builds a 4-shard in-memory engine with a spread of objects
+// sharing one common keyword, plus health instruments in a registry.
+func degradeFixture(t *testing.T) (*ShardedEngine, *obs.Counter, *obs.Gauge, *obs.Registry) {
+	t.Helper()
+	s, err := New(spatialkeyword.Config{SignatureBytes: 16}, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck
+	for i := 0; i < 120; i++ {
+		text := fmt.Sprintf("poi %d common kw%d", i, i%7)
+		if _, err := s.Add([]float64{float64(i % 12), float64(i / 12)}, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	errs := reg.Counter("sk_shard_errors_total", "t")
+	unhealthy := reg.Gauge("sk_shards_unhealthy", "t")
+	s.SetHealthMetrics(errs, unhealthy)
+	return s, errs, unhealthy, reg
+}
+
+// failAllReads is a fault hook that fails every read with a typed fault.
+func failAllReads(op storage.Op, id storage.BlockID) error {
+	if op == storage.OpRead {
+		return &storage.FaultError{Kind: storage.KindReadError, Op: op, Block: id}
+	}
+	return nil
+}
+
+// TestShardFaultDegradesQuery is the acceptance scenario: one faulted shard
+// must not fail the query — the fan-out serves partial top-k with
+// Degraded=true, the shard is taken out of rotation, and the health
+// instruments record it.
+func TestShardFaultDegradesQuery(t *testing.T) {
+	checkGoroutines(t)
+	s, errs, unhealthy, _ := degradeFixture(t)
+
+	full, st, err := s.TopKWithStats(200, []float64{5, 5}, "common")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded {
+		t.Fatal("healthy engine reported degraded")
+	}
+	if len(full) != 120 {
+		t.Fatalf("full result count = %d, want 120", len(full))
+	}
+
+	if !s.InjectShardFault(1, failAllReads) {
+		t.Fatal("InjectShardFault refused")
+	}
+	partial, st, err := s.TopKWithStats(200, []float64{5, 5}, "common")
+	if err != nil {
+		t.Fatalf("degraded query failed instead of serving partial results: %v", err)
+	}
+	if !st.Degraded {
+		t.Fatal("QueryStats.Degraded = false after shard fault")
+	}
+	if len(partial) == 0 || len(partial) >= len(full) {
+		t.Fatalf("partial results = %d of %d, want a proper non-empty subset", len(partial), len(full))
+	}
+	if errs.Value() == 0 {
+		t.Error("shard error counter not incremented")
+	}
+	if unhealthy.Value() != 1 {
+		t.Errorf("unhealthy gauge = %d, want 1", unhealthy.Value())
+	}
+	if !s.Degraded() {
+		t.Error("Degraded() = false")
+	}
+	h := s.Health()
+	if len(h) != 4 || h[1].Healthy || h[1].Err == "" {
+		t.Errorf("health = %+v, want shard 1 unhealthy with an error", h)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !h[i].Healthy {
+			t.Errorf("shard %d marked unhealthy", i)
+		}
+	}
+
+	// A later query skips the dead shard without touching it again: still
+	// degraded, same partial answer, no error.
+	again, st, err := s.TopKWithStats(200, []float64{5, 5}, "common")
+	if err != nil || !st.Degraded || len(again) != len(partial) {
+		t.Fatalf("repeat degraded query: n=%d err=%v degraded=%v", len(again), err, st.Degraded)
+	}
+
+	// Repair: clear the fault, revive the shard, and the full answer is back.
+	if !s.InjectShardFault(1, nil) {
+		t.Fatal("clearing fault refused")
+	}
+	if n := s.ResetHealth(); n != 1 {
+		t.Fatalf("ResetHealth revived %d shards, want 1", n)
+	}
+	if unhealthy.Value() != 0 {
+		t.Errorf("unhealthy gauge = %d after reset, want 0", unhealthy.Value())
+	}
+	recovered, st, err := s.TopKWithStats(200, []float64{5, 5}, "common")
+	if err != nil || st.Degraded || len(recovered) != len(full) {
+		t.Fatalf("after repair: n=%d err=%v degraded=%v", len(recovered), err, st.Degraded)
+	}
+}
+
+// TestShardFaultDegradesAllQueryKinds exercises the other fan-out paths
+// against a faulted shard: all serve partial answers rather than erroring.
+func TestShardFaultDegradesAllQueryKinds(t *testing.T) {
+	checkGoroutines(t)
+	s, _, _, _ := degradeFixture(t)
+	if !s.InjectShardFault(2, failAllReads) {
+		t.Fatal("InjectShardFault refused")
+	}
+	if _, err := s.TopKRanked(10, []float64{5, 5}, "common"); err != nil {
+		t.Errorf("TopKRanked on degraded engine: %v", err)
+	}
+	if _, err := s.TopKArea(10, []float64{0, 0}, []float64{12, 12}, "common"); err != nil {
+		t.Errorf("TopKArea on degraded engine: %v", err)
+	}
+	if _, err := s.WithinArea([]float64{0, 0}, []float64{12, 12}, "common"); err != nil {
+		t.Errorf("WithinArea on degraded engine: %v", err)
+	}
+	if !s.Degraded() {
+		t.Error("engine not marked degraded")
+	}
+}
+
+// TestDegradedQueryMetric checks the aggregate observability record: a
+// degraded fan-out bumps sk_query_degraded_total.
+func TestDegradedQueryMetric(t *testing.T) {
+	s, _, _, reg := degradeFixture(t)
+	rec := obs.NewQueryRecorder(reg)
+	s.SetMetricsSink(rec)
+	if !s.InjectShardFault(0, failAllReads) {
+		t.Fatal("InjectShardFault refused")
+	}
+	if _, _, err := s.TopKWithStats(10, []float64{5, 5}, "common"); err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counter("sk_query_degraded_total", "Queries answered partially with shards out of rotation.", obs.L("op", "topk"))
+	if c.Value() != 1 {
+		t.Errorf("sk_query_degraded_total = %d, want 1", c.Value())
+	}
+}
+
+// TestNonStorageErrorStillFails pins the classification boundary: an error
+// that is not a storage fault must fail the query, not degrade the shard.
+func TestNonStorageErrorStillFails(t *testing.T) {
+	s, errs, _, _ := degradeFixture(t)
+	boom := errors.New("not a storage problem")
+	_, err := s.fanOut(nil, func(sh *shardHandle) error {
+		if sh.idx == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("query error swallowed: %v", err)
+	}
+	if s.Degraded() {
+		t.Error("non-storage error degraded a shard")
+	}
+	if errs.Value() != 0 {
+		t.Error("non-storage error bumped the shard error counter")
+	}
+}
+
+// checkGoroutines fails the test when the fan-out leaks goroutines (a
+// faulted shard's worker must still exit).
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,7 +34,23 @@ type shardManifest struct {
 	Partitioner partitionerState      `json:"partitioner"`
 	// Assign holds the shard index of each global object ID.
 	Assign []int `json:"assign"`
+	// Gens pins each shard to the snapshot generation it had when this
+	// manifest was written. A crash after some shards saved a newer
+	// generation but before the manifest commit reopens every shard at
+	// these older — mutually consistent — generations instead of mixing
+	// old and new shards.
+	Gens []uint64 `json:"gens,omitempty"`
 }
+
+// Crash-consistency test hooks: the save protocol reaches the filesystem
+// only through these vars, and saveStepHook (when non-nil) runs before each
+// shard's save (step = shard index) and before the manifest write (step =
+// shard count), so tests can kill the save at any point.
+var (
+	fsWriteFile  = os.WriteFile
+	fsRename     = os.Rename
+	saveStepHook func(step int) error
+)
 
 // shardDir names the i-th shard's subdirectory.
 func shardDir(dir string, i int) string {
@@ -69,25 +86,56 @@ func NewDurable(cfg spatialkeyword.Config, dir string, opts Options) (*ShardedEn
 	return s, nil
 }
 
+// ErrUnhealthyShard is wrapped by Save when a shard marked unhealthy would
+// be snapshotted: its working files are suspect (the fault that degraded it
+// may have corrupted them), and committing them as a new generation would
+// poison the last good snapshot. Repair the device and call ResetHealth to
+// re-enable saves; until then the previously committed manifest keeps every
+// shard pinned at a mutually consistent generation.
+var ErrUnhealthyShard = errors.New("shard: unhealthy shard")
+
 // Save checkpoints every shard and then the sharded manifest. Only durable
-// engines can Save.
+// engines can Save. Save refuses (with ErrUnhealthyShard) while any shard is
+// degraded, before touching the disk, so reopening recovers the last
+// consistent generation instead of a snapshot of faulted state.
 func (s *ShardedEngine) Save() error {
 	if s.dir == "" {
 		return spatialkeyword.ErrNotDurable
 	}
 	for _, sh := range s.shards {
+		if sh.unhealthy.Load() {
+			err := fmt.Errorf("shard %d: %w, refusing to snapshot", sh.idx, ErrUnhealthyShard)
+			if last, ok := sh.lastErr.Load().(error); ok && last != nil {
+				err = fmt.Errorf("%w: %v", err, last)
+			}
+			return err
+		}
+	}
+	gens := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		if saveStepHook != nil {
+			if err := saveStepHook(i); err != nil {
+				return err
+			}
+		}
 		sh.mu.Lock()
 		err := sh.eng.Save()
+		gens[i] = sh.eng.Generation()
 		sh.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
+	}
+	if saveStepHook != nil {
+		if err := saveStepHook(len(s.shards)); err != nil {
+			return err
 		}
 	}
 	ps, err := marshalPartitioner(s.part)
 	if err != nil {
 		return err
 	}
-	m := shardManifest{Config: s.cfg, Partitioner: ps}
+	m := shardManifest{Config: s.cfg, Partitioner: ps, Gens: gens}
 	s.mu.RLock()
 	m.Assign = make([]int, len(s.assign))
 	for gid, loc := range s.assign {
@@ -99,10 +147,10 @@ func (s *ShardedEngine) Save() error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, shardManifestName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsWriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, shardManifestName))
+	return fsRename(tmp, filepath.Join(s.dir, shardManifestName))
 }
 
 // Close releases every shard's files. Memory-only engines have nothing to
@@ -134,9 +182,21 @@ func Open(dir string) (*ShardedEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.Gens != nil && len(m.Gens) != part.Shards() {
+		return nil, fmt.Errorf("shard: manifest pins %d generations for %d shards", len(m.Gens), part.Shards())
+	}
 	s := &ShardedEngine{cfg: m.Config, part: part, vocab: textutil.NewVocabulary(), dir: dir}
 	for i := 0; i < part.Shards(); i++ {
-		eng, err := spatialkeyword.OpenEngine(shardDir(dir, i))
+		var eng *spatialkeyword.Engine
+		var err error
+		if m.Gens != nil {
+			// Open at the pinned generation, not whatever the shard's own
+			// manifest points at: a crash between per-shard saves may have
+			// advanced some shards past this manifest.
+			eng, err = spatialkeyword.OpenEngineAt(shardDir(dir, i), m.Gens[i])
+		} else {
+			eng, err = spatialkeyword.OpenEngine(shardDir(dir, i))
+		}
 		if err != nil {
 			s.Close() //nolint:errcheck // already failing
 			return nil, fmt.Errorf("shard %d: %w", i, err)

@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialkeyword"
 	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/obs"
 	"spatialkeyword/internal/storage"
 	"spatialkeyword/internal/textutil"
@@ -63,7 +65,26 @@ type shardHandle struct {
 	mu      sync.RWMutex
 	eng     *spatialkeyword.Engine
 	globals []uint64 // local object ID → global object ID
+
+	// unhealthy is set (sticky) when the shard's storage faults; fan-outs
+	// then skip the shard and report degraded results instead of failing
+	// the whole query. lastErr holds the fault that tripped it.
+	unhealthy atomic.Bool
+	lastErr   atomic.Value // error
 }
+
+// globalID translates a shard-local result ID, failing with a typed
+// corruption error (instead of panicking) when a damaged shard hands back
+// an ID it never assigned.
+func (sh *shardHandle) globalID(local uint64) (uint64, error) {
+	if local >= uint64(len(sh.globals)) {
+		return 0, fmt.Errorf("%w: shard %d returned object %d of %d", errCorruptShard, sh.idx, local, len(sh.globals))
+	}
+	return sh.globals[local], nil
+}
+
+// errCorruptShard marks results that cannot have come from an intact shard.
+var errCorruptShard = errors.New("shard: corrupt shard result")
 
 // ShardedEngine is a spatially partitioned spatial keyword engine. All
 // methods are safe for concurrent use; queries on different shards and
@@ -81,6 +102,111 @@ type ShardedEngine struct {
 	dir string // backing directory; empty = in-memory
 
 	sink obs.Sink // per-query observability sink; nil = disabled
+
+	// Health metrics (optional): shardErrs counts storage faults that
+	// degraded a shard, unhealthyGauge tracks how many shards are currently
+	// marked unhealthy. See SetHealthMetrics.
+	shardErrs      *obs.Counter
+	unhealthyGauge *obs.Gauge
+}
+
+// SetHealthMetrics installs the observability instruments the engine bumps
+// when a shard's storage faults: errs counts every degrading fault, and
+// unhealthy gauges the number of shards currently out of rotation. Install
+// before serving traffic; the fields are not synchronized.
+func (s *ShardedEngine) SetHealthMetrics(errs *obs.Counter, unhealthy *obs.Gauge) {
+	s.shardErrs = errs
+	s.unhealthyGauge = unhealthy
+}
+
+// ShardHealth reports one shard's availability.
+type ShardHealth struct {
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Health returns every shard's availability, in shard order.
+func (s *ShardedEngine) Health() []ShardHealth {
+	out := make([]ShardHealth, len(s.shards))
+	for i, sh := range s.shards {
+		h := ShardHealth{Shard: i, Healthy: !sh.unhealthy.Load()}
+		if !h.Healthy {
+			if err, ok := sh.lastErr.Load().(error); ok {
+				h.Err = err.Error()
+			}
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Degraded reports whether any shard is currently marked unhealthy.
+func (s *ShardedEngine) Degraded() bool {
+	for _, sh := range s.shards {
+		if sh.unhealthy.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetHealth clears every shard's unhealthy mark — the operator action
+// after repairing or replacing a shard's storage. It returns how many
+// shards were revived.
+func (s *ShardedEngine) ResetHealth() int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.unhealthy.CompareAndSwap(true, false) {
+			n++
+		}
+	}
+	if s.unhealthyGauge != nil {
+		s.unhealthyGauge.Set(int64(s.countUnhealthy()))
+	}
+	return n
+}
+
+// InjectShardFault installs (or clears) a fault hook on shard i's devices.
+// Fault-tolerance tests use it to fail one shard of a live engine.
+func (s *ShardedEngine) InjectShardFault(i int, f storage.FaultFunc) bool {
+	if i < 0 || i >= len(s.shards) {
+		return false
+	}
+	return s.shards[i].eng.InjectFault(f)
+}
+
+// degradeable reports whether err is a storage-level failure of the shard
+// (device fault, checksum mismatch, corrupt row or result) rather than a
+// problem with the query itself. Degradeable errors take the shard out of
+// rotation; query errors propagate to the caller.
+func degradeable(err error) bool {
+	return storage.IsIOFault(err) ||
+		errors.Is(err, objstore.ErrCorrupt) ||
+		errors.Is(err, errCorruptShard)
+}
+
+// markUnhealthy takes a shard out of rotation after a degradeable fault and
+// bumps the health instruments.
+func (s *ShardedEngine) markUnhealthy(sh *shardHandle, err error) {
+	sh.lastErr.Store(err)
+	first := sh.unhealthy.CompareAndSwap(false, true)
+	if s.shardErrs != nil {
+		s.shardErrs.Inc()
+	}
+	if first && s.unhealthyGauge != nil {
+		s.unhealthyGauge.Set(int64(s.countUnhealthy()))
+	}
+}
+
+func (s *ShardedEngine) countUnhealthy() int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.unhealthy.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // SetMetricsSink installs (or, with nil, removes) the engine's metrics
@@ -136,6 +262,7 @@ func (s *ShardedEngine) recordQuery(op string, k, keywords, results int, qs spat
 		SequentialBlocks:  qs.BlocksSequential,
 		Latency:           latency,
 		Err:               err != nil,
+		Degraded:          qs.Degraded,
 	})
 }
 
@@ -296,17 +423,31 @@ func (s *ShardedEngine) Delete(gid uint64) error {
 	return reglobal(err, gid)
 }
 
-// fanOut runs fn once per listed shard (nil = all shards) in parallel and
-// returns the first error.
-func (s *ShardedEngine) fanOut(which []int, fn func(sh *shardHandle) error) error {
+// fanOut runs fn once per listed shard (nil = all shards) in parallel.
+// Shards already marked unhealthy are skipped, and a shard whose fn fails
+// with a storage-level fault (see degradeable) is taken out of rotation
+// mid-query; both cases set the degraded flag and the query completes on
+// the remaining shards with partial results. Non-storage errors — bad
+// query dimensions, unknown IDs — fail the fan-out (first one wins).
+func (s *ShardedEngine) fanOut(which []int, fn func(sh *shardHandle) error) (degraded bool, err error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		deg      atomic.Bool
 	)
 	run := func(sh *shardHandle) {
 		defer wg.Done()
+		if sh.unhealthy.Load() {
+			deg.Store(true)
+			return
+		}
 		if err := fn(sh); err != nil {
+			if degradeable(err) {
+				s.markUnhealthy(sh, err)
+				deg.Store(true)
+				return
+			}
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err
@@ -326,7 +467,7 @@ func (s *ShardedEngine) fanOut(which []int, fn func(sh *shardHandle) error) erro
 		}
 	}
 	wg.Wait()
-	return firstErr
+	return deg.Load(), firstErr
 }
 
 // streamIter abstracts the two distance-ordered streams (point and area).
@@ -351,7 +492,11 @@ func drainDistanceStream(sh *shardHandle, it streamIter, col *collector) error {
 		if !ok {
 			return nil
 		}
-		col.offer(r.Dist, sh.globals[r.Object.ID], r)
+		gid, err := sh.globalID(r.Object.ID)
+		if err != nil {
+			return err
+		}
+		col.offer(r.Dist, gid, r)
 	}
 }
 
@@ -371,7 +516,7 @@ func (s *ShardedEngine) TopKWithStats(k int, point []float64, keywords ...string
 	start := time.Now()
 	col := newCollector(k, true)
 	var statsMu sync.Mutex
-	err := s.fanOut(nil, func(sh *shardHandle) error {
+	degraded, err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		shardStart := time.Now()
@@ -390,6 +535,7 @@ func (s *ShardedEngine) TopKWithStats(k int, point []float64, keywords ...string
 		statsMu.Unlock()
 		return err
 	})
+	agg.Degraded = degraded
 	results := distanceResults(col)
 	s.recordQuery("topk", k, len(keywords), len(results), agg, time.Since(start), err)
 	if err != nil {
@@ -423,7 +569,7 @@ func (s *ShardedEngine) TopKArea(k int, lo, hi []float64, keywords ...string) ([
 	var agg spatialkeyword.QueryStats
 	var statsMu sync.Mutex
 	col := newCollector(k, true)
-	err := s.fanOut(nil, func(sh *shardHandle) error {
+	degraded, err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		shardStart := time.Now()
@@ -442,6 +588,7 @@ func (s *ShardedEngine) TopKArea(k int, lo, hi []float64, keywords ...string) ([
 		statsMu.Unlock()
 		return err
 	})
+	agg.Degraded = degraded
 	results := distanceResults(col)
 	s.recordQuery("area", k, len(keywords), len(results), agg, time.Since(start), err)
 	if err != nil {
@@ -479,7 +626,7 @@ func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) (
 	var agg spatialkeyword.QueryStats
 	var statsMu sync.Mutex
 	col := newCollector(k, false)
-	err := s.fanOut(nil, func(sh *shardHandle) error {
+	degraded, err := s.fanOut(nil, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		shardStart := time.Now()
@@ -501,7 +648,11 @@ func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) (
 				if !ok {
 					return nil
 				}
-				col.offer(r.Score, sh.globals[r.Object.ID], r)
+				gid, err := sh.globalID(r.Object.ID)
+				if err != nil {
+					return err
+				}
+				col.offer(r.Score, gid, r)
 			}
 		}
 		err = drain()
@@ -513,6 +664,7 @@ func (s *ShardedEngine) TopKRanked(k int, point []float64, keywords ...string) (
 		statsMu.Unlock()
 		return err
 	})
+	agg.Degraded = degraded
 	if err != nil {
 		s.recordQuery("ranked", k, len(keywords), 0, agg, time.Since(start), err)
 		return nil, err
@@ -537,7 +689,7 @@ func (s *ShardedEngine) WithinArea(lo, hi []float64, keywords ...string) ([]spat
 		mu  sync.Mutex
 		all []spatialkeyword.Result
 	)
-	err := s.fanOut(which, func(sh *shardHandle) error {
+	_, err := s.fanOut(which, func(sh *shardHandle) error {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		res, err := sh.eng.WithinArea(lo, hi, keywords...)
@@ -545,7 +697,11 @@ func (s *ShardedEngine) WithinArea(lo, hi []float64, keywords ...string) ([]spat
 			return err
 		}
 		for i := range res {
-			res[i].Object.ID = sh.globals[res[i].Object.ID]
+			gid, err := sh.globalID(res[i].Object.ID)
+			if err != nil {
+				return err
+			}
+			res[i].Object.ID = gid
 		}
 		mu.Lock()
 		all = append(all, res...)

@@ -20,6 +20,7 @@
 package sigfile
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -110,6 +111,42 @@ func Superimpose(dst, src Signature) {
 	for i := range src {
 		dst[i] |= src[i]
 	}
+}
+
+// ErrLengthMismatch is returned by the checked signature operations when two
+// signatures of different lengths meet — the symptom of a corrupt or
+// misframed on-disk aux payload.
+var ErrLengthMismatch = errors.New("sigfile: signature length mismatch")
+
+// SuperimposeChecked ORs src into dst like Superimpose but returns
+// ErrLengthMismatch instead of panicking. Use it on signatures decoded from
+// disk, where a length mismatch means corruption rather than a programming
+// error.
+func SuperimposeChecked(dst, src Signature) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(dst), len(src))
+	}
+	for i := range src {
+		dst[i] |= src[i]
+	}
+	return nil
+}
+
+// MatchesTolerant is Matches for signatures of possibly-corrupt provenance:
+// on length mismatch it reports true (no pruning) instead of panicking.
+// Signatures admit false positives but never false negatives, so when a
+// decoded signature cannot be trusted the only sound answer is "may match" —
+// the search descends and the exact text check downstream decides.
+func MatchesTolerant(s, q Signature) bool {
+	if len(s) != len(q) {
+		return true
+	}
+	for i := range q {
+		if s[i]&q[i] != q[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Union returns a new signature that superimposes a and b.

@@ -138,9 +138,13 @@ func (c *CachedDisk) ReadRun(id BlockID, n int) ([]byte, error) {
 	return out, nil
 }
 
-// Write stores a block write-through and refreshes the pool.
+// Write stores a block write-through and refreshes the pool. If the
+// underlying write fails, the block's pool entry is invalidated rather than
+// kept: the device's state is unknown (a torn write may have landed), so a
+// stale cached copy could mask the damage from later reads.
 func (c *CachedDisk) Write(id BlockID, data []byte) error {
 	if err := c.under.Write(id, data); err != nil {
+		c.invalidate(id, 1)
 		return err
 	}
 	blk := make([]byte, c.BlockSize())
@@ -149,9 +153,12 @@ func (c *CachedDisk) Write(id BlockID, data []byte) error {
 	return nil
 }
 
-// WriteRun stores a run write-through and refreshes the pool.
+// WriteRun stores a run write-through and refreshes the pool. On underlying
+// failure every block of the run is invalidated — a torn run may have
+// persisted any prefix, so none of the old cached copies can be trusted.
 func (c *CachedDisk) WriteRun(id BlockID, n int, data []byte) error {
 	if err := c.under.WriteRun(id, n, data); err != nil {
+		c.invalidate(id, n)
 		return err
 	}
 	bs := c.BlockSize()
@@ -168,6 +175,18 @@ func (c *CachedDisk) WriteRun(id BlockID, n int, data []byte) error {
 		c.insert(id+BlockID(i), blk)
 	}
 	return nil
+}
+
+// invalidate drops pool entries for n consecutive blocks starting at id.
+func (c *CachedDisk) invalidate(id BlockID, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if el, ok := c.items[id+BlockID(i)]; ok {
+			c.lru.Remove(el)
+			delete(c.items, id+BlockID(i))
+		}
+	}
 }
 
 // insert adds or refreshes a pool entry, evicting the least recently used

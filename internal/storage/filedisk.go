@@ -114,6 +114,18 @@ func (d *FileDisk) Close() error {
 	return d.f.Close()
 }
 
+// SyncMeta persists the allocator state and fsyncs the file without
+// closing it. Durable save paths call this before copying the file into a
+// snapshot, so the snapshot's header matches its data blocks.
+func (d *FileDisk) SyncMeta() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writeMeta(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
 // Path returns the underlying file's name.
 func (d *FileDisk) Path() string { return d.f.Name() }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -23,6 +24,24 @@ import (
 //	eng.Close()
 //	...
 //	eng, _ = spatialkeyword.OpenEngine(dir)
+//
+// Crash consistency. Inserts mutate index blocks in place and the allocator
+// recycles freed blocks, so the working files (objects.db, index.db) are
+// only consistent at the instant a checkpoint completes — a crash in the
+// middle of later mutations or of Save itself would otherwise leave nothing
+// to recover. Save therefore snapshots generationally:
+//
+//  1. flush + checkpoint both structures into the working files;
+//  2. copy the working files to immutable objects.<G>.db / index.<G>.db
+//     and describe them in manifest.<G>.json;
+//  3. commit by atomically renaming a temp file over manifest.json;
+//  4. prune generation G-2 (the previous generation is retained so
+//     externally pinned readers — shard manifests — survive one more save).
+//
+// manifest.json is the single commit point: before the rename the directory
+// still describes generation G-1 in full, after it generation G. OpenEngine
+// recovers by copying the committed generation's snapshot back over the
+// working files, discarding whatever a crash left in them.
 
 // ErrNotDurable is returned by Save on a memory-only engine.
 var ErrNotDurable = errors.New("spatialkeyword: engine has no backing directory")
@@ -33,9 +52,51 @@ const (
 	indexName    = "index.db"
 )
 
+// genManifestName names the immutable per-generation manifest.
+func genManifestName(gen uint64) string { return fmt.Sprintf("manifest.%d.json", gen) }
+
+// genObjectsName names the immutable per-generation object file snapshot.
+func genObjectsName(gen uint64) string { return fmt.Sprintf("objects.%d.db", gen) }
+
+// genIndexName names the immutable per-generation index snapshot.
+func genIndexName(gen uint64) string { return fmt.Sprintf("index.%d.db", gen) }
+
+// The save/open protocol reaches the filesystem only through these
+// indirections, so crash-consistency tests can kill a save at any chosen
+// operation and verify that Open still recovers a consistent snapshot.
+var (
+	fsWriteFile = os.WriteFile
+	fsRename    = os.Rename
+	fsRemove    = os.Remove
+	fsCopyFile  = copyFile
+)
+
+// copyFile copies src to dst (truncating) and fsyncs the result.
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
 // manifest is the engine's durable root: everything needed to reopen.
 type manifest struct {
 	Config     Config   `json:"config"`
+	Generation uint64   `json:"generation,omitempty"`
 	TreeState  uint64   `json:"tree_state_block"`
 	StoreMeta  uint64   `json:"store_meta_block"`
 	Deleted    []uint64 `json:"deleted"`
@@ -73,8 +134,14 @@ func NewDurableEngine(cfg Config, dir string) (*Engine, error) {
 	return e, nil
 }
 
-// Save flushes pending objects and checkpoints the engine's state to its
-// backing directory. Only durable engines can Save.
+// Generation returns the engine's last committed snapshot generation (0
+// before the first successful Save).
+func (e *Engine) Generation() uint64 { return e.gen }
+
+// Save flushes pending objects, checkpoints the engine's state into the
+// working files, snapshots them as a new generation, and commits it with an
+// atomic manifest rename. A failed Save leaves the previous generation
+// intact and recoverable. Only durable engines can Save.
 func (e *Engine) Save() error {
 	if e.dir == "" {
 		return ErrNotDurable
@@ -90,8 +157,20 @@ func (e *Engine) Save() error {
 	if err != nil {
 		return err
 	}
+	// Make the working files' bytes (data + allocator headers) visible to
+	// the snapshot copy.
+	for _, d := range []*storage.FileDisk{e.objFile, e.idxFile} {
+		if d == nil {
+			continue
+		}
+		if err := d.SyncMeta(); err != nil {
+			return err
+		}
+	}
+	gen := e.gen + 1
 	m := manifest{
 		Config:     e.cfg,
+		Generation: gen,
 		TreeState:  uint64(treeState),
 		StoreMeta:  uint64(storeMeta),
 		NumObjects: e.store.NumObjects(),
@@ -103,11 +182,35 @@ func (e *Engine) Save() error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(e.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Stage the generation: snapshot copies plus its own manifest, none of
+	// which the committed state references yet.
+	if err := fsCopyFile(filepath.Join(e.dir, genObjectsName(gen)), filepath.Join(e.dir, objectsName)); err != nil {
+		return fmt.Errorf("spatialkeyword: snapshot objects: %w", err)
+	}
+	if err := fsCopyFile(filepath.Join(e.dir, genIndexName(gen)), filepath.Join(e.dir, indexName)); err != nil {
+		return fmt.Errorf("spatialkeyword: snapshot index: %w", err)
+	}
+	if err := fsWriteFile(filepath.Join(e.dir, genManifestName(gen)), data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(e.dir, manifestName))
+	// Commit.
+	tmp := filepath.Join(e.dir, manifestName+".tmp")
+	if err := fsWriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := fsRename(tmp, filepath.Join(e.dir, manifestName)); err != nil {
+		return err
+	}
+	e.gen = gen
+	// Prune generation G-2; G-1 is kept for pinned readers. Best effort: a
+	// failure here cannot un-commit the save.
+	if gen >= 2 {
+		old := gen - 2
+		for _, name := range []string{genObjectsName(old), genIndexName(old), genManifestName(old)} {
+			fsRemove(filepath.Join(e.dir, name)) //nolint:errcheck
+		}
+	}
+	return nil
 }
 
 // Close releases a durable engine's files (after persisting their device
@@ -126,15 +229,61 @@ func (e *Engine) Close() error {
 	return firstErr
 }
 
-// OpenEngine restores a durable engine saved in dir.
+// OpenEngine restores a durable engine from the generation committed in
+// dir's manifest.json, recovering the working files from that generation's
+// snapshot (so a crash that tore the working files — or Save itself — is
+// harmless).
 func OpenEngine(dir string) (*Engine, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	m, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, fmt.Errorf("spatialkeyword: read manifest: %w", err)
+		return nil, err
 	}
+	return openFromManifest(dir, m)
+}
+
+// OpenEngineAt restores a durable engine pinned to a specific committed
+// generation, regardless of what manifest.json currently points at. Sharded
+// manifests use this so that a crash between per-shard saves still reopens
+// every shard at one mutually consistent generation. The generation must
+// still be on disk (Save retains the current and previous one).
+func OpenEngineAt(dir string, gen uint64) (*Engine, error) {
+	if gen == 0 {
+		return OpenEngine(dir)
+	}
+	m, err := readManifest(filepath.Join(dir, genManifestName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	if m.Generation != gen {
+		return nil, fmt.Errorf("spatialkeyword: manifest %s claims generation %d", genManifestName(gen), m.Generation)
+	}
+	return openFromManifest(dir, m)
+}
+
+// readManifest loads and parses one manifest file.
+func readManifest(path string) (manifest, error) {
 	var m manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, fmt.Errorf("spatialkeyword: read manifest: %w", err)
+	}
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("spatialkeyword: parse manifest: %w", err)
+		return m, fmt.Errorf("spatialkeyword: parse manifest: %w", err)
+	}
+	return m, nil
+}
+
+// openFromManifest recovers the working files from m's snapshot generation
+// (when it has one; legacy manifests predate snapshots) and assembles the
+// engine on them.
+func openFromManifest(dir string, m manifest) (*Engine, error) {
+	if m.Generation > 0 {
+		if err := fsCopyFile(filepath.Join(dir, objectsName), filepath.Join(dir, genObjectsName(m.Generation))); err != nil {
+			return nil, fmt.Errorf("spatialkeyword: recover objects snapshot: %w", err)
+		}
+		if err := fsCopyFile(filepath.Join(dir, indexName), filepath.Join(dir, genIndexName(m.Generation))); err != nil {
+			return nil, fmt.Errorf("spatialkeyword: recover index snapshot: %w", err)
+		}
 	}
 	objDisk, err := storage.OpenFileDisk(filepath.Join(dir, objectsName))
 	if err != nil {
@@ -145,19 +294,21 @@ func OpenEngine(dir string) (*Engine, error) {
 		objDisk.Close()
 		return nil, err
 	}
-	store, err := objstore.Open(objDisk, storage.BlockID(m.StoreMeta))
+	objDev, idxDev := frameDevices(m.Config, objDisk, idxDisk)
+	store, err := objstore.Open(objDev, storage.BlockID(m.StoreMeta))
 	if err != nil {
 		objDisk.Close()
 		idxDisk.Close()
 		return nil, err
 	}
-	e, err := assembleEngine(m.Config, objDisk, idxDisk, store, storage.BlockID(m.TreeState))
+	e, err := assembleEngine(m.Config, objDisk, idxDisk, objDev, idxDev, store, storage.BlockID(m.TreeState))
 	if err != nil {
 		objDisk.Close()
 		idxDisk.Close()
 		return nil, err
 	}
 	e.dir = dir
+	e.gen = m.Generation
 	for _, id := range m.Deleted {
 		e.deleted[id] = true
 	}
@@ -176,18 +327,19 @@ func OpenEngine(dir string) (*Engine, error) {
 }
 
 // assembleEngine builds an Engine around an existing store and a
-// checkpointed tree.
-func assembleEngine(cfg Config, objDisk, idxDisk *storage.FileDisk, store *objstore.Store, treeState storage.BlockID) (*Engine, error) {
+// checkpointed tree. objDev/idxDev are the devices the structures read
+// through (the file disks themselves, or their checksum framing).
+func assembleEngine(cfg Config, objDisk, idxDisk *storage.FileDisk, objDev, idxDev storage.Device, store *objstore.Store, treeState storage.BlockID) (*Engine, error) {
 	e, err := engineShell(cfg)
 	if err != nil {
 		return nil, err
 	}
-	e.objDisk = objDisk
-	e.idxDisk = idxDisk
+	e.objDisk = objDev
+	e.idxDisk = idxDev
 	e.objFile = objDisk
 	e.idxFile = idxDisk
 	e.store = store
-	tree, err := core.Open(idxDisk, store, e.coreOptions(), treeState)
+	tree, err := core.Open(idxDev, store, e.coreOptions(), treeState)
 	if err != nil {
 		return nil, err
 	}

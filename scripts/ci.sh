@@ -6,6 +6,7 @@
 #   test    go test -race ./...
 #   cover   coverage with the CI floor (scripts/coverage.sh)
 #   bench   benchmark-regression check against benchmarks/baseline.json
+#   fuzz    every Fuzz target for FUZZTIME (default 30s) each
 #   all     everything above (the default)
 #
 # staticcheck is optional locally: if the binary is not on PATH the lint
@@ -55,21 +56,37 @@ run_bench() {
 		-json -out . -baseline benchmarks/baseline.json
 }
 
+run_fuzz() {
+	step fuzz
+	budget="${FUZZTIME:-30s}"
+	# go test accepts a single -fuzz target per invocation, so discover
+	# every Fuzz function and give each its own run.
+	grep -rl '^func Fuzz' --include='*_test.go' . | while read -r file; do
+		dir="$(dirname "$file")"
+		sed -n 's/^func \(Fuzz[A-Za-z0-9_]*\).*/\1/p' "$file" | while read -r target; do
+			echo "fuzz $dir $target ($budget)"
+			go test "$dir" -run '^$' -fuzz "^${target}\$" -fuzztime "$budget"
+		done
+	done
+}
+
 case "${1:-all}" in
 build) run_build ;;
 lint) run_lint ;;
 test) run_test ;;
 cover) run_cover ;;
 bench) run_bench ;;
+fuzz) run_fuzz ;;
 all)
 	run_build
 	run_lint
 	run_test
 	run_cover
 	run_bench
+	run_fuzz
 	;;
 *)
-	echo "usage: scripts/ci.sh [build|lint|test|cover|bench|all]" >&2
+	echo "usage: scripts/ci.sh [build|lint|test|cover|bench|fuzz|all]" >&2
 	exit 2
 	;;
 esac

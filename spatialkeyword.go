@@ -58,6 +58,11 @@ type Config struct {
 	// Stemming applies Porter stemming so query keywords match every
 	// inflection of indexed words ("fishing" matches "fish", "fished", ...).
 	Stemming bool
+	// Checksums frames every disk block with a CRC32-C trailer, verified on
+	// read, so silent corruption (bit rot, torn writes) surfaces as a typed
+	// error instead of being deserialized into a wrong tree. Costs four
+	// bytes of payload per block plus one CRC per block access.
+	Checksums bool
 }
 
 // Object is a spatial object: a point location and a text description.
@@ -106,6 +111,10 @@ type QueryStats struct {
 	NodesEnqueued, ObjectsEnqueued int
 	// BlocksRandom and BlocksSequential are the disk block accesses.
 	BlocksRandom, BlocksSequential uint64
+	// Degraded reports that the answer may be incomplete because one or
+	// more shards of a sharded engine were unavailable (storage faults).
+	// Single-engine queries never set it.
+	Degraded bool
 }
 
 // Stats describes an engine's contents and footprint.
@@ -141,10 +150,12 @@ type Engine struct {
 	vocab   *textutil.Vocabulary
 
 	// Durable engines (NewDurableEngine / OpenEngine) also track their
-	// backing directory and file devices; see persistence.go.
+	// backing directory, file devices, and last committed snapshot
+	// generation; see persistence.go.
 	dir     string
 	objFile *storage.FileDisk
 	idxFile *storage.FileDisk
+	gen     uint64
 
 	pending []uint64 // object IDs appended but not yet indexed
 	deleted map[uint64]bool
@@ -206,20 +217,60 @@ func (e *Engine) coreOptions() core.Options {
 	}
 }
 
+// frameDevices applies the configuration's opt-in block framing (checksum
+// trailers) on top of the raw devices.
+func frameDevices(cfg Config, objDev, idxDev storage.Device) (storage.Device, storage.Device) {
+	if cfg.Checksums {
+		return storage.NewChecksumDisk(objDev), storage.NewChecksumDisk(idxDev)
+	}
+	return objDev, idxDev
+}
+
+// InjectFault installs (or clears, with nil) a fault-injection hook on both
+// of the engine's devices, reaching through checksum framing to the real
+// device. It reports whether both devices accepted the hook; fault-tolerance
+// tests use it to make a live engine's storage fail on demand.
+func (e *Engine) InjectFault(f storage.FaultFunc) bool {
+	ok := true
+	for _, dev := range []storage.Device{e.objDisk, e.idxDisk} {
+		if !setDeviceFault(dev, f) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// setDeviceFault finds the innermost device that accepts fault hooks.
+func setDeviceFault(dev storage.Device, f storage.FaultFunc) bool {
+	for dev != nil {
+		if fd, ok := dev.(interface{ SetFault(storage.FaultFunc) }); ok {
+			fd.SetFault(f)
+			return true
+		}
+		u, ok := dev.(interface{ Under() storage.Device })
+		if !ok {
+			return false
+		}
+		dev = u.Under()
+	}
+	return false
+}
+
 // newEngineOn assembles a fresh engine on the given devices.
 func newEngineOn(cfg Config, objDev, idxDev storage.Device) (*Engine, error) {
 	e, err := engineShell(cfg)
 	if err != nil {
 		return nil, err
 	}
-	e.objDisk = objDev
-	e.idxDisk = idxDev
 	if fd, ok := objDev.(*storage.FileDisk); ok {
 		e.objFile = fd
 	}
 	if fd, ok := idxDev.(*storage.FileDisk); ok {
 		e.idxFile = fd
 	}
+	objDev, idxDev = frameDevices(cfg, objDev, idxDev)
+	e.objDisk = objDev
+	e.idxDisk = idxDev
 	e.store = objstore.New(objDev)
 	tree, err := core.New(idxDev, e.store, e.coreOptions())
 	if err != nil {
@@ -244,7 +295,10 @@ func (e *Engine) Add(point []float64, text string) (uint64, error) {
 	if len(point) != e.dim {
 		return 0, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
 	}
-	id, _ := e.store.Append(geo.NewPoint(point...), text)
+	id, _, err := e.store.Append(geo.NewPoint(point...), text)
+	if err != nil {
+		return uint64(id), err
+	}
 	e.vocab.AddDocWith(e.analyzer(), text)
 	e.pending = append(e.pending, uint64(id))
 	e.live++
