@@ -1,13 +1,16 @@
 # Convenience wrappers around scripts/ci.sh, which mirrors the GitHub
 # Actions workflows. `make ci` runs everything CI runs.
 
-.PHONY: build lint test cover bench fuzz ci
+.PHONY: build lint vet test cover bench fuzz ci
 
 build:
 	sh scripts/ci.sh build
 
 lint:
 	sh scripts/ci.sh lint
+
+vet:
+	sh scripts/ci.sh analyze
 
 test:
 	sh scripts/ci.sh test

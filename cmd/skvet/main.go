@@ -1,0 +1,279 @@
+// Command skvet runs the project's static-analysis suite: custom passes
+// (internal/analysis) that machine-check the correctness invariants the
+// engine's earlier PRs established by convention — storage error
+// provenance, no I/O under shard/core mutexes, deterministic modeled
+// disk time, no panics in library code, and canonical obs metric
+// registration.
+//
+// Usage:
+//
+//	skvet [-json] [-passes erroprov,nopanic] [-list] [packages...]
+//
+// Package patterns are directories relative to the working directory,
+// with ./... meaning the whole subtree (testdata and hidden directories
+// are skipped). The default pattern is ./... . skvet exits 0 when clean,
+// 1 on findings, and 2 on usage or load errors. Findings print as
+//
+//	file:line:col: [pass] message
+//
+// or, with -json, as a JSON array of {pass, file, line, col, message}
+// objects for machine consumption. Suppress an individual finding with a
+// //skvet:ignore <pass> comment on the same line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"spatialkeyword/internal/analysis"
+)
+
+func main() {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], wd, os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the machine-readable finding shape.
+type jsonDiagnostic struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// run is the testable entry point: args are the command-line arguments
+// (no program name), dir is the working directory patterns resolve
+// against. Returns the process exit code.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("skvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default all)")
+	list := fs.Bool("list", false, "list the available passes and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	passes := analysis.AllPasses()
+	if *list {
+		for _, p := range passes {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name(), p.Doc())
+		}
+		return 0
+	}
+	if *passNames != "" {
+		selected, err := selectPasses(passes, *passNames)
+		if err != nil {
+			fmt.Fprintln(stderr, "skvet:", err)
+			return 2
+		}
+		passes = selected
+	}
+
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "skvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(root, dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "skvet:", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	loader := analysis.NewLoader(fset)
+	loader.AddModule(modPath, root)
+
+	var pkgs []*analysis.Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			fmt.Fprintln(stderr, "skvet:", err)
+			return 2
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(importPath)
+		if errors.Is(err, analysis.ErrNoGoFiles) {
+			continue
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "skvet:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+
+	prog := &analysis.Program{Fset: fset, Pkgs: pkgs}
+	diags := analysis.Run(prog, passes)
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Pass:    d.Pass,
+				File:    relativeTo(dir, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "skvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n",
+				relativeTo(dir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPasses filters the suite down to the named passes.
+func selectPasses(all []analysis.Pass, names string) ([]analysis.Pass, error) {
+	byName := make(map[string]analysis.Pass, len(all))
+	for _, p := range all {
+		byName[p.Name()] = p
+	}
+	var out []analysis.Pass
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (run skvet -list)", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mod := parseModulePath(string(data))
+			if mod == "" {
+				return "", "", fmt.Errorf("no module line in %s", filepath.Join(d, "go.mod"))
+			}
+			return d, mod, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod content.
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// expandPatterns resolves package patterns to candidate directories.
+// "dir/..." walks the subtree; a plain path names one directory. Walks
+// skip testdata, hidden, and underscore-prefixed directories, matching
+// the go tool's convention.
+func expandPatterns(root, dir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		base := p
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		base = filepath.Clean(base)
+		if rel, err := filepath.Rel(root, base); err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("pattern %q is outside the module rooted at %s", p, root)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// relativeTo renders path relative to dir when possible, for compact
+// clickable output.
+func relativeTo(dir, path string) string {
+	rel, err := filepath.Rel(dir, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

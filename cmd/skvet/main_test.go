@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root (two levels up from this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// writeTempModule lays out a throwaway module with one library package
+// containing a nopanic finding and returns the module root.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+// Boom always panics.
+func Boom() {
+	panic("boom")
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestCleanRepo is the acceptance gate: the suite must be quiet on the
+// repository itself, with genuine findings fixed and deliberate
+// exceptions annotated.
+func TestCleanRepo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, repoRoot(t), &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("skvet on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "lib.go:5:2: [nopanic]") {
+		t.Errorf("output missing the expected finding:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pass != "nopanic" || d.File != filepath.Join("lib", "lib.go") || d.Line != 5 {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+func TestPassSelection(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	// With nopanic deselected the temp module is clean.
+	code := run([]string{"-passes", "erroprov,lockio", "./..."}, dir, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 with nopanic deselected\n%s", code, stdout.String())
+	}
+	code = run([]string{"-passes", "nosuchpass", "./..."}, dir, &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 for an unknown pass", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchpass") {
+		t.Errorf("stderr should name the unknown pass: %s", stderr.String())
+	}
+}
+
+func TestListPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, t.TempDir(), &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"erroprov", "lockio", "determinism", "nopanic", "obsreg"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing pass %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestPatternOutsideModule(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"../elsewhere"}, dir, &stdout, &stderr); code != 2 {
+		t.Errorf("exit = %d, want 2 for a pattern outside the module", code)
+	}
+}
+
+func TestNoModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, "/", &stdout, &stderr); code != 2 {
+		t.Errorf("exit = %d, want 2 outside any module", code)
+	}
+}
+
+func TestParseModulePath(t *testing.T) {
+	tests := []struct {
+		gomod, want string
+	}{
+		{"module spatialkeyword\n\ngo 1.22\n", "spatialkeyword"},
+		{"// comment\nmodule \"quoted/path\"\n", "quoted/path"},
+		{"go 1.22\n", ""},
+	}
+	for _, tt := range tests {
+		if got := parseModulePath(tt.gomod); got != tt.want {
+			t.Errorf("parseModulePath(%q) = %q, want %q", tt.gomod, got, tt.want)
+		}
+	}
+}

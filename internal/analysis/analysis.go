@@ -1,0 +1,122 @@
+// Package analysis is the skvet static-analysis framework: a
+// self-contained analyzer driver built only on the standard library's
+// go/parser, go/ast, go/types, and go/importer (no golang.org/x/tools
+// dependency, preserving the module's stdlib-only rule).
+//
+// The suite enforces correctness invariants that earlier PRs introduced
+// by convention and that no compiler checks:
+//
+//	erroprov     storage-device errors must propagate, never be discarded
+//	lockio       no device I/O while holding a mutex in shard/core hot paths
+//	determinism  no wall clock, global rand, or map-order output in the
+//	             modeled disk-time (cost model / bench) paths
+//	nopanic      no panic in library packages (cmd/ and tests may)
+//	obsreg       one obs metric family, one meaning, canonical label order
+//
+// Each pass walks typechecked packages (see Loader) and reports
+// file:line:col diagnostics. A finding can be suppressed with an ignore
+// directive on the same line or the line directly above:
+//
+//	//skvet:ignore pass1,pass2 reason for the exception
+//
+// Unknown pass names in a directive are themselves reported (as pass
+// "skvet"), so stale or misspelled suppressions cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the pass that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic as "file:line:col: [pass] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Package is one parsed and typechecked package under analysis.
+type Package struct {
+	Path  string // import path, e.g. "spatialkeyword/internal/shard"
+	Dir   string // directory the files were read from
+	Name  string // package name from the package clause
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the full set of packages a suite run analyzes. Passes see
+// every package at once, so cross-package invariants (such as obsreg's
+// one-family-one-meaning rule) can be checked globally.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Pass is one analyzer. Run receives the whole program and returns raw
+// diagnostics; ignore-directive filtering happens in Run (the function).
+type Pass interface {
+	// Name is the short identifier used in output and ignore directives.
+	Name() string
+	// Doc is a one-line description of the invariant the pass enforces.
+	Doc() string
+	// Run analyzes the program.
+	Run(prog *Program) []Diagnostic
+}
+
+// AllPasses returns the full suite in stable order.
+func AllPasses() []Pass {
+	return []Pass{
+		erroProv{},
+		lockIO{},
+		determinism{},
+		noPanic{},
+		obsReg{},
+	}
+}
+
+// Run executes the passes over the program, filters findings suppressed
+// by ignore directives, appends diagnostics for malformed directives, and
+// returns everything sorted by position then pass name.
+func Run(prog *Program, passes []Pass) []Diagnostic {
+	known := make(map[string]bool)
+	for _, p := range AllPasses() {
+		known[p.Name()] = true
+	}
+	idx, dirDiags := buildIgnoreIndex(prog, known)
+
+	var out []Diagnostic
+	for _, p := range passes {
+		for _, d := range p.Run(prog) {
+			if idx.suppressed(p.Name(), d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, dirDiags...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"errors"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestPathHasSegments(t *testing.T) {
+	tests := []struct {
+		path, want string
+		match      bool
+	}{
+		{"spatialkeyword/internal/storage", "internal/storage", true},
+		{"fixture/determinism/internal/storage", "internal/storage", true},
+		{"spatialkeyword/internal/storagex", "internal/storage", false},
+		{"spatialkeyword/xinternal/storage", "internal/storage", false},
+		{"internal/storage", "internal/storage", true},
+		{"spatialkeyword/internal/shard", "internal/core", false},
+	}
+	for _, tt := range tests {
+		if got := pathHasSegments(tt.path, tt.want); got != tt.match {
+			t.Errorf("pathHasSegments(%q, %q) = %v, want %v", tt.path, tt.want, got, tt.match)
+		}
+	}
+}
+
+func TestAllPassesWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range AllPasses() {
+		name := p.Name()
+		if name == "" || p.Doc() == "" {
+			t.Errorf("pass %T needs a non-empty name and doc", p)
+		}
+		if seen[name] {
+			t.Errorf("duplicate pass name %q", name)
+		}
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " ,") {
+			t.Errorf("pass name %q must be lowercase with no spaces or commas", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected the 5 documented passes, got %d", len(seen))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pass:    "nopanic",
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Message: "boom",
+	}
+	if got, want := d.String(), "a/b.go:3:7: [nopanic] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoaderOutsideModule(t *testing.T) {
+	l := NewLoader(token.NewFileSet())
+	l.AddModule("fixture", t.TempDir())
+	if _, err := l.Load("elsewhere/pkg"); err == nil {
+		t.Fatal("expected error loading a path outside every registered module")
+	}
+}
+
+func TestLoaderNoGoFiles(t *testing.T) {
+	l := NewLoader(token.NewFileSet())
+	l.AddModule("fixture", t.TempDir())
+	_, err := l.Load("fixture")
+	if !errors.Is(err, ErrNoGoFiles) {
+		t.Fatalf("expected ErrNoGoFiles, got %v", err)
+	}
+}
+
+func TestLoaderMemoizes(t *testing.T) {
+	fset := token.NewFileSet()
+	l := NewLoader(fset)
+	l.AddModule("spatialkeyword", repoRoot(t))
+	a, err := l.Load("spatialkeyword/internal/geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Load("spatialkeyword/internal/geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Load should memoize packages per loader")
+	}
+}
+
+// TestRunSortsDiagnostics checks the deterministic output ordering the
+// CI gate and golden tests rely on.
+func TestRunSortsDiagnostics(t *testing.T) {
+	prog := loadFixtures(t, "nopanic")
+	diags := Run(prog, AllPasses())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

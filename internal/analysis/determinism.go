@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinism guards the paper's §5/§6 evaluation metric: modeled disk
+// time is a pure function of seeded block-access counts and the cost
+// model, exact across hosts. The benchmark-regression gate (PR 2)
+// compares it against a committed baseline, so any wall-clock or
+// unseeded-randomness leak into internal/storage's cost model or
+// internal/bench turns an exact comparison into a flaky one, and map
+// iteration order leaking into emitted output breaks byte-for-byte
+// reproducibility of reports.
+//
+// Forbidden in those packages (outside tests):
+//
+//   - time.Now / time.Since / time.Until — host wall clock
+//   - package-level math/rand functions — process-global, unseeded
+//     source (rand.New(rand.NewSource(seed)) values are fine)
+//   - ranging over a map when the loop body emits output (fmt printing
+//     or Write* methods) — iteration order is randomized per run; pure
+//     aggregation loops (sums, collecting keys to sort) are fine
+type determinism struct{}
+
+func (determinism) Name() string { return "determinism" }
+
+func (determinism) Doc() string {
+	return "no wall clock, global rand, or map-order-dependent output in modeled disk-time code"
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicitly seeded generators and are allowed.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true}
+
+func (determinism) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathHasSegments(pkg.Path, "internal/storage") && !pathHasSegments(pkg.Path, "internal/bench") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if d, ok := checkDeterminismCall(prog, pkg, n); ok {
+						diags = append(diags, d)
+					}
+				case *ast.RangeStmt:
+					tv, ok := pkg.Info.Types[n.X]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && emitsOutput(pkg.Info, n.Body) {
+						diags = append(diags, Diagnostic{
+							Pass: "determinism",
+							Pos:  prog.Fset.Position(n.Pos()),
+							Message: "map iteration order is randomized per run and this loop emits output; " +
+								"sort the keys first so reports are reproducible",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// emitsOutput reports whether the loop body writes somewhere a reader
+// will see ordering: fmt printing/formatting calls or Write* methods.
+// Aggregation-only bodies (sums, appends of keys later sorted) pass.
+func emitsOutput(info *types.Info, body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			emits = true
+			return false
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			strings.HasPrefix(fn.Name(), "Write") {
+			emits = true
+			return false
+		}
+		return true
+	})
+	return emits
+}
+
+func checkDeterminismCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		// Methods on rand.Rand / time.Time values are fine: the caller
+		// controls the source.
+		return Diagnostic{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return Diagnostic{
+				Pass: "determinism",
+				Pos:  prog.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("time.%s reads the host wall clock; modeled disk time must be a pure "+
+					"function of block counts and the cost model", fn.Name()),
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return Diagnostic{
+				Pass: "determinism",
+				Pos:  prog.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("global rand.%s uses the process-wide unseeded source; use "+
+					"rand.New(rand.NewSource(seed)) so runs replay exactly", fn.Name()),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// erroProv enforces typed error provenance on the storage layer: every
+// call into internal/storage that returns an error must propagate or
+// wrap that error. Discarding it — assigning to _, using the call as a
+// bare statement, or launching it via go/defer with no result — hides
+// exactly the FaultError/CorruptBlockError provenance PR 3 threaded
+// through the read paths.
+type erroProv struct{}
+
+func (erroProv) Name() string { return "erroprov" }
+
+func (erroProv) Doc() string {
+	return "errors returned by internal/storage calls must propagate or be wrapped, never discarded"
+}
+
+func (erroProv) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					diags = append(diags, checkAssign(prog, pkg, n)...)
+				case *ast.ValueSpec:
+					diags = append(diags, checkValueSpec(prog, pkg, n)...)
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						diags = append(diags, checkDiscardedCall(prog, pkg, call, "call used as a statement")...)
+					}
+				case *ast.GoStmt:
+					diags = append(diags, checkDiscardedCall(prog, pkg, n.Call, "go statement")...)
+				case *ast.DeferStmt:
+					diags = append(diags, checkDiscardedCall(prog, pkg, n.Call, "defer statement")...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// storageErrCall returns the called storage function and the indexes of
+// its error results, or ("", nil) when the call is not a storage call
+// that returns an error.
+func storageErrCall(pkg *Package, call *ast.CallExpr) (string, []int) {
+	fn := calleeFunc(pkg.Info, call)
+	if !fromStoragePkg(fn) {
+		return "", nil
+	}
+	idxs := errorResultIndexes(fn)
+	if len(idxs) == 0 {
+		return "", nil
+	}
+	return fn.Name(), idxs
+}
+
+// checkDiscardedCall flags a storage error-returning call whose results
+// are discarded wholesale (statement position, go, defer).
+func checkDiscardedCall(prog *Program, pkg *Package, call *ast.CallExpr, how string) []Diagnostic {
+	name, idxs := storageErrCall(pkg, call)
+	if len(idxs) == 0 {
+		return nil
+	}
+	return []Diagnostic{{
+		Pass: "erroprov",
+		Pos:  prog.Fset.Position(call.Pos()),
+		Message: fmt.Sprintf("error from storage.%s discarded (%s); propagate or wrap it to keep fault provenance",
+			name, how),
+	}}
+}
+
+// checkAssign flags `_` in the error position of a storage call's
+// results, for both x, _ := dev.Read(id) and _ = dev.Write(id, b).
+func checkAssign(prog *Program, pkg *Package, n *ast.AssignStmt) []Diagnostic {
+	if len(n.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	name, idxs := storageErrCall(pkg, call)
+	if len(idxs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, i := range idxs {
+		if i >= len(n.Lhs) {
+			continue
+		}
+		if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			diags = append(diags, Diagnostic{
+				Pass: "erroprov",
+				Pos:  prog.Fset.Position(id.Pos()),
+				Message: fmt.Sprintf("error from storage.%s assigned to _; propagate or wrap it to keep fault provenance",
+					name),
+			})
+		}
+	}
+	return diags
+}
+
+// checkValueSpec flags var _ = dev.Write(...) declarations.
+func checkValueSpec(prog *Program, pkg *Package, n *ast.ValueSpec) []Diagnostic {
+	if len(n.Values) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	name, idxs := storageErrCall(pkg, call)
+	if len(idxs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, i := range idxs {
+		if i >= len(n.Names) {
+			continue
+		}
+		if n.Names[i].Name == "_" {
+			diags = append(diags, Diagnostic{
+				Pass: "erroprov",
+				Pos:  prog.Fset.Position(n.Names[i].Pos()),
+				Message: fmt.Sprintf("error from storage.%s assigned to _; propagate or wrap it to keep fault provenance",
+					name),
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expectation is one // want "regexp" annotation in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the quoted patterns out of a want comment. Patterns are
+// Go-quoted strings (double quotes or backquotes), several per comment
+// allowed: // want "first" `second`.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// CheckExpectations compares diagnostics against the // want "regexp"
+// comments in the program's files, in the style of x/tools' analysistest
+// but self-contained. Every diagnostic must match an expectation on its
+// exact file and line, and every expectation must be consumed; each
+// violation comes back as one error.
+func CheckExpectations(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []error {
+	var expects []*expectation
+	var errs []error
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, quoted := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+						pat, err := strconv.Unquote(quoted)
+						if err != nil {
+							errs = append(errs, fmt.Errorf("%s: bad want pattern %s: %v", pos, quoted, err))
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							errs = append(errs, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err))
+							continue
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic %s", d))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern))
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// repoRoot locates the module root (two levels up from this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// loadFixtures loads every package under testdata/src/<sub> as module
+// "fixture", with the real repo registered so fixtures can import
+// spatialkeyword/internal/... packages.
+func loadFixtures(t *testing.T, sub string) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := NewLoader(fset)
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddModule("fixture", src)
+	l.AddModule("spatialkeyword", repoRoot(t))
+
+	var pkgs []*Package
+	root := filepath.Join(src, sub)
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		names, err := buildableGoFiles(path)
+		if err != nil || len(names) == 0 {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		pkg, err := l.Load("fixture/" + filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("loading fixtures under %s: %v", sub, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return &Program{Fset: fset, Pkgs: pkgs}
+}
+
+// testGolden runs the given passes over a fixture tree and matches the
+// diagnostics against the tree's // want annotations.
+func testGolden(t *testing.T, sub string, passes []Pass) {
+	t.Helper()
+	prog := loadFixtures(t, sub)
+	diags := Run(prog, passes)
+	for _, err := range CheckExpectations(prog.Fset, prog.Pkgs, diags) {
+		t.Error(err)
+	}
+}
+
+func TestErroProvGolden(t *testing.T)    { testGolden(t, "erroprov", []Pass{erroProv{}}) }
+func TestLockIOGolden(t *testing.T)      { testGolden(t, "lockio", []Pass{lockIO{}}) }
+func TestDeterminismGolden(t *testing.T) { testGolden(t, "determinism", []Pass{determinism{}}) }
+func TestNoPanicGolden(t *testing.T)     { testGolden(t, "nopanic", []Pass{noPanic{}}) }
+func TestObsRegGolden(t *testing.T)      { testGolden(t, "obsreg", []Pass{obsReg{}}) }
+
+// TestIgnoreGolden exercises the suppression directive: same-line and
+// line-above ignores silence nopanic, unknown passes are reported.
+func TestIgnoreGolden(t *testing.T) { testGolden(t, "ignore", []Pass{noPanic{}}) }
+
+// TestFullSuiteOnFixtures runs every pass at once over every fixture
+// tree to make sure passes stay scoped: the only extra diagnostics the
+// full suite may add over the per-pass golden runs are the ones the
+// fixtures annotate, so each tree still matches its own expectations
+// when filtered by the pass that owns it.
+func TestSuiteScoping(t *testing.T) {
+	prog := loadFixtures(t, "lockio")
+	diags := Run(prog, []Pass{determinism{}, noPanic{}})
+	for _, d := range diags {
+		t.Errorf("out-of-scope diagnostic on lockio fixtures: %s", d)
+	}
+}

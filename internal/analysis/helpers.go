@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathHasSegments reports whether the slash-separated import path
+// contains want ("internal/storage", say) as a run of whole segments, so
+// "x/internal/storagex" does not match "internal/storage".
+func pathHasSegments(path, want string) bool {
+	ps := strings.Split(path, "/")
+	ws := strings.Split(want, "/")
+	for i := 0; i+len(ws) <= len(ps); i++ {
+		match := true
+		for j := range ws {
+			if ps[i+j] != ws[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for calls through function values and other dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fromStoragePkg reports whether fn is declared in the module's
+// internal/storage package (the device layer).
+func fromStoragePkg(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && pathHasSegments(fn.Pkg().Path(), "internal/storage")
+}
+
+// errorResultIndexes returns the result indexes of fn with type error.
+func errorResultIndexes(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var idxs []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// funcBodies yields every function body in the file — declarations and
+// function literals — each exactly once, paired with a printable name.
+// Literals are reported separately from their enclosing function because
+// they run in their own dynamic context (goroutines, deferred cleanups).
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, funcBody{name: n.Name.Name, body: n.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{name: "func literal", body: n.Body})
+		}
+		return true
+	})
+	return out
+}
+
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the directive marker: //skvet:ignore pass1,pass2 reason.
+const ignorePrefix = "skvet:ignore"
+
+// ignoreIndex records, per file and line, which passes are suppressed. A
+// directive suppresses findings on its own line and on the line directly
+// below it, so both trailing comments and whole-line comments above the
+// offending statement work.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (idx ignoreIndex) suppressed(pass string, pos token.Position) bool {
+	lines, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set, ok := lines[line]; ok && (set[pass] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans every comment in the program for skvet:ignore
+// directives. Malformed directives (no pass list, or a pass name the
+// suite does not know) come back as diagnostics under the pseudo-pass
+// "skvet" so stale suppressions are visible.
+func buildIgnoreIndex(prog *Program, known map[string]bool) (ignoreIndex, []Diagnostic) {
+	idx := make(ignoreIndex)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					if i := strings.Index(rest, "//"); i >= 0 {
+						rest = rest[:i] // nested comment, e.g. fixture want markers
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						diags = append(diags, Diagnostic{
+							Pass: "skvet", Pos: pos,
+							Message: "skvet:ignore needs a comma-separated pass list (e.g. //skvet:ignore nopanic reason)",
+						})
+						continue
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						name = strings.TrimSpace(name)
+						if name != "all" && !known[name] {
+							diags = append(diags, Diagnostic{
+								Pass: "skvet", Pos: pos,
+								Message: fmt.Sprintf("skvet:ignore names unknown pass %q", name),
+							})
+							continue
+						}
+						lines, ok := idx[pos.Filename]
+						if !ok {
+							lines = make(map[int]map[string]bool)
+							idx[pos.Filename] = lines
+						}
+						set, ok := lines[pos.Line]
+						if !ok {
+							set = make(map[string]bool)
+							lines[pos.Line] = set
+						}
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx, diags
+}

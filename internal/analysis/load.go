@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoGoFiles is returned by Loader.Load for a directory that contains
+// no buildable (non-test) Go files. Drivers walking a tree skip these.
+var ErrNoGoFiles = errors.New("analysis: no buildable Go files")
+
+// Loader parses and typechecks packages. Imports inside a registered
+// module resolve recursively from that module's source tree; everything
+// else (the standard library) resolves through go/importer's source
+// importer, so the loader needs neither export data nor the go command.
+type Loader struct {
+	Fset *token.FileSet
+
+	modules map[string]string // module path -> root directory
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader with no modules registered.
+func NewLoader(fset *token.FileSet) *Loader {
+	return &Loader{
+		Fset:    fset,
+		modules: make(map[string]string),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// AddModule registers a module root: import paths equal to modPath or
+// under modPath/ resolve to directories under dir.
+func (l *Loader) AddModule(modPath, dir string) {
+	l.modules[modPath] = dir
+}
+
+// dirFor resolves an import path against the registered modules, using
+// the longest matching module-path prefix.
+func (l *Loader) dirFor(path string) (string, bool) {
+	best := ""
+	dir := ""
+	for mod, root := range l.modules {
+		if path != mod && !strings.HasPrefix(path, mod+"/") {
+			continue
+		}
+		if len(mod) <= len(best) && best != "" {
+			continue
+		}
+		best = mod
+		dir = filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")))
+	}
+	return dir, best != ""
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through this loader; all other paths go to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and typechecks the package at the given import path
+// (which must resolve inside a registered module). Test files are
+// excluded: the suite analyzes shipping code, and test-only invariant
+// exceptions (rand for data generation, wall-clock deadlines) stay legal
+// without annotation. Results are memoized per loader.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir, ok := l.dirFor(importPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q is outside every registered module", importPath)
+	}
+
+	names, err := buildableGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoGoFiles, dir)
+	}
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, typeErrs[0])
+	}
+
+	p := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Name:  pkgName,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// buildableGoFiles lists the non-test .go files of dir in sorted order,
+// skipping hidden and underscore-prefixed names the go tool also ignores.
+func buildableGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noPanic keeps panics out of library packages. The degraded-mode design
+// of PR 3 relies on every failure surfacing as a typed error the shard
+// layer can catch and route around (sticky unhealthy shards, partial
+// results); a panic in a library package tears down the whole process
+// instead. Binaries (package main) may panic, tests are not analyzed,
+// and constructor invariants that deliberately panic on programmer error
+// carry a //skvet:ignore nopanic annotation.
+type noPanic struct{}
+
+func (noPanic) Name() string { return "nopanic" }
+
+func (noPanic) Doc() string {
+	return "no panic in library packages; return typed errors (cmd/ and tests may panic)"
+}
+
+func (noPanic) Run(prog *Program) []Diagnostic {
+	builtin := types.Universe.Lookup("panic")
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if pkg.Info.Uses[id] != builtin {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pass: "nopanic",
+					Pos:  prog.Fset.Position(call.Pos()),
+					Message: "panic in library code; return a typed error so callers can degrade " +
+						"gracefully (annotate deliberate constructor invariants with //skvet:ignore nopanic)",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// obsReg enforces the observability layer's one-family-one-meaning rule
+// (PR 2): a metric name must keep a single kind (counter, gauge,
+// histogram) and a single help string everywhere it is registered, the
+// name and help must be compile-time constants (dynamic names defeat
+// canonical registration and explode cardinality), and label arguments
+// must be passed in canonical sorted-by-key order so every call site
+// reads the way the registry renders.
+//
+// The runtime Registry panics on a kind mismatch; this pass moves that
+// failure from first-request time to CI time and also catches the help
+// and ordering drift the runtime tolerates silently.
+type obsReg struct{}
+
+func (obsReg) Name() string { return "obsreg" }
+
+func (obsReg) Doc() string {
+	return "obs metric families: constant name/help, one kind and help everywhere, sorted label keys"
+}
+
+// familyDecl remembers the first registration site of a metric family.
+type familyDecl struct {
+	kind string
+	help string
+	pos  token.Position
+}
+
+func (obsReg) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	families := make(map[string]*familyDecl)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryCall(pkg.Info, call)
+				if !ok {
+					return true
+				}
+				diags = append(diags, checkRegistration(prog, pkg, call, kind, families)...)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// registryCall reports whether call is (*obs.Registry).Counter, .Gauge,
+// or .Histogram, returning the metric kind.
+func registryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return map[string]string{"Counter": "counter", "Gauge": "gauge", "Histogram": "histogram"}[fn.Name()], true
+	}
+	return "", false
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkRegistration(prog *Program, pkg *Package, call *ast.CallExpr, kind string, families map[string]*familyDecl) []Diagnostic {
+	var diags []Diagnostic
+	pos := prog.Fset.Position(call.Pos())
+	if len(call.Args) < 2 {
+		return nil
+	}
+
+	name, nameOK := constString(pkg.Info, call.Args[0])
+	if !nameOK {
+		diags = append(diags, Diagnostic{
+			Pass: "obsreg", Pos: pos,
+			Message: "metric name must be a compile-time constant string (dynamic names defeat canonical registration)",
+		})
+	}
+	help, helpOK := constString(pkg.Info, call.Args[1])
+	if !helpOK {
+		diags = append(diags, Diagnostic{
+			Pass: "obsreg", Pos: pos,
+			Message: "metric help must be a compile-time constant string",
+		})
+	}
+
+	if nameOK && helpOK {
+		if decl, seen := families[name]; seen {
+			if decl.kind != kind {
+				diags = append(diags, Diagnostic{
+					Pass: "obsreg", Pos: pos,
+					Message: fmt.Sprintf("metric %q re-registered as %s; first registered as %s at %s",
+						name, kind, decl.kind, decl.pos),
+				})
+			}
+			if decl.help != help {
+				diags = append(diags, Diagnostic{
+					Pass: "obsreg", Pos: pos,
+					Message: fmt.Sprintf("metric %q re-registered with different help %q; first registered with %q at %s",
+						name, help, decl.help, decl.pos),
+				})
+			}
+		} else {
+			families[name] = &familyDecl{kind: kind, help: help, pos: pos}
+		}
+	}
+
+	// Histogram(name, help, bounds, labels...); Counter/Gauge(name, help, labels...).
+	labelStart := 2
+	if kind == "histogram" {
+		labelStart = 3
+	}
+	if call.Ellipsis.IsValid() || len(call.Args) <= labelStart {
+		return diags
+	}
+	prevKey := ""
+	havePrev := false
+	for _, arg := range call.Args[labelStart:] {
+		key, known := labelKeyOf(pkg.Info, arg)
+		if !known {
+			continue
+		}
+		if havePrev && key <= prevKey {
+			diags = append(diags, Diagnostic{
+				Pass: "obsreg", Pos: prog.Fset.Position(arg.Pos()),
+				Message: fmt.Sprintf("label %q out of canonical order (after %q); pass labels sorted by key",
+					key, prevKey),
+			})
+		}
+		prevKey, havePrev = key, true
+	}
+	return diags
+}
+
+// labelKeyOf extracts the constant key of an obs.L("key", v) argument or
+// an obs.Label{Key: "key"} literal; variables come back unknown.
+func labelKeyOf(info *types.Info, arg ast.Expr) (string, bool) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(info, a)
+		if fn == nil || fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs") || fn.Name() != "L" {
+			return "", false
+		}
+		if len(a.Args) != 2 {
+			return "", false
+		}
+		return constString(info, a.Args[0])
+	case *ast.CompositeLit:
+		for i, elt := range a.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+					return constString(info, kv.Value)
+				}
+				continue
+			}
+			if i == 0 {
+				return constString(info, elt)
+			}
+		}
+	}
+	return "", false
+}

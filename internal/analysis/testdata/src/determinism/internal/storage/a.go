@@ -1,0 +1,69 @@
+// Package storage (fixture) holds positive and negative cases for the
+// determinism pass: no wall clock, global rand, or map-order-dependent
+// output in modeled disk-time code.
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive cases.
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the host wall clock`
+	return time.Since(start) // want `time\.Since reads the host wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn uses the process-wide unseeded source`
+}
+
+func mapOrderPrint(costs map[string]int) {
+	for name, c := range costs { // want `map iteration order is randomized per run`
+		fmt.Println(name, c)
+	}
+}
+
+type sink struct{}
+
+func (sink) WriteString(s string) (int, error) { return len(s), nil }
+
+func mapOrderWrite(costs map[string]int, w sink) {
+	for name := range costs { // want `map iteration order is randomized per run`
+		n, err := w.WriteString(name)
+		_, _ = n, err
+	}
+}
+
+// Negative cases.
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sortedEmit(costs map[string]int) {
+	keys := make([]string, 0, len(costs))
+	for k := range costs { // aggregation only: collecting keys to sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, costs[k])
+	}
+}
+
+func sum(costs map[string]int) int {
+	total := 0
+	for _, c := range costs { // aggregation only: order-insensitive
+		total += c
+	}
+	return total
+}
+
+func modelOnly(random, sequential uint64) time.Duration {
+	return time.Duration(random)*8*time.Millisecond + time.Duration(sequential)*60*time.Microsecond
+}

@@ -1,0 +1,54 @@
+// Package erroprov holds positive and negative cases for the erroprov
+// pass: storage errors must propagate, never be discarded.
+package erroprov
+
+import "spatialkeyword/internal/storage"
+
+// Positive cases: every form of discarding a storage error.
+
+func discardBlank(dev storage.Device, id storage.BlockID) {
+	_ = dev.Write(id, nil) // want `error from storage\.Write assigned to _`
+}
+
+func discardTuple(dev storage.Device, id storage.BlockID) []byte {
+	data, _ := dev.Read(id) // want `error from storage\.Read assigned to _`
+	return data
+}
+
+func discardStmt(dev storage.Device, id storage.BlockID) {
+	dev.Write(id, nil) // want `error from storage\.Write discarded \(call used as a statement\)`
+}
+
+func discardGo(dev storage.Device, id storage.BlockID) {
+	go dev.Write(id, nil) // want `error from storage\.Write discarded \(go statement\)`
+}
+
+func discardDefer(dev storage.Device, id storage.BlockID) {
+	defer dev.Write(id, nil) // want `error from storage\.Write discarded \(defer statement\)`
+}
+
+var _ = storage.NewDisk(512).Write(1, nil) // want `error from storage\.Write assigned to _`
+
+// Negative cases: propagated, wrapped, checked, or error-free calls.
+
+func propagate(dev storage.Device, id storage.BlockID) ([]byte, error) {
+	return dev.Read(id)
+}
+
+func check(dev storage.Device, id storage.BlockID) error {
+	if err := dev.Write(id, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func named(dev storage.Device, id storage.BlockID) {
+	data, err := dev.ReadRun(id, 2)
+	_ = data
+	_ = err
+}
+
+func noError(dev storage.Device) storage.BlockID {
+	dev.ResetStats() // no error result; nothing to discard
+	return dev.Alloc()
+}

@@ -1,0 +1,28 @@
+// Package ignore exercises the skvet:ignore directive machinery with the
+// nopanic pass: same-line suppression, line-above suppression, unknown
+// pass names, and a missing pass list.
+package ignore
+
+func sameLine() {
+	panic("suppressed") //skvet:ignore nopanic deliberate: exercised by tests
+}
+
+func lineAbove() {
+	//skvet:ignore nopanic deliberate: exercised by tests
+	panic("suppressed")
+}
+
+func multiPass() {
+	//skvet:ignore nopanic,erroprov two passes at once
+	panic("suppressed")
+}
+
+func notSuppressed() {
+	panic("kaboom") // want `panic in library code`
+}
+
+//skvet:ignore nosuchpass // want `skvet:ignore names unknown pass "nosuchpass"`
+func unknownPass() {}
+
+//skvet:ignore // want `skvet:ignore needs a comma-separated pass list`
+func missingList() {}

@@ -1,0 +1,64 @@
+// Package shard holds positive and negative cases for the lockio pass:
+// no device I/O while a sync mutex is held.
+package shard
+
+import (
+	"sync"
+
+	"spatialkeyword/internal/storage"
+)
+
+// S is a stand-in for a shard: a mutex guarding a device.
+type S struct {
+	mu  sync.RWMutex
+	wmu sync.Mutex
+	dev storage.Device
+}
+
+// Positive cases.
+
+func (s *S) readUnderDeferredRLock(id storage.BlockID) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dev.Read(id) // want `storage I/O \(Read\) in readUnderDeferredRLock while holding s\.mu`
+}
+
+func (s *S) writeUnderLock(id storage.BlockID) error {
+	s.wmu.Lock()
+	err := s.dev.Write(id, nil) // want `storage I/O \(Write\) in writeUnderLock while holding s\.wmu`
+	s.wmu.Unlock()
+	return err
+}
+
+func (s *S) runUnderBothLocks(id storage.BlockID) ([]byte, error) {
+	s.mu.RLock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.mu.RUnlock()
+	return s.dev.ReadRun(id, 2) // want `storage I/O \(ReadRun\) in runUnderBothLocks while holding s\.mu, s\.wmu`
+}
+
+// Negative cases.
+
+func (s *S) readAfterUnlock(id storage.BlockID) ([]byte, error) {
+	s.mu.RLock()
+	n := s.dev.NumBlocks() // metadata, not I/O
+	s.mu.RUnlock()
+	_ = n
+	return s.dev.Read(id)
+}
+
+func (s *S) goroutineDoesNotInherit(id storage.BlockID) {
+	s.mu.Lock()
+	go func() {
+		data, err := s.dev.Read(id) // separate goroutine: does not block the lock holder
+		_, _ = data, err
+	}()
+	s.mu.Unlock()
+}
+
+func (s *S) allocUnderLock() storage.BlockID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.Alloc() // allocation is bookkeeping, not modeled I/O
+}

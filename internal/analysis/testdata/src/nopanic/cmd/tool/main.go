@@ -1,0 +1,6 @@
+// Command tool is the nopanic negative case: package main may panic.
+package main
+
+func main() {
+	panic("binaries may crash loudly") // no diagnostic: package main is exempt
+}

@@ -1,0 +1,42 @@
+// Package lib holds positive and negative cases for the nopanic pass:
+// library packages must return errors, not panic.
+package lib
+
+import "errors"
+
+// Positive case.
+
+func Clamp(x int) int {
+	if x < 0 {
+		panic("negative input") // want `panic in library code`
+	}
+	return x
+}
+
+// Negative cases.
+
+func ClampErr(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x, nil
+}
+
+// NewRing panics only on a programmer-error invariant, annotated as a
+// deliberate exception.
+func NewRing(n int) []int {
+	if n <= 0 {
+		//skvet:ignore nopanic constructor invariant: misuse is a programmer error
+		panic("lib: ring size must be positive")
+	}
+	return make([]int, n)
+}
+
+func Recoverable() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	return nil
+}

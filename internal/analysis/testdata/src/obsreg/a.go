@@ -1,0 +1,38 @@
+// Package obsreg holds positive and negative cases for the obsreg pass:
+// one metric family, one meaning, canonical label order.
+package obsreg
+
+import "spatialkeyword/internal/obs"
+
+// Negative cases: consistent families, sorted labels.
+
+func good(r *obs.Registry) {
+	r.Counter("sk_fixture_good_total", "A counter.", obs.L("kind", "x"), obs.L("shard", "0")).Inc()
+	r.Counter("sk_fixture_good_total", "A counter.", obs.L("kind", "y"), obs.L("shard", "1")).Inc()
+	r.Gauge("sk_fixture_depth", "A gauge.").Set(1)
+	r.Histogram("sk_fixture_lat", "A histogram.", []float64{1, 2}, obs.L("op", "topk")).Observe(1)
+}
+
+// Positive cases.
+
+func badOrder(r *obs.Registry) {
+	r.Counter("sk_fixture_order_total", "Order.", obs.L("shard", "0"), obs.L("kind", "x")).Inc() // want `label "kind" out of canonical order \(after "shard"\)`
+}
+
+func badKind(r *obs.Registry) {
+	r.Counter("sk_fixture_dup_total", "Dup.").Inc()
+	r.Gauge("sk_fixture_dup_total", "Dup.").Set(1) // want `metric "sk_fixture_dup_total" re-registered as gauge`
+}
+
+func badHelp(r *obs.Registry) {
+	r.Counter("sk_fixture_help_total", "One meaning.").Inc()
+	r.Counter("sk_fixture_help_total", "Another meaning.").Inc() // want `re-registered with different help`
+}
+
+func badDynamicName(r *obs.Registry, name string) {
+	r.Counter(name, "Dynamic.").Inc() // want `metric name must be a compile-time constant string`
+}
+
+func badDupKey(r *obs.Registry) {
+	r.Counter("sk_fixture_dupkey_total", "Dup key.", obs.L("shard", "0"), obs.L("shard", "1")).Inc() // want `label "shard" out of canonical order \(after "shard"\)`
+}

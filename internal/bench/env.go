@@ -368,8 +368,10 @@ func (e *Env) Measure(m Method, queries []Query, cm storage.CostModel) (Measurem
 			d.ResetStats()
 			meters[i] = storage.StartMeter(d)
 		}
+		//skvet:ignore determinism CPU time is wall-clock by definition; it is reported apart from modeled disk time
 		start := time.Now()
 		n, objs, err := e.RunQuery(m, q)
+		//skvet:ignore determinism CPU time is wall-clock by definition; it is reported apart from modeled disk time
 		cpu += time.Since(start)
 		if err != nil {
 			return out, err

@@ -382,6 +382,7 @@ func Maintenance(e *Env, batch int, seed int64, cm storage.CostModel) (*Table, e
 				e.ObjDisk.ResetStats()
 				m1 := storage.StartMeter(tg.disk)
 				m2 := storage.StartMeter(e.ObjDisk)
+				//skvet:ignore determinism CPU time is wall-clock by definition; it is reported apart from modeled disk time
 				start := time.Now()
 				var err error
 				if op == "insert" {
@@ -393,6 +394,7 @@ func Maintenance(e *Env, batch int, seed int64, cm storage.CostModel) (*Table, e
 						err = fmt.Errorf("bench: maintenance delete missed object %d", f.obj.ID)
 					}
 				}
+				//skvet:ignore determinism CPU time is wall-clock by definition; it is reported apart from modeled disk time
 				cpu += time.Since(start)
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s %s: %w", tg.method, op, err)

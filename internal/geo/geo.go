@@ -58,6 +58,7 @@ func (p Point) Dist(q Point) float64 {
 // It panics if the dimensions differ.
 func (p Point) Dist2(q Point) float64 {
 	if len(p) != len(q) {
+		//skvet:ignore nopanic documented invariant: mixed dimensions are a caller logic error
 		panic(fmt.Sprintf("geo: dimension mismatch %d vs %d", len(p), len(q)))
 	}
 	var s float64
@@ -95,10 +96,12 @@ type Rect struct {
 // coordinate.
 func NewRect(lo, hi Point) Rect {
 	if len(lo) != len(hi) {
+		//skvet:ignore nopanic documented constructor invariant
 		panic(fmt.Sprintf("geo: corner dimension mismatch %d vs %d", len(lo), len(hi)))
 	}
 	for i := range lo {
 		if lo[i] > hi[i] {
+			//skvet:ignore nopanic documented constructor invariant
 			panic(fmt.Sprintf("geo: inverted rectangle on axis %d: %g > %g", i, lo[i], hi[i]))
 		}
 	}
@@ -166,6 +169,7 @@ func (r Rect) Union(s Rect) Rect {
 		return r.Clone()
 	}
 	if len(r.Lo) != len(s.Lo) {
+		//skvet:ignore nopanic documented invariant: mixed dimensions are a caller logic error
 		panic(fmt.Sprintf("geo: union dimension mismatch %d vs %d", len(r.Lo), len(s.Lo)))
 	}
 	lo := make(Point, len(r.Lo))
@@ -228,6 +232,7 @@ func (r Rect) MinDist(p Point) float64 {
 // MinDist2 returns the squared minimum distance from p to r.
 func (r Rect) MinDist2(p Point) float64 {
 	if len(p) != len(r.Lo) {
+		//skvet:ignore nopanic documented invariant: mixed dimensions are a caller logic error
 		panic(fmt.Sprintf("geo: mindist dimension mismatch %d vs %d", len(p), len(r.Lo)))
 	}
 	var s float64
@@ -250,6 +255,7 @@ func (r Rect) MinDist2(p Point) float64 {
 // MBR) priority of area-based incremental NN queries.
 func (r Rect) MinDistRect(s Rect) float64 {
 	if len(r.Lo) != len(s.Lo) {
+		//skvet:ignore nopanic documented invariant: mixed dimensions are a caller logic error
 		panic(fmt.Sprintf("geo: rect mindist dimension mismatch %d vs %d", len(r.Lo), len(s.Lo)))
 	}
 	var sum float64
@@ -271,6 +277,7 @@ func (r Rect) MinDistRect(s Rect) float64 {
 // for pruning in aggregate queries.
 func (r Rect) MaxDist(p Point) float64 {
 	if len(p) != len(r.Lo) {
+		//skvet:ignore nopanic documented invariant: mixed dimensions are a caller logic error
 		panic(fmt.Sprintf("geo: maxdist dimension mismatch %d vs %d", len(p), len(r.Lo)))
 	}
 	var s float64

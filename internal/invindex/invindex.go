@@ -52,6 +52,7 @@ func New(dev storage.Device) *Index {
 // be called before Build; words are used as given (normalize upstream).
 func (ix *Index) Add(ref uint64, words []string) {
 	if ix.built {
+		//skvet:ignore nopanic documented API misuse: the index is immutable after Build
 		panic("invindex: Add after Build")
 	}
 	seen := make(map[string]struct{}, len(words))

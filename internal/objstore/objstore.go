@@ -154,6 +154,7 @@ func (s *Store) Sync() error {
 	}
 	bs := s.dev.BlockSize()
 	if len(s.tail) > bs {
+		//skvet:ignore nopanic internal invariant: Put bounds the tail to one block
 		panic("objstore: tail exceeds block size")
 	}
 	id := s.dev.Alloc()

@@ -64,10 +64,12 @@ type Histogram struct {
 // bucket upper bounds. It panics on empty or non-increasing bounds.
 func NewHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
+		//skvet:ignore nopanic documented constructor invariant
 		panic("obs: histogram needs at least one bucket bound")
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
+			//skvet:ignore nopanic documented constructor invariant
 			panic("obs: histogram bounds must be strictly increasing")
 		}
 	}
@@ -143,6 +145,7 @@ func (s HistogramSnapshot) Mean() float64 {
 // growing by factor: start, start*factor, start*factor², ...
 func ExpBuckets(start, factor float64, n int) []float64 {
 	if start <= 0 || factor <= 1 || n < 1 {
+		//skvet:ignore nopanic documented constructor invariant
 		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
 	}
 	out := make([]float64, n)

@@ -100,6 +100,7 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 		if s, ok := f.series[key]; ok {
 			r.mu.RUnlock()
 			if f.kind != kind {
+				//skvet:ignore nopanic registration-time programming error, caught by the obsreg pass statically
 				panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
 			}
 			return s
@@ -116,6 +117,7 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 		r.names = append(r.names, name)
 	}
 	if f.kind != kind {
+		//skvet:ignore nopanic registration-time programming error, caught by the obsreg pass statically
 		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
 	}
 	s, ok := f.series[key]

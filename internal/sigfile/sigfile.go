@@ -106,6 +106,7 @@ func (c Config) DocSignature(words []string) Signature {
 // panics otherwise, since mixing signature lengths is a logic error.
 func Superimpose(dst, src Signature) {
 	if len(dst) != len(src) {
+		//skvet:ignore nopanic documented invariant: mixed signature lengths are a caller logic error
 		panic(fmt.Sprintf("sigfile: superimpose length mismatch %d vs %d", len(dst), len(src)))
 	}
 	for i := range src {
@@ -163,6 +164,7 @@ func Union(a, b Signature) Signature {
 // (paper Figure 8, lines 5 and 9). It panics on length mismatch.
 func Matches(s, q Signature) bool {
 	if len(s) != len(q) {
+		//skvet:ignore nopanic documented invariant: mixed signature lengths are a caller logic error
 		panic(fmt.Sprintf("sigfile: match length mismatch %d vs %d", len(s), len(q)))
 	}
 	for i := range q {

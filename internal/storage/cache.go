@@ -33,6 +33,7 @@ type cacheEntry struct {
 // It panics if capacity is not positive.
 func NewCachedDisk(under Device, capacity int) *CachedDisk {
 	if capacity <= 0 {
+		//skvet:ignore nopanic documented constructor invariant
 		panic("storage: cache capacity must be positive")
 	}
 	return &CachedDisk{

@@ -52,6 +52,7 @@ var _ Device = (*ChecksumDisk)(nil)
 // underlying block size leaves no payload room.
 func NewChecksumDisk(under Device) *ChecksumDisk {
 	if under.BlockSize() <= checksumTrailerLen {
+		//skvet:ignore nopanic documented constructor invariant
 		panic(fmt.Sprintf("storage: block size %d too small for checksum framing", under.BlockSize()))
 	}
 	return &ChecksumDisk{under: under}

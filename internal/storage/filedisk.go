@@ -141,6 +141,7 @@ func (d *FileDisk) Alloc() BlockID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := d.allocLocked()
+	//skvet:ignore erroprov best-effort eager persist; Close/SyncMeta write the meta block authoritatively
 	d.writeMeta() //nolint:errcheck // best-effort; Close persists authoritatively
 	return id
 }
@@ -168,6 +169,7 @@ func (d *FileDisk) allocLocked() BlockID {
 // list is not guaranteed contiguous).
 func (d *FileDisk) AllocRun(n int) BlockID {
 	if n <= 0 {
+		//skvet:ignore nopanic documented allocator invariant: a non-positive run is a caller logic error
 		panic(fmt.Sprintf("storage: invalid run length %d", n))
 	}
 	d.mu.Lock()
@@ -175,6 +177,7 @@ func (d *FileDisk) AllocRun(n int) BlockID {
 	id := d.next
 	d.next += BlockID(n)
 	d.nAlloc += n
+	//skvet:ignore erroprov best-effort eager persist; Close/SyncMeta write the meta block authoritatively
 	d.writeMeta() //nolint:errcheck
 	return id
 }
@@ -195,6 +198,7 @@ func (d *FileDisk) Free(id BlockID) {
 	}
 	d.freeHead = id
 	d.nAlloc--
+	//skvet:ignore erroprov best-effort eager persist; Close/SyncMeta write the meta block authoritatively
 	d.writeMeta() //nolint:errcheck
 }
 

@@ -165,6 +165,7 @@ type Disk struct {
 // It panics if blockSize is not positive.
 func NewDisk(blockSize int) *Disk {
 	if blockSize <= 0 {
+		//skvet:ignore nopanic documented constructor invariant
 		panic(fmt.Sprintf("storage: invalid block size %d", blockSize))
 	}
 	return &Disk{
@@ -198,6 +199,7 @@ func (d *Disk) Alloc() BlockID {
 // treatment of IR²-Tree nodes that "typically require two disk blocks".
 func (d *Disk) AllocRun(n int) BlockID {
 	if n <= 0 {
+		//skvet:ignore nopanic documented allocator invariant: a non-positive run is a caller logic error
 		panic(fmt.Sprintf("storage: invalid run length %d", n))
 	}
 	d.mu.Lock()

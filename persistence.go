@@ -121,14 +121,11 @@ func NewDurableEngine(cfg Config, dir string) (*Engine, error) {
 	}
 	idxDisk, err := storage.CreateFileDisk(filepath.Join(dir, indexName), bs)
 	if err != nil {
-		objDisk.Close()
-		return nil, err
+		return nil, errors.Join(err, objDisk.Close())
 	}
 	e, err := newEngineOn(cfg, objDisk, idxDisk)
 	if err != nil {
-		objDisk.Close()
-		idxDisk.Close()
-		return nil, err
+		return nil, errors.Join(err, objDisk.Close(), idxDisk.Close())
 	}
 	e.dir = dir
 	return e, nil
@@ -291,21 +288,16 @@ func openFromManifest(dir string, m manifest) (*Engine, error) {
 	}
 	idxDisk, err := storage.OpenFileDisk(filepath.Join(dir, indexName))
 	if err != nil {
-		objDisk.Close()
-		return nil, err
+		return nil, errors.Join(err, objDisk.Close())
 	}
 	objDev, idxDev := frameDevices(m.Config, objDisk, idxDisk)
 	store, err := objstore.Open(objDev, storage.BlockID(m.StoreMeta))
 	if err != nil {
-		objDisk.Close()
-		idxDisk.Close()
-		return nil, err
+		return nil, errors.Join(err, objDisk.Close(), idxDisk.Close())
 	}
 	e, err := assembleEngine(m.Config, objDisk, idxDisk, objDev, idxDev, store, storage.BlockID(m.TreeState))
 	if err != nil {
-		objDisk.Close()
-		idxDisk.Close()
-		return nil, err
+		return nil, errors.Join(err, objDisk.Close(), idxDisk.Close())
 	}
 	e.dir = dir
 	e.gen = m.Generation

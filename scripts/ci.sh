@@ -3,6 +3,7 @@
 #
 #   build   go build + go vet
 #   lint    gofmt -l (+ staticcheck when installed)
+#   analyze skvet, the project's own invariant passes (cmd/skvet)
 #   test    go test -race ./...
 #   cover   coverage with the CI floor (scripts/coverage.sh)
 #   bench   benchmark-regression check against benchmarks/baseline.json
@@ -38,6 +39,11 @@ run_lint() {
 	fi
 }
 
+run_analyze() {
+	step analyze
+	go run ./cmd/skvet ./...
+}
+
 run_test() {
 	step test
 	go test -race ./...
@@ -53,7 +59,7 @@ run_bench() {
 	go run ./cmd/skbench \
 		-dataset restaurants -experiment vary-k \
 		-scale 0.01 -queries 10 -seed 1 \
-		-json -out . -baseline benchmarks/baseline.json
+		-json -out benchmarks -baseline benchmarks/baseline.json
 }
 
 run_fuzz() {
@@ -73,6 +79,7 @@ run_fuzz() {
 case "${1:-all}" in
 build) run_build ;;
 lint) run_lint ;;
+analyze) run_analyze ;;
 test) run_test ;;
 cover) run_cover ;;
 bench) run_bench ;;
@@ -80,13 +87,14 @@ fuzz) run_fuzz ;;
 all)
 	run_build
 	run_lint
+	run_analyze
 	run_test
 	run_cover
 	run_bench
 	run_fuzz
 	;;
 *)
-	echo "usage: scripts/ci.sh [build|lint|test|cover|bench|fuzz|all]" >&2
+	echo "usage: scripts/ci.sh [build|lint|analyze|test|cover|bench|fuzz|all]" >&2
 	exit 2
 	;;
 esac
