@@ -8,11 +8,13 @@
 //
 //	-dataset     hotels | restaurants | both (default both)
 //	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
-//	             selectivity | table2 | maintenance |
+//	             selectivity | table2 | maintenance | ingest |
 //	             ablate-cache | ablate-capacity | ablate-build |
 //	             ablate-split | parallel (default all;
-//	             "all" covers the paper experiments; ablations and the
-//	             sharded-throughput experiment run only when named)
+//	             "all" covers the paper experiments; ingest, the
+//	             ablations, and the sharded-throughput experiment run
+//	             only when named; a comma-separated list runs several,
+//	             e.g. -experiment vary-k,ingest)
 //	-scale       dataset scale factor in (0,1]; 1 = full Table 1 sizes
 //	             (default 0.02 — laptop-friendly)
 //	-queries     queries per measured cell (default 20)
@@ -139,7 +141,14 @@ func plans(cfg config) []experimentPlan {
 
 func run(cfg config) error {
 	cm := storage.DefaultCostModel()
-	want := func(name string) bool { return cfg.experiment == "all" || cfg.experiment == name }
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(cfg.experiment, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return wanted["all"] || wanted[name] }
+	// The opt-in experiments (ablations, parallel, ingest) run only when
+	// named explicitly — "all" covers just the paper experiments.
+	named := func(name string) bool { return wanted[name] }
 	var tables []*bench.Table
 	render := func(t *bench.Table) error {
 		tables = append(tables, t)
@@ -150,11 +159,17 @@ func run(cfg config) error {
 		return t.Render(os.Stdout)
 	}
 
-	ablation := strings.HasPrefix(cfg.experiment, "ablate-")
+	// Only the paper experiments share the per-dataset environments; the
+	// ablations rebuild their own, and parallel/ingest need none.
+	needEnv := false
+	for _, name := range []string{"vary-k", "vary-keywords", "vary-siglen",
+		"selectivity", "table1", "table2", "maintenance"} {
+		needEnv = needEnv || want(name)
+	}
 	var envs []*bench.Env
 	for _, p := range plans(cfg) {
-		if ablation || cfg.experiment == "parallel" {
-			break // these experiments build their own environments below
+		if !needEnv {
+			break // the named experiments build their own environments below
 		}
 		fmt.Printf("building %s environment (scale %g: %d objects, sig %dB)...\n",
 			p.spec.Name, cfg.scale, p.spec.NumObjects, p.sigBytes)
@@ -235,20 +250,33 @@ func run(cfg config) error {
 		}
 	}
 
+	// Ingest durability: checkpoint-per-op vs WAL group commit. Dataset-
+	// independent (its workload is generated from the seed alone) and fully
+	// deterministic, so it feeds the same baseline gate as vary-k.
+	if named("ingest") {
+		t, err := bench.IngestDurability(200, []int{1, 8, 32}, cfg.seed, cm)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+
 	// Extension ablations, run only when explicitly named (they rebuild
 	// their own environments).
 	for _, p := range plans(cfg) {
 		base := bench.BuildConfig{Spec: p.spec, SigBytes: p.sigBytes, MaxEntries: cfg.capacity}
 		var t *bench.Table
 		var err error
-		switch cfg.experiment {
-		case "ablate-cache":
+		switch {
+		case named("ablate-cache"):
 			t, err = bench.CacheAblation(base, []int{0, 256, 1024, 8192}, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
-		case "ablate-capacity":
+		case named("ablate-capacity"):
 			t, err = bench.CapacityAblation(base, []int{8, 32, 0, 256}, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
-		case "ablate-build":
+		case named("ablate-build"):
 			t, err = bench.BulkBuildAblation(base, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
-		case "ablate-split":
+		case named("ablate-split"):
 			t, err = bench.SplitAblation(base, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
 		default:
 			continue
@@ -263,7 +291,7 @@ func run(cfg config) error {
 
 	// Scale-out extension: sharded-engine throughput, run only when named
 	// (wall-clock measurement, so it wants a quiet machine).
-	if cfg.experiment == "parallel" {
+	if named("parallel") {
 		for _, p := range plans(cfg) {
 			t, err := bench.ParallelThroughput(p.spec, p.sigBytes,
 				[]int{1, 2, 4, 8}, []int{1, 4, 16}, cfg.queries, cfg.seed)

@@ -13,6 +13,11 @@
 //	-dir        backing directory; empty = in-memory, existing manifest = reopen
 //	-sig        leaf signature bytes (default 64)
 //	-shards     number of spatial shards (default 1 = single engine)
+//	-wal        write-ahead log: every acknowledged mutation is durable
+//	            before the HTTP response (requires -dir; reopening an
+//	            existing directory keeps whatever the manifest recorded)
+//	-wal-fsync  WAL group-commit window — concurrent mutations share one
+//	            fsync (default 2ms; 0 syncs every append individually)
 //	-pprof      also mount net/http/pprof under /debug/pprof/
 //	-slowquery  log queries slower than this to stderr as JSON lines
 //	            (default 50ms; 0 disables)
@@ -31,7 +36,8 @@
 //	                           histograms, traversal counters, per-shard I/O)
 //	GET    /debug/vars       → the same metrics as expvar-style JSON
 //	GET    /healthz          → liveness probe; sharded backends report
-//	                           degraded status and per-shard health
+//	                           degraded status and per-shard health, WAL
+//	                           backends their durability state
 //	POST   /save             → checkpoint a durable engine
 //
 // Example session:
@@ -67,17 +73,25 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		dir         = flag.String("dir", "", "backing directory (empty = in-memory)")
-		sig         = flag.Int("sig", 64, "leaf signature bytes")
-		shards      = flag.Int("shards", 1, "number of spatial shards")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dir       = flag.String("dir", "", "backing directory (empty = in-memory)")
+		sig       = flag.Int("sig", 64, "leaf signature bytes")
+		shards    = flag.Int("shards", 1, "number of spatial shards")
+		walEnable = flag.Bool("wal", false, "write-ahead log: acknowledged mutations are durable (requires -dir)")
+		walFsync  = flag.Duration("wal-fsync", 2*time.Millisecond,
+			"WAL group-commit window; concurrent mutations share one fsync (0 = sync every append)")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowQuery   = flag.Duration("slowquery", 50*time.Millisecond,
 			"log queries slower than this to stderr as JSON lines (0 disables)")
 	)
 	flag.Parse()
 
-	eng, err := openOrCreate(*dir, spatialkeyword.Config{SignatureBytes: *sig}, *shards)
+	if *walEnable && *dir == "" {
+		fmt.Fprintln(os.Stderr, "skserve: -wal requires -dir (an in-memory engine has nothing to make durable)")
+		os.Exit(1)
+	}
+	cfg := spatialkeyword.Config{SignatureBytes: *sig, WAL: *walEnable, WALSyncWindow: *walFsync}
+	eng, err := openOrCreate(*dir, cfg, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skserve:", err)
 		os.Exit(1)
@@ -93,7 +107,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("skserve listening on %s (durable=%v, shards=%d)", *addr, *dir != "", srv.numShards())
+	log.Printf("skserve listening on %s (durable=%v, shards=%d, wal=%v)",
+		*addr, *dir != "", srv.numShards(), srv.wal != nil)
 
 	select {
 	case err := <-errc:
@@ -226,6 +241,20 @@ func (l *lockedEngine) Stats() spatialkeyword.Stats {
 	return l.eng.Stats()
 }
 
+func (l *lockedEngine) WALInfo() spatialkeyword.WALInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.WALInfo()
+}
+
+// SetWALObserver installs WAL metrics hooks on the wrapped engine. Called
+// once at startup, before the server accepts requests.
+func (l *lockedEngine) SetWALObserver(onAppend func(), onFsync func(time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.eng.SetWALObserver(onAppend, onFsync)
+}
+
 func (l *lockedEngine) Save() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -253,6 +282,15 @@ type healthReporter interface {
 	SetHealthMetrics(errs *obs.Counter, unhealthy *obs.Gauge)
 }
 
+// walReporter is the optional backend extension for write-ahead-log
+// durability: both backends implement it (the sharded engine aggregates
+// its per-shard logs), and the server uses it to export WAL metrics and
+// the /healthz durability block.
+type walReporter interface {
+	WALInfo() spatialkeyword.WALInfo
+	SetWALObserver(onAppend func(), onFsync func(time.Duration))
+}
+
 // serverOptions configures the observability surface.
 type serverOptions struct {
 	pprof     bool          // mount net/http/pprof under /debug/pprof/
@@ -271,6 +309,7 @@ type server struct {
 	reg     *obs.Registry
 	reqs    map[string]*obs.Counter
 	slow    *obs.SlowLog
+	wal     walReporter // non-nil when the backend has a live WAL
 }
 
 // endpoints names every route for the request counter family.
@@ -307,6 +346,25 @@ func newServer(eng engine, durable bool, opts serverOptions) *server {
 			s.reg.Gauge("sk_shards_unhealthy",
 				"Shards currently marked unhealthy and out of rotation."),
 		)
+	}
+	if wr, ok := eng.(walReporter); ok {
+		if wi := wr.WALInfo(); wi.Enabled {
+			s.wal = wr
+			appends := s.reg.Counter("sk_wal_appends_total",
+				"Mutations appended to the write-ahead log.")
+			fsyncs := s.reg.Histogram("sk_wal_fsync_seconds",
+				"WAL group-commit sync latency.", obs.LatencyBuckets())
+			replayed := s.reg.Counter("sk_wal_replayed_records_total",
+				"WAL records replayed on top of the snapshot at open.")
+			torn := s.reg.Counter("sk_wal_torn_tail_total",
+				"Torn WAL tails truncated during recovery.")
+			replayed.Add(wi.ReplayedRecords)
+			torn.Add(wi.TornTails)
+			wr.SetWALObserver(
+				func() { appends.Inc() },
+				func(d time.Duration) { fsyncs.Observe(d.Seconds()) },
+			)
+		}
 	}
 	return s
 }
@@ -524,6 +582,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp["status"] = "degraded"
 		}
 		resp["shard_health"] = hr.Health()
+	}
+	if s.wal != nil {
+		wi := s.wal.WALInfo()
+		walState := map[string]any{
+			"enabled":          true,
+			"replayed_records": wi.ReplayedRecords,
+			"torn_tails":       wi.TornTails,
+			"appends":          wi.Appends,
+			"fsyncs":           wi.Fsyncs,
+		}
+		if wi.Broken != nil {
+			walState["broken"] = wi.Broken.Error()
+			resp["status"] = "degraded"
+		}
+		resp["wal"] = walState
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

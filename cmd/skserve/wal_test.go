@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spatialkeyword"
+)
+
+// newWALTestServer builds a durable server with the write-ahead log on
+// (window 0: every append syncs individually, so counters are exact).
+func newWALTestServer(t *testing.T, dir string, shards int) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := spatialkeyword.Config{SignatureBytes: 16, WAL: true}
+	eng, err := openOrCreate(dir, cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, true, serverOptions{})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// healthzWAL fetches /healthz and returns the response and its wal block.
+func healthzWAL(t *testing.T, ts *httptest.Server) (map[string]any, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	body := decode[map[string]any](t, resp)
+	walState, _ := body["wal"].(map[string]any)
+	return body, walState
+}
+
+// TestWALServerRecoversWithoutSave is the service-level durability check:
+// mutations acknowledged over HTTP survive an unclean shutdown (no Save),
+// and the reopened server reports the replay in /healthz.
+func TestWALServerRecoversWithoutSave(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			s, ts := newWALTestServer(t, dir, shards)
+			ids := seedHotels(t, ts)
+
+			body, walState := healthzWAL(t, ts)
+			if body["status"] != "ok" {
+				t.Fatalf("healthz status %v", body["status"])
+			}
+			if walState == nil || walState["enabled"] != true {
+				t.Fatalf("healthz wal block missing or disabled: %v", walState)
+			}
+			if got := walState["appends"].(float64); got != float64(len(ids)) {
+				t.Fatalf("healthz wal appends = %v, want %d", got, len(ids))
+			}
+
+			// Unclean shutdown: close without Save. Everything acknowledged
+			// must come back from the log.
+			ts.Close()
+			if err := s.eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, ts2 := newWALTestServer(t, dir, shards)
+			defer s2.eng.Close() //nolint:errcheck
+			_, walState = healthzWAL(t, ts2)
+			if got := walState["replayed_records"].(float64); got != float64(len(ids)) {
+				t.Fatalf("replayed %v records after unclean shutdown, want %d", got, len(ids))
+			}
+			resp, err := http.Get(ts2.URL + "/search?lat=30.5&lon=100&k=10&q=internet")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := decode[searchResponse](t, resp)
+			if len(out.Results) != len(ids) {
+				t.Fatalf("search after recovery found %d, want %d", len(out.Results), len(ids))
+			}
+		})
+	}
+}
+
+// TestWALServerMetrics: the WAL metric families are registered, seeded from
+// the recovery counters, and driven by the live observer hooks.
+func TestWALServerMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newWALTestServer(t, dir, 1)
+	seedHotels(t, ts)
+
+	types, _ := scrapeProm(t, ts.URL)
+	if types["sk_wal_appends_total"] != "counter" {
+		t.Fatalf("sk_wal_appends_total type %q", types["sk_wal_appends_total"])
+	}
+	if types["sk_wal_fsync_seconds"] != "histogram" {
+		t.Fatalf("sk_wal_fsync_seconds type %q", types["sk_wal_fsync_seconds"])
+	}
+	text := promRaw(t, ts)
+	for _, want := range []string{
+		"sk_wal_appends_total 3",
+		"sk_wal_replayed_records_total 0",
+		"sk_wal_torn_tail_total 0",
+		"sk_wal_fsync_seconds_count 3",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("missing metric sample %q in:\n%s", want, text)
+		}
+	}
+
+	// Reopen uncleanly: the replay counter is seeded from recovery.
+	ts.Close()
+	if err := s.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newWALTestServer(t, dir, 1)
+	if text := promRaw(t, ts2); !strings.Contains(text, "sk_wal_replayed_records_total 3\n") {
+		t.Fatalf("replay counter not seeded from recovery:\n%s", text)
+	}
+}
+
+// promRaw fetches /metrics as raw exposition text for value assertions.
+func promRaw(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestNonWALServerHasNoWALSurface: without -wal neither /healthz nor
+// /metrics grow WAL entries.
+func TestNonWALServerHasNoWALSurface(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	seedHotels(t, ts)
+	body, walState := healthzWAL(t, ts)
+	if walState != nil {
+		t.Fatalf("non-WAL server reported wal state %v", walState)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz status %v", body["status"])
+	}
+	types, _ := scrapeProm(t, ts.URL)
+	if _, ok := types["sk_wal_appends_total"]; ok {
+		t.Fatal("non-WAL server registered WAL metrics")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/wal"
 )
 
 // crashFS arms the persistence layer's filesystem hooks to simulate a
@@ -25,7 +26,7 @@ func crashFS(n int) (restore func()) {
 		}
 		return nil
 	}
-	origWrite, origRename, origRemove, origCopy := fsWriteFile, fsRename, fsRemove, fsCopyFile
+	origWrite, origRename, origRemove, origCopy, origCreateWAL := fsWriteFile, fsRename, fsRemove, fsCopyFile, fsCreateWAL
 	fsWriteFile = func(path string, data []byte, perm os.FileMode) error {
 		if err := count(); err != nil {
 			return err
@@ -50,8 +51,14 @@ func crashFS(n int) (restore func()) {
 		}
 		return origCopy(dst, src)
 	}
+	fsCreateWAL = func(path string, blockSize int) (*storage.FileDisk, *wal.Log, error) {
+		if err := count(); err != nil {
+			return nil, nil, err
+		}
+		return origCreateWAL(path, blockSize)
+	}
 	return func() {
-		fsWriteFile, fsRename, fsRemove, fsCopyFile = origWrite, origRename, origRemove, origCopy
+		fsWriteFile, fsRename, fsRemove, fsCopyFile, fsCreateWAL = origWrite, origRename, origRemove, origCopy, origCreateWAL
 	}
 }
 

@@ -1,0 +1,46 @@
+// Package wal holds erroprov cases shaped like the write-ahead log's
+// device calls: a dropped append or truncation error silently breaks the
+// durability contract, so every storage error must propagate.
+package wal
+
+import "spatialkeyword/internal/storage"
+
+// Positive cases: discarding device errors on the append and recovery
+// paths.
+
+func appendFrames(dev storage.Device, head storage.BlockID, frames [][]byte) {
+	for i, f := range frames {
+		dev.Write(head+storage.BlockID(i+1), f) // want `error from storage\.Write discarded \(call used as a statement\)`
+	}
+}
+
+func truncateTail(dev storage.Device, blocks []storage.BlockID) {
+	for _, id := range blocks {
+		_ = dev.Write(id, nil) // want `error from storage\.Write assigned to _`
+	}
+}
+
+func scanLog(dev storage.Device, head storage.BlockID) [][]byte {
+	var out [][]byte
+	for id := head + 1; ; id++ {
+		blk, _ := dev.Read(id) // want `error from storage\.Read assigned to _`
+		if blk == nil {
+			return out
+		}
+		out = append(out, blk)
+	}
+}
+
+// Negative cases: the log propagates, inspects, or wraps every error.
+
+func appendFrame(dev storage.Device, id storage.BlockID, f []byte) error {
+	return dev.Write(id, f)
+}
+
+func recoverRegion(dev storage.Device, head storage.BlockID, n int) ([]byte, error) {
+	data, err := dev.ReadRun(head+1, n)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

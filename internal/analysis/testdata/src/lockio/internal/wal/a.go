@@ -1,0 +1,60 @@
+// Package wal holds positive and negative cases for the lockio pass in the
+// write-ahead log: group commit must release the appender's mutex before
+// touching the device, or every concurrent append serializes behind the
+// disk.
+package wal
+
+import (
+	"sync"
+
+	"spatialkeyword/internal/storage"
+)
+
+// A is a stand-in for the appender: a mutex guarding staged frames and a
+// log device.
+type A struct {
+	mu     sync.Mutex
+	staged []byte
+	dev    storage.Device
+	head   storage.BlockID
+}
+
+// Positive cases.
+
+func (a *A) commitUnderLock() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	batch := a.staged
+	a.staged = nil
+	return a.dev.Write(a.head, batch) // want `storage I/O \(Write\) in commitUnderLock while holding a\.mu`
+}
+
+func (a *A) recoverUnderLock() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dev.ReadRun(a.head, 4) // want `storage I/O \(ReadRun\) in recoverUnderLock while holding a\.mu`
+}
+
+// Negative cases.
+
+func (a *A) groupCommit() error {
+	a.mu.Lock()
+	batch := a.staged
+	a.staged = nil
+	a.mu.Unlock()
+	// The leader writes with the mutex released; followers wait on a
+	// condition variable, not the device.
+	return a.dev.Write(a.head, batch)
+}
+
+func (a *A) stageOnly(p []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.staged = append(a.staged, p...) // staging is memory-only
+}
+
+func (a *A) sizeUnderLock() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dev.NumBlocks() // metadata, not modeled I/O
+}

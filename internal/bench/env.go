@@ -25,12 +25,16 @@ import (
 // Method identifies one of the four compared algorithms.
 type Method int
 
-// The four methods of the evaluation.
+// The four methods of the evaluation, plus the two durability arms of the
+// ingest experiment (which compare write-path strategies, not query
+// algorithms, and are therefore excluded from AllMethods).
 const (
 	MethodRTree Method = iota
 	MethodIIO
 	MethodIR2
 	MethodMIR2
+	MethodSavePerOp
+	MethodWALGroup
 )
 
 // AllMethods lists the methods in the paper's presentation order.
@@ -47,6 +51,10 @@ func (m Method) String() string {
 		return "IR2-Tree"
 	case MethodMIR2:
 		return "MIR2-Tree"
+	case MethodSavePerOp:
+		return "Save/op"
+	case MethodWALGroup:
+		return "WAL"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialkeyword/internal/storage"
+)
+
+// ingestCell pulls one (sweep, method) measurement out of the table.
+func ingestCell(t *testing.T, tab *Table, sweep string) Measurement {
+	t.Helper()
+	for _, c := range tab.Cells {
+		if c.Sweep == sweep {
+			return c.Meas
+		}
+	}
+	t.Fatalf("no cell with sweep %q in %q", sweep, tab.Title)
+	return Measurement{}
+}
+
+// TestIngestDurabilityGroupCommitWins pins the S14 acceptance criterion:
+// WAL group commit beats checkpoint-per-op durability by at least 10x in
+// modeled disk time once batches reach 8 mutations.
+func TestIngestDurabilityGroupCommitWins(t *testing.T) {
+	tab, err := IngestDurability(160, []int{1, 8, 32}, 1, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (per-op + three batches)", len(tab.Cells))
+	}
+	save := ingestCell(t, tab, "per-op")
+	if save.Method != MethodSavePerOp {
+		t.Fatalf("per-op cell method = %s", save.Method)
+	}
+	if save.AvgDiskTime <= 0 {
+		t.Fatalf("per-op arm has no modeled disk time: %v", save.AvgDiskTime)
+	}
+	for _, sweep := range []string{"batch=8", "batch=32"} {
+		m := ingestCell(t, tab, sweep)
+		if m.Method != MethodWALGroup {
+			t.Fatalf("%s cell method = %s", sweep, m.Method)
+		}
+		if m.AvgDiskTime <= 0 {
+			t.Fatalf("%s arm has no modeled disk time", sweep)
+		}
+		if got := float64(save.AvgDiskTime) / float64(m.AvgDiskTime); got < 10 {
+			t.Errorf("%s speedup over per-op Save = %.1fx, want >= 10x (save %v, wal %v)",
+				sweep, got, save.AvgDiskTime, m.AvgDiskTime)
+		}
+	}
+	// batch=1 commits every mutation individually, so it isolates the
+	// frame-size saving from the batching saving: it must still beat
+	// per-op checkpoints, but batch=8 must beat it by a further margin.
+	b1 := ingestCell(t, tab, "batch=1")
+	b8 := ingestCell(t, tab, "batch=8")
+	if b1.AvgDiskTime <= b8.AvgDiskTime {
+		t.Errorf("batch=1 (%v) not slower than batch=8 (%v): batching has no effect",
+			b1.AvgDiskTime, b8.AvgDiskTime)
+	}
+	if b1.AvgDiskTime >= save.AvgDiskTime {
+		t.Errorf("batch=1 (%v) not faster than per-op save (%v)", b1.AvgDiskTime, save.AvgDiskTime)
+	}
+}
+
+// TestIngestDurabilityDeterministic pins the property the CI regression
+// gate relies on: the whole table — block counts, modeled times, histogram
+// buckets, rendered rows — is identical across runs for a fixed seed.
+func TestIngestDurabilityDeterministic(t *testing.T) {
+	a, err := IngestDurability(80, []int{1, 8}, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IngestDurability(80, []int{1, 8}, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Errorf("cells differ between identical runs:\n%+v\n%+v", a.Cells, b.Cells)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("rendered rows differ between identical runs:\n%q\n%q", a.Rows, b.Rows)
+	}
+	for _, c := range a.Cells {
+		if c.Meas.AvgCPUTime != 0 {
+			t.Errorf("cell %q reports CPU time %v; the ingest table must be wall-clock free",
+				c.Sweep, c.Meas.AvgCPUTime)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // exists for its test, which drives the fault matrix
 //
 //	{read-error, write-error, bit-flip, torn-run, alloc-fail}
-//	    × {rtree, invindex, sigfile (via IR²-Tree aux), objstore}
+//	    × {rtree, invindex, sigfile (via IR²-Tree aux), objstore, wal}
 //
 // and asserts the hardening contract end to end — a faulted device never
 // panics a substrate, the failure surfaces as a typed error

@@ -14,6 +14,7 @@ import (
 	"spatialkeyword/internal/rtree"
 	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/wal"
 )
 
 // blockSize is small enough that every substrate's bulk structures span
@@ -30,16 +31,18 @@ type substrate struct {
 	build func(dev storage.Device) (read func() error, err error)
 }
 
-// substrates lists the four index substrates the engine is assembled from.
-// The sigfile column goes through the IR²-Tree: signatures have no device
-// of their own — they live in node aux payloads — so their fault surface is
-// the signature-bearing node blocks.
+// substrates lists the five storage substrates the engine is assembled
+// from. The sigfile column goes through the IR²-Tree: signatures have no
+// device of their own — they live in node aux payloads — so their fault
+// surface is the signature-bearing node blocks. The wal column covers the
+// write-ahead log's append and recovery paths.
 func substrates() []substrate {
 	return []substrate{
 		{name: "rtree", build: buildRTree},
 		{name: "invindex", build: buildInvIndex},
 		{name: "sigfile", build: buildSigTree},
 		{name: "objstore", build: buildObjStore},
+		{name: "wal", build: buildWAL},
 	}
 }
 
@@ -139,6 +142,41 @@ func buildObjStore(dev storage.Device) (func() error, error) {
 			}
 		}
 		return nil
+	}
+	return read, nil
+}
+
+// buildWAL appends group-committed batches large enough that each commit is
+// a multi-block WriteRun (so torn writes have a run to tear); reads recover
+// the log from scratch, traversing every log block.
+func buildWAL(dev storage.Device) (func() error, error) {
+	l, err := wal.Create(dev)
+	if err != nil {
+		return nil, err
+	}
+	app := wal.NewAppender(l, 0)
+	for i := 0; i < 40; i++ {
+		rec := wal.Record{
+			Op:    wal.OpAdd,
+			ID:    uint64(i),
+			Point: []float64{float64(i % 8), float64(i / 8)},
+			Text:  fmt.Sprintf("wal row %d padded out with enough text that an eight-record batch spans several 256-byte blocks", i),
+		}
+		if _, err := app.AppendAsync(rec); err != nil {
+			return nil, err
+		}
+		if i%8 == 7 {
+			if err := app.Sync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := app.Sync(); err != nil {
+		return nil, err
+	}
+	read := func() error {
+		_, _, err := wal.Open(dev)
+		return err
 	}
 	return read, nil
 }

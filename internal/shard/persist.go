@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"spatialkeyword"
+	"spatialkeyword/internal/storage"
 	"spatialkeyword/internal/textutil"
 )
 
@@ -82,6 +84,16 @@ func NewDurable(cfg spatialkeyword.Config, dir string, opts Options) (*ShardedEn
 			return nil, err
 		}
 		s.shards = append(s.shards, &shardHandle{idx: i, eng: eng})
+	}
+	if cfg.WAL {
+		// A log is only replayable from a committed baseline: commit the
+		// empty engine now (mirroring NewDurableEngine's initial
+		// checkpoint) so mutations acknowledged before the first explicit
+		// Save survive an unclean shutdown.
+		if err := s.Save(); err != nil {
+			s.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("shard: initial wal checkpoint: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -158,6 +170,9 @@ func (s *ShardedEngine) Save() error {
 func (s *ShardedEngine) Close() error {
 	var firstErr error
 	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
 		sh.mu.Lock()
 		err := sh.eng.Close()
 		sh.mu.Unlock()
@@ -198,6 +213,18 @@ func Open(dir string) (*ShardedEngine, error) {
 			eng, err = spatialkeyword.OpenEngine(shardDir(dir, i))
 		}
 		if err != nil {
+			if m.Config.WAL && storage.IsIOFault(err) {
+				// Degraded open: one shard's storage is faulting, but with a
+				// WAL the rest of the engine is still exactly recoverable.
+				// Serve the healthy shards; this one stays out of rotation
+				// (sticky, like a mid-query fault) until repaired and
+				// reopened.
+				sh := &shardHandle{idx: i}
+				sh.lastErr.Store(err)
+				sh.unhealthy.Store(true)
+				s.shards = append(s.shards, sh)
+				continue
+			}
 			s.Close() //nolint:errcheck // already failing
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -207,6 +234,10 @@ func Open(dir string) (*ShardedEngine, error) {
 	// insertion-ordered within each shard, in global order.
 	s.assign = make([]shardLoc, len(m.Assign))
 	for gid, shardIdx := range m.Assign {
+		if shardIdx == -1 {
+			s.assign[gid] = tombstone
+			continue
+		}
 		if shardIdx < 0 || shardIdx >= len(s.shards) {
 			s.Close() //nolint:errcheck // already failing
 			return nil, fmt.Errorf("shard: manifest assigns object %d to shard %d of %d", gid, shardIdx, len(s.shards))
@@ -215,7 +246,16 @@ func Open(dir string) (*ShardedEngine, error) {
 		s.assign[gid] = shardLoc{shard: shardIdx, local: uint64(len(sh.globals))}
 		sh.globals = append(sh.globals, uint64(gid))
 	}
+	if m.Config.WAL {
+		if err := s.reconcileWAL(len(m.Assign)); err != nil {
+			s.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+	}
 	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
 		if got := sh.eng.NumObjects(); got != len(sh.globals) {
 			s.Close() //nolint:errcheck // already failing
 			return nil, fmt.Errorf("shard %d: manifest assigns %d objects, engine holds %d", sh.idx, len(sh.globals), got)
@@ -224,6 +264,9 @@ func Open(dir string) (*ShardedEngine, error) {
 	// Rebuild corpus statistics from every shard's object file (deleted
 	// rows included, matching single-engine reopen semantics).
 	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
 		err := sh.eng.Scan(func(o spatialkeyword.Object) error {
 			s.vocab.AddDocWith(s.analyzer(), o.Text)
 			return nil
@@ -234,4 +277,59 @@ func Open(dir string) (*ShardedEngine, error) {
 		}
 	}
 	return s, nil
+}
+
+// reconcileWAL extends the manifest's global assignment with the mutations
+// the shards replayed from their write-ahead logs, reconstructing the
+// crash-lost portion of the global→shard map from the logs alone.
+func (s *ShardedEngine) reconcileWAL(manifestLen int) error {
+	// Reservations the manifest recorded but whose log record never became
+	// durable: the shard holds fewer objects than the manifest assigns it.
+	// A failed append breaks that shard's WAL (sticky), so the missing
+	// objects are always the tail of its assignment; tombstone them.
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		if n := sh.eng.NumObjects(); n < len(sh.globals) {
+			for _, gid := range sh.globals[n:] {
+				s.assign[gid] = tombstone
+			}
+			sh.globals = sh.globals[:n]
+		}
+	}
+	// Acknowledged adds beyond the manifest: each shard's replayed add
+	// records carry the reserved global ID as their tag. Merge them in tag
+	// order; per shard, tag order equals replay (local insertion) order, so
+	// the rebuilt locals line up with the engines' object files. Gaps are
+	// reservations that died with the crash — or live in a shard that
+	// failed to open — and become tombstones.
+	type newAdd struct {
+		gid   uint64
+		shard *shardHandle
+	}
+	var adds []newAdd
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		for _, op := range sh.eng.WALReplay() {
+			if op.Delete || op.Tag < uint64(manifestLen) {
+				continue // deletes and manifest-covered adds change no assignment
+			}
+			adds = append(adds, newAdd{gid: op.Tag, shard: sh})
+		}
+	}
+	sort.Slice(adds, func(i, j int) bool { return adds[i].gid < adds[j].gid })
+	for _, a := range adds {
+		for uint64(len(s.assign)) < a.gid {
+			s.assign = append(s.assign, tombstone)
+		}
+		if uint64(len(s.assign)) != a.gid {
+			return fmt.Errorf("shard %d: wal replay assigns global id %d twice", a.shard.idx, a.gid)
+		}
+		s.assign = append(s.assign, shardLoc{shard: a.shard.idx, local: uint64(len(a.shard.globals))})
+		a.shard.globals = append(a.shard.globals, a.gid)
+	}
+	return nil
 }

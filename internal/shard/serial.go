@@ -36,6 +36,9 @@ func (s *ShardedEngine) TopKSerial(k int, point []float64, keywords ...string) (
 	}
 	iters := make([]streamIter, len(s.shards))
 	for i, sh := range s.shards {
+		if sh.eng == nil {
+			continue // unavailable shard: serial merges skip it (degraded)
+		}
 		it, err := sh.eng.Search(point, keywords...)
 		if err != nil {
 			return nil, err
@@ -96,6 +99,9 @@ func (s *ShardedEngine) TopKRankedSerial(k int, point []float64, keywords ...str
 	}
 	iters := make([]*spatialkeyword.RankedSearchIter, len(s.shards))
 	for i, sh := range s.shards {
+		if sh.eng == nil {
+			continue // unavailable shard: serial merges skip it (degraded)
+		}
 		it, err := sh.eng.SearchRankedWith(cs, point, keywords...)
 		if err != nil {
 			return nil, err

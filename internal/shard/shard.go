@@ -51,11 +51,17 @@ type Options struct {
 	Bounds geo.Rect
 }
 
-// shardLoc addresses one object inside the sharded engine.
+// shardLoc addresses one object inside the sharded engine. A negative
+// shard index is a tombstone: the global ID was reserved for a mutation
+// that never became durable (a WAL append failed, or crash recovery found
+// a gap in the logged IDs); the ID is never reused and never resolves.
 type shardLoc struct {
 	shard int
 	local uint64
 }
+
+// tombstone marks a reserved-but-dead global ID.
+var tombstone = shardLoc{shard: -1}
 
 // shardHandle is one shard: an independent engine plus its own lock and the
 // local→global ID translation. The lock follows the engine's contract —
@@ -85,6 +91,10 @@ func (sh *shardHandle) globalID(local uint64) (uint64, error) {
 
 // errCorruptShard marks results that cannot have come from an intact shard.
 var errCorruptShard = errors.New("shard: corrupt shard result")
+
+// errShardDown marks operations routed to a shard whose engine could not be
+// opened (a WAL-degraded open keeps the rest of the engine serving).
+var errShardDown = errors.New("shard: shard unavailable")
 
 // ShardedEngine is a spatially partitioned spatial keyword engine. All
 // methods are safe for concurrent use; queries on different shards and
@@ -153,10 +163,14 @@ func (s *ShardedEngine) Degraded() bool {
 
 // ResetHealth clears every shard's unhealthy mark — the operator action
 // after repairing or replacing a shard's storage. It returns how many
-// shards were revived.
+// shards were revived. Shards whose engine could not even be opened
+// (WAL-degraded opens leave the handle empty) stay down until reopen.
 func (s *ShardedEngine) ResetHealth() int {
 	n := 0
 	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
 		if sh.unhealthy.CompareAndSwap(true, false) {
 			n++
 		}
@@ -170,7 +184,7 @@ func (s *ShardedEngine) ResetHealth() int {
 // InjectShardFault installs (or clears) a fault hook on shard i's devices.
 // Fault-tolerance tests use it to fail one shard of a live engine.
 func (s *ShardedEngine) InjectShardFault(i int, f storage.FaultFunc) bool {
-	if i < 0 || i >= len(s.shards) {
+	if i < 0 || i >= len(s.shards) || s.shards[i].eng == nil {
 		return false
 	}
 	return s.shards[i].eng.InjectFault(f)
@@ -344,23 +358,73 @@ func (s *ShardedEngine) analyzer() *textutil.Analyzer {
 
 // Add routes the object to its shard by location, indexes it immediately
 // (sharded adds are always flushed, so queries never contend with pending
-// buffers), and returns its global ID.
+// buffers), and returns its global ID. With a WAL, the global ID is
+// reserved first and logged as the record's tag, so crash recovery can
+// rebuild the global→shard assignment from the shards' logs alone.
 func (s *ShardedEngine) Add(point []float64, text string) (uint64, error) {
+	dim := s.cfg.Dim
+	if dim == 0 {
+		dim = 2
+	}
+	if len(point) != dim {
+		return 0, fmt.Errorf("shard: point has %d dimensions, engine uses %d", len(point), dim)
+	}
 	sh := s.shards[s.part.Locate(geo.NewPoint(point...))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	local, err := sh.eng.Add(point, text)
-	if err != nil {
-		return 0, err
+	if sh.eng == nil {
+		return 0, fmt.Errorf("shard %d: %w", sh.idx, errShardDown)
 	}
-	if err := sh.eng.Flush(); err != nil {
-		return 0, err
+	if !s.cfg.WAL {
+		local, err := sh.eng.Add(point, text)
+		if err != nil {
+			return 0, err
+		}
+		if err := sh.eng.Flush(); err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		gid := uint64(len(s.assign))
+		s.assign = append(s.assign, shardLoc{shard: sh.idx, local: local})
+		s.vocab.AddDocWith(s.analyzer(), text)
+		s.mu.Unlock()
+		sh.globals = append(sh.globals, gid)
+		return gid, nil
 	}
+	// WAL path: reserve the global ID before the durable append so the log
+	// record can carry it. The shard lock serializes per-shard adds, so
+	// global order restricted to one shard equals its local insertion order
+	// — the property recovery relies on.
 	s.mu.Lock()
 	gid := uint64(len(s.assign))
-	s.assign = append(s.assign, shardLoc{shard: sh.idx, local: local})
+	s.assign = append(s.assign, shardLoc{shard: sh.idx, local: uint64(sh.eng.NumObjects())})
 	s.vocab.AddDocWith(s.analyzer(), text)
 	s.mu.Unlock()
+	_, err := sh.eng.AddTagged(point, text, gid)
+	if err != nil {
+		// The record may or may not have reached the log durably (a failed
+		// sync leaves that unknown), so the global ID must never be reused —
+		// recovery could resurrect the record under it. Tombstone it and
+		// take the shard out of rotation; the shard's sticky-broken WAL
+		// guarantees the local ID cannot alias either.
+		s.mu.Lock()
+		s.assign[gid] = tombstone
+		s.mu.Unlock()
+		if degradeable(err) {
+			s.markUnhealthy(sh, err)
+		}
+		return 0, fmt.Errorf("shard %d: %w", sh.idx, err)
+	}
+	if err := sh.eng.Flush(); err != nil {
+		// The add is durable in the log; only the in-memory apply failed.
+		// Keep the assignment (recovery will replay it) but stop using the
+		// shard.
+		sh.globals = append(sh.globals, gid)
+		if degradeable(err) {
+			s.markUnhealthy(sh, err)
+		}
+		return gid, fmt.Errorf("shard %d: %w", sh.idx, err)
+	}
 	sh.globals = append(sh.globals, gid)
 	return gid, nil
 }
@@ -370,10 +434,11 @@ func (s *ShardedEngine) Add(point []float64, text string) (uint64, error) {
 func (s *ShardedEngine) Flush() error { return nil }
 
 // locate resolves a global ID, or fails with the engine's error values.
+// Tombstoned IDs (reservations that never became durable) are unknown.
 func (s *ShardedEngine) locate(gid uint64) (shardLoc, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if gid >= uint64(len(s.assign)) {
+	if gid >= uint64(len(s.assign)) || s.assign[gid].shard < 0 {
 		return shardLoc{}, fmt.Errorf("%w: %d", spatialkeyword.ErrUnknownID, gid)
 	}
 	return s.assign[gid], nil
@@ -401,6 +466,10 @@ func (s *ShardedEngine) Get(gid uint64) (spatialkeyword.Object, error) {
 	}
 	sh := s.shards[loc.shard]
 	sh.mu.RLock()
+	if sh.eng == nil {
+		sh.mu.RUnlock()
+		return spatialkeyword.Object{}, fmt.Errorf("shard %d: %w", sh.idx, errShardDown)
+	}
 	obj, err := sh.eng.Get(loc.local)
 	sh.mu.RUnlock()
 	if err != nil {
@@ -418,6 +487,10 @@ func (s *ShardedEngine) Delete(gid uint64) error {
 	}
 	sh := s.shards[loc.shard]
 	sh.mu.Lock()
+	if sh.eng == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("shard %d: %w", sh.idx, errShardDown)
+	}
 	err = sh.eng.Delete(loc.local)
 	sh.mu.Unlock()
 	return reglobal(err, gid)
@@ -749,6 +822,10 @@ func (s *ShardedEngine) Stats() spatialkeyword.Stats {
 func (s *ShardedEngine) MeterShardIO() func() []storage.Stats {
 	stops := make([]func() storage.Stats, len(s.shards))
 	for i, sh := range s.shards {
+		if sh.eng == nil {
+			stops[i] = func() storage.Stats { return storage.Stats{} }
+			continue
+		}
 		stops[i] = sh.eng.MeterIOStats()
 	}
 	return func() []storage.Stats {
@@ -761,12 +838,50 @@ func (s *ShardedEngine) MeterShardIO() func() []storage.Stats {
 }
 
 // ShardStats returns each shard's own engine statistics, in shard order.
+// An unavailable shard reports the zero value.
 func (s *ShardedEngine) ShardStats() []spatialkeyword.Stats {
 	out := make([]spatialkeyword.Stats, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.RLock()
-		out[i] = sh.eng.Stats()
+		if sh.eng != nil {
+			out[i] = sh.eng.Stats()
+		}
 		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// WALInfo aggregates every shard's write-ahead-log state: counters sum,
+// Enabled reflects the configuration, and Broken carries the first shard's
+// sticky failure (shards that failed to open at all count one torn-tail-
+// free, zero-record entry — their state is unknown until repaired).
+func (s *ShardedEngine) WALInfo() spatialkeyword.WALInfo {
+	info := spatialkeyword.WALInfo{Enabled: s.cfg.WAL}
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		sh.mu.RLock()
+		wi := sh.eng.WALInfo()
+		sh.mu.RUnlock()
+		info.ReplayedRecords += wi.ReplayedRecords
+		info.TornTails += wi.TornTails
+		info.Appends += wi.Appends
+		info.Fsyncs += wi.Fsyncs
+		if info.Broken == nil && wi.Broken != nil {
+			info.Broken = fmt.Errorf("shard %d: %w", sh.idx, wi.Broken)
+		}
+	}
+	return info
+}
+
+// SetWALObserver installs the metrics hooks on every shard's log (see the
+// engine's SetWALObserver). Install before serving traffic.
+func (s *ShardedEngine) SetWALObserver(onAppend func(), onFsync func(time.Duration)) {
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		sh.eng.SetWALObserver(onAppend, onFsync)
+	}
 }

@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Appender is the concurrent front end of a Log: it assigns sequence
+// numbers, batches concurrent appends into one device write + one sync
+// (group commit), and acknowledges each waiter only after its record is on
+// stable storage.
+//
+// The commit protocol is leader/follower. The first appender to find no
+// flush in progress becomes the leader: it (optionally) sleeps the group
+// window to let more records stage, collects everything staged, and —
+// with the mutex released — writes and syncs the batch. Followers wait on
+// the condition variable until the durable watermark passes their record.
+// No device I/O ever happens while the mutex is held.
+//
+// Errors are sticky: once a write or sync fails, the log's durable prefix
+// is unknown territory and every subsequent append fails with the same
+// error. The engine reopens (replaying the durable prefix) to recover.
+type Appender struct {
+	log    *Log
+	window time.Duration
+	sleep  func(time.Duration) // injectable for tests
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	staged     []byte // encoded frames not yet handed to the log
+	nextSeq    uint64
+	durableSeq uint64
+	flushing   bool
+	err        error
+
+	appends uint64
+	fsyncs  uint64
+	onFsync func(time.Duration) // metrics hook; set before first use
+}
+
+// NewAppender wraps l. window is how long a group-commit leader waits for
+// more records before syncing; zero syncs immediately (every durable
+// append pays its own fsync unless writers genuinely race).
+func NewAppender(l *Log, window time.Duration) *Appender {
+	a := &Appender{
+		log:        l,
+		window:     window,
+		sleep:      time.Sleep,
+		nextSeq:    l.LastSeq() + 1,
+		durableSeq: l.LastSeq(),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// SetFsyncObserver installs a hook called with the duration of every group
+// commit's sync. Install before the first append; the hook runs outside
+// the appender's mutex.
+func (a *Appender) SetFsyncObserver(fn func(time.Duration)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onFsync = fn
+}
+
+// Append stages the record and blocks until it is durable (or the log
+// breaks). It returns the record's assigned sequence number.
+func (a *Appender) Append(rec Record) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return 0, a.err
+	}
+	seq := a.stageLocked(rec)
+	for a.durableSeq < seq && a.err == nil {
+		if a.flushing {
+			a.cond.Wait()
+			continue
+		}
+		a.flushLocked(true)
+	}
+	if a.durableSeq >= seq {
+		return seq, nil
+	}
+	return seq, a.err
+}
+
+// AppendAsync stages the record without waiting for durability; a later
+// Sync (or a concurrent group commit) makes it durable. Bulk ingest uses
+// it to choose its own batch boundaries.
+func (a *Appender) AppendAsync(rec Record) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return 0, a.err
+	}
+	return a.stageLocked(rec), nil
+}
+
+// Sync blocks until every staged record is durable.
+func (a *Appender) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	target := a.nextSeq - 1
+	for a.durableSeq < target && a.err == nil {
+		if a.flushing {
+			a.cond.Wait()
+			continue
+		}
+		a.flushLocked(false)
+	}
+	if a.durableSeq >= target {
+		return nil
+	}
+	return a.err
+}
+
+// Err returns the sticky error, if any.
+func (a *Appender) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// stageLocked encodes rec with the next sequence number. Callers hold mu.
+func (a *Appender) stageLocked(rec Record) uint64 {
+	seq := a.nextSeq
+	a.nextSeq++
+	rec.Seq = seq
+	a.staged = AppendRecord(a.staged, rec)
+	a.appends++
+	return seq
+}
+
+// flushLocked runs one group commit as leader. Called with mu held and
+// a.flushing false; returns with mu held. The device write and sync happen
+// with the mutex released.
+func (a *Appender) flushLocked(withWindow bool) {
+	a.flushing = true
+	if withWindow && a.window > 0 {
+		a.mu.Unlock()
+		a.sleep(a.window)
+		a.mu.Lock()
+	}
+	batch := a.staged
+	a.staged = nil
+	hi := a.nextSeq - 1
+	observe := a.onFsync
+	a.mu.Unlock()
+
+	var err error
+	if len(batch) > 0 {
+		err = a.log.Append(batch)
+	}
+	if err == nil {
+		start := time.Now()
+		err = a.log.Sync()
+		if err == nil && observe != nil {
+			observe(time.Since(start))
+		}
+	}
+
+	a.mu.Lock()
+	if err != nil {
+		a.err = err
+	} else {
+		a.durableSeq = hi
+		a.log.noteAppended(hi)
+		a.fsyncs++
+	}
+	a.flushing = false
+	a.cond.Broadcast()
+}
+
+// Stats is a snapshot of the appender's counters.
+type Stats struct {
+	// Appends is the number of records staged (durable or not).
+	Appends uint64
+	// Fsyncs is the number of group commits completed.
+	Fsyncs uint64
+	// DurableSeq is the highest acknowledged sequence number.
+	DurableSeq uint64
+}
+
+// Stats returns the appender's counters.
+func (a *Appender) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{Appends: a.appends, Fsyncs: a.fsyncs, DurableSeq: a.durableSeq}
+}

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// MaxRecordSize bounds one record's payload. A length field above it is
+// treated as corruption, so a few flipped bits in a length prefix cannot
+// make recovery chase gigabytes of garbage.
+const MaxRecordSize = 1 << 20
+
+// frameHeaderSize is the per-record framing overhead: 4-byte payload
+// length plus 4-byte CRC32-C of the payload.
+const frameHeaderSize = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends r, framed, to dst and returns the extended slice.
+func AppendRecord(dst []byte, r Record) []byte {
+	payload := encodePayload(r)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodePayload serializes a record body:
+//
+//	[8B seq][1B op][8B id][8B tag] then, for OpAdd,
+//	[2B dim][dim × 8B float64 bits][4B text length][text]
+func encodePayload(r Record) []byte {
+	n := 8 + 1 + 8 + 8
+	if r.Op == OpAdd {
+		n += 2 + 8*len(r.Point) + 4 + len(r.Text)
+	}
+	buf := make([]byte, 0, n)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], r.Seq)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, byte(r.Op))
+	binary.LittleEndian.PutUint64(tmp[:], r.ID)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], r.Tag)
+	buf = append(buf, tmp[:]...)
+	if r.Op == OpAdd {
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Point)))
+		buf = append(buf, tmp[:2]...)
+		for _, c := range r.Point {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c))
+			buf = append(buf, tmp[:]...)
+		}
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Text)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, r.Text...)
+	}
+	return buf
+}
+
+// decodePayload parses one record body. It rejects unknown opcodes, short
+// or over-long payloads, and trailing bytes — recovery treats any decode
+// failure as a torn tail.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 25 {
+		return r, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	r.Seq = binary.LittleEndian.Uint64(p[0:8])
+	r.Op = Op(p[8])
+	r.ID = binary.LittleEndian.Uint64(p[9:17])
+	r.Tag = binary.LittleEndian.Uint64(p[17:25])
+	rest := p[25:]
+	switch r.Op {
+	case OpDelete:
+		if len(rest) != 0 {
+			return r, fmt.Errorf("delete record has %d trailing bytes", len(rest))
+		}
+	case OpAdd:
+		if len(rest) < 2 {
+			return r, fmt.Errorf("add record truncated before dimension")
+		}
+		dim := int(binary.LittleEndian.Uint16(rest[0:2]))
+		rest = rest[2:]
+		if len(rest) < 8*dim+4 {
+			return r, fmt.Errorf("add record truncated inside %d-d point", dim)
+		}
+		if dim > 0 {
+			r.Point = make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				r.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i : 8*i+8]))
+			}
+		}
+		rest = rest[8*dim:]
+		textLen := int(binary.LittleEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		if len(rest) != textLen {
+			return r, fmt.Errorf("add record text length %d, have %d bytes", textLen, len(rest))
+		}
+		r.Text = string(rest)
+	default:
+		return r, fmt.Errorf("unknown opcode %d", uint8(r.Op))
+	}
+	return r, nil
+}
+
+// parseStream scans a recovered byte region for framed records. It returns
+// the intact records, the logical end offset (the byte after the last good
+// frame), and a non-nil torn-tail descriptor if the scan stopped at a
+// corrupt or partial frame rather than a clean terminator.
+func parseStream(data []byte) (recs []Record, end int64, torn *TornTailError) {
+	var off int64
+	var prevSeq uint64
+	tornAt := func(reason string) *TornTailError {
+		dropped := int64(0)
+		for i := len(data) - 1; i >= int(off); i-- {
+			if data[i] != 0 {
+				dropped = int64(i+1) - off
+				break
+			}
+		}
+		return &TornTailError{Offset: off, DroppedBytes: dropped, Reason: reason}
+	}
+	for {
+		if off+4 > int64(len(data)) {
+			// Fewer than a length field's worth of bytes left: clean end
+			// if they are all zero, torn otherwise.
+			for _, b := range data[off:] {
+				if b != 0 {
+					return recs, off, tornAt("partial length field")
+				}
+			}
+			return recs, off, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		if length == 0 {
+			return recs, off, nil
+		}
+		if length > MaxRecordSize {
+			return recs, off, tornAt(fmt.Sprintf("implausible length %d", length))
+		}
+		if off+frameHeaderSize+length > int64(len(data)) {
+			return recs, off, tornAt("partial record")
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return recs, off, tornAt("crc mismatch")
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, tornAt(err.Error())
+		}
+		if rec.Seq != prevSeq+1 {
+			return recs, off, tornAt(fmt.Sprintf("sequence %d after %d", rec.Seq, prevSeq))
+		}
+		prevSeq = rec.Seq
+		recs = append(recs, rec)
+		off += frameHeaderSize + length
+	}
+}

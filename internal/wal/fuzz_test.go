@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialkeyword/internal/storage"
+)
+
+// fuzzStream builds a valid framed stream of n records (the fuzz seeds are
+// mutations of it).
+func fuzzStream(n int) []byte {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = AppendRecord(buf, Record{
+			Seq: uint64(i + 1), Op: OpAdd, ID: uint64(i), Tag: uint64(i * 3),
+			Point: []float64{float64(i), 0.5}, Text: "fuzz seed record",
+		})
+	}
+	return buf
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the log's recovery path as the
+// raw contents of the data region and checks the recovery invariants:
+//
+//   - recovery never panics and never errors on a healthy device;
+//   - a second open of the truncated log is clean (no torn tail) and
+//     returns identical records (replay is byte-deterministic);
+//   - re-encoding the recovered records reproduces exactly the byte
+//     prefix recovery accepted.
+func FuzzWALReplay(f *testing.F) {
+	valid := fuzzStream(3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn mid-record
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10 // bit flip in a payload
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAB}, 200)) // pure garbage
+	f.Add(AppendRecord(nil, Record{Seq: 2, Op: OpDelete, ID: 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const bs = 64
+		dev := storage.NewDisk(bs)
+		if _, err := Create(dev); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		for off := 0; off < len(data); off += bs {
+			hi := off + bs
+			if hi > len(data) {
+				hi = len(data)
+			}
+			id := dev.Alloc()
+			if err := dev.Write(id, data[off:hi]); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		l1, rec1, err := Open(dev)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		l2, rec2, err := Open(dev)
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		if rec2.Torn != nil {
+			t.Fatalf("torn tail survived truncation: %v", rec2.Torn)
+		}
+		if !recordsEqual(rec1.Records, rec2.Records) {
+			t.Fatalf("replays differ: %d vs %d records", len(rec1.Records), len(rec2.Records))
+		}
+		if l1.Size() != l2.Size() {
+			t.Fatalf("logical size changed across opens: %d vs %d", l1.Size(), l2.Size())
+		}
+		var reenc []byte
+		for _, r := range rec1.Records {
+			reenc = append(reenc, AppendRecord(nil, r)...)
+		}
+		if int64(len(reenc)) != l1.Size() {
+			t.Fatalf("re-encoded %d bytes, log size %d", len(reenc), l1.Size())
+		}
+		if !bytes.Equal(reenc, data[:len(reenc)]) {
+			t.Fatalf("re-encoded prefix differs from accepted bytes")
+		}
+	})
+}

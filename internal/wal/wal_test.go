@@ -1,0 +1,422 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialkeyword/internal/storage"
+)
+
+const testBlockSize = 128
+
+func addRec(id uint64, text string) Record {
+	return Record{Op: OpAdd, ID: id, Point: []float64{float64(id), -float64(id)}, Text: text}
+}
+
+func delRec(id uint64) Record {
+	return Record{Op: OpDelete, ID: id}
+}
+
+// normalize clears the fields recovery fills in structurally (nil vs empty
+// slices) so reflect.DeepEqual compares content.
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Seq != y.Seq || x.Op != y.Op || x.ID != y.ID || x.Tag != y.Tag || x.Text != y.Text {
+			return false
+		}
+		if len(x.Point) != len(y.Point) {
+			return false
+		}
+		for j := range x.Point {
+			if x.Point[j] != y.Point[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dev := storage.NewDisk(testBlockSize)
+	l, err := Create(dev)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, 0)
+	want := []Record{
+		addRec(0, "cuban cafe espresso"),
+		addRec(1, "beach bar cocktails"),
+		delRec(0),
+		addRec(2, ""),
+	}
+	for i, r := range want {
+		seq, err := a.Append(r)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq %d", i, seq)
+		}
+		want[i].Seq = seq
+	}
+	_, rec, err := Open(dev)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Torn != nil {
+		t.Fatalf("unexpected torn tail: %v", rec.Torn)
+	}
+	if !recordsEqual(rec.Records, want) {
+		t.Fatalf("recovered %+v, want %+v", rec.Records, want)
+	}
+}
+
+func TestRecoverContinuesSequence(t *testing.T) {
+	dev := storage.NewDisk(testBlockSize)
+	l, err := Create(dev)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, 0)
+	if _, err := a.Append(addRec(0, "first")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l2, _, err := Open(dev)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	a2 := NewAppender(l2, 0)
+	if _, err := a2.Append(addRec(1, "second")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	_, rec, err := Open(dev)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if rec.Torn != nil || len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records (torn %v), want 2", len(rec.Records), rec.Torn)
+	}
+	if rec.Records[1].Seq != 2 || rec.Records[1].Text != "second" {
+		t.Fatalf("second record %+v", rec.Records[1])
+	}
+}
+
+// TestTornTailTruncated verifies the headline recovery invariant: a
+// corrupt tail is reported, dropped, and physically removed, so a second
+// open is clean and byte-deterministic.
+func TestTornTailTruncated(t *testing.T) {
+	corruptions := map[string]func(l *Log, dev *storage.Disk){
+		"bit-flip in tail": func(l *Log, dev *storage.Disk) {
+			pos := l.size - 5 // a byte inside the last record
+			idx := int(pos / testBlockSize)
+			blk, err := dev.Read(l.blocks[idx])
+			if err != nil {
+				panic(err)
+			}
+			blk[pos%testBlockSize] ^= 0x40
+			if err := dev.Write(l.blocks[idx], blk); err != nil {
+				panic(err)
+			}
+		},
+		"garbage past end": func(l *Log, dev *storage.Disk) {
+			id := dev.Alloc() // simulates blocks allocated by a crashed append
+			buf := make([]byte, testBlockSize)
+			for i := range buf {
+				buf[i] = 0xAB
+			}
+			if err := dev.Write(id, buf); err != nil {
+				panic(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dev := storage.NewDisk(testBlockSize)
+			l, err := Create(dev)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			a := NewAppender(l, 0)
+			for i := 0; i < 5; i++ {
+				if _, err := a.Append(addRec(uint64(i), fmt.Sprintf("object number %d with some text", i))); err != nil {
+					t.Fatalf("Append %d: %v", i, err)
+				}
+			}
+			corrupt(l, dev)
+			_, rec1, err := Open(dev)
+			if err != nil {
+				t.Fatalf("Open after corruption: %v", err)
+			}
+			if rec1.Torn == nil {
+				t.Fatalf("expected torn tail")
+			}
+			var torn *TornTailError
+			if !errors.As(error(rec1.Torn), &torn) {
+				t.Fatalf("torn tail is not a *TornTailError")
+			}
+			if torn.DroppedBytes == 0 {
+				t.Fatalf("torn tail dropped 0 bytes: %v", torn)
+			}
+			// Second open: canonical (no torn tail), identical records.
+			_, rec2, err := Open(dev)
+			if err != nil {
+				t.Fatalf("second Open: %v", err)
+			}
+			if rec2.Torn != nil {
+				t.Fatalf("torn tail survived truncation: %v", rec2.Torn)
+			}
+			if !recordsEqual(rec1.Records, rec2.Records) {
+				t.Fatalf("replays differ:\n%+v\n%+v", rec1.Records, rec2.Records)
+			}
+		})
+	}
+}
+
+// TestTornTailDropsOnlySuffix cuts the log mid-record at every possible
+// byte and checks the recovered prefix is exactly the records whose bytes
+// fully survived.
+func TestTornTailDropsOnlySuffix(t *testing.T) {
+	var stream []byte
+	var boundaries []int // stream offset after each record
+	for i := 0; i < 4; i++ {
+		stream = AppendRecord(stream, Record{Seq: uint64(i + 1), Op: OpAdd, ID: uint64(i), Point: []float64{1, 2}, Text: "torn tail sweep"})
+		boundaries = append(boundaries, len(stream))
+	}
+	for cut := 0; cut <= len(stream); cut++ {
+		recs, end, _ := parseStream(stream[:cut])
+		wantN := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				wantN++
+			}
+		}
+		if len(recs) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), wantN)
+		}
+		if wantN > 0 && end != int64(boundaries[wantN-1]) {
+			t.Fatalf("cut %d: end %d, want %d", cut, end, boundaries[wantN-1])
+		}
+	}
+}
+
+func TestStaleSequenceRejected(t *testing.T) {
+	// A valid frame whose sequence number does not continue the chain is
+	// stale garbage (e.g. bytes surviving from before a truncation) and
+	// must not be replayed.
+	var stream []byte
+	stream = AppendRecord(stream, Record{Seq: 1, Op: OpAdd, ID: 0, Text: "ok"})
+	stream = AppendRecord(stream, Record{Seq: 7, Op: OpAdd, ID: 1, Text: "stale"})
+	recs, _, torn := parseStream(stream)
+	if len(recs) != 1 || torn == nil {
+		t.Fatalf("recovered %d records, torn=%v; want 1 record and a torn tail", len(recs), torn)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dev := storage.NewDisk(testBlockSize)
+	l, err := Create(dev)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, time.Millisecond)
+	// With a sleeping leader, concurrent appends coalesce into few commits.
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = a.Append(addRec(uint64(i), "concurrent append"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := a.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends %d, want %d", st.Appends, n)
+	}
+	if st.Fsyncs >= n {
+		t.Fatalf("group commit ran %d fsyncs for %d appends — no batching", st.Fsyncs, n)
+	}
+	if st.DurableSeq != n {
+		t.Fatalf("durable seq %d, want %d", st.DurableSeq, n)
+	}
+	_, rec, err := Open(dev)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rec.Records) != n || rec.Torn != nil {
+		t.Fatalf("recovered %d records (torn %v), want %d", len(rec.Records), rec.Torn, n)
+	}
+}
+
+func TestAppendAsyncThenSync(t *testing.T) {
+	dev := storage.NewDisk(testBlockSize)
+	l, err := Create(dev)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := a.AppendAsync(addRec(uint64(i), "batched")); err != nil {
+			t.Fatalf("AppendAsync %d: %v", i, err)
+		}
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := a.Stats()
+	if st.Fsyncs != 1 {
+		t.Fatalf("fsyncs %d, want 1", st.Fsyncs)
+	}
+	_, rec, err := Open(dev)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rec.Records) != 10 || rec.Torn != nil {
+		t.Fatalf("recovered %d records (torn %v), want 10", len(rec.Records), rec.Torn)
+	}
+}
+
+func TestStickyErrorAfterDeviceFault(t *testing.T) {
+	dev := storage.NewFaultDevice(storage.NewDisk(testBlockSize), storage.FaultPlan{})
+	l, err := Create(dev)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, 0)
+	if _, err := a.Append(addRec(0, "before the fault")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	dev.SetPlan(storage.FaultPlan{FailWritesFrom: 1})
+	_, err = a.Append(addRec(1, "after the fault"))
+	if err == nil {
+		t.Fatalf("Append succeeded through a failing device")
+	}
+	if !storage.IsIOFault(err) {
+		t.Fatalf("error lost fault provenance: %v", err)
+	}
+	// The error is sticky: later appends fail without touching the device.
+	if _, err2 := a.Append(addRec(2, "still broken")); err2 == nil {
+		t.Fatalf("append after sticky error succeeded")
+	}
+	if a.Err() == nil {
+		t.Fatalf("Err() nil after fault")
+	}
+	// The durable prefix is still recoverable.
+	dev.SetPlan(storage.FaultPlan{})
+	_, rec, err := Open(dev)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Text != "before the fault" {
+		t.Fatalf("recovered %+v, want the one durable record", rec.Records)
+	}
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.db")
+	fd, err := storage.CreateFileDisk(path, testBlockSize)
+	if err != nil {
+		t.Fatalf("CreateFileDisk: %v", err)
+	}
+	l, err := Create(fd)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a := NewAppender(l, 0)
+	var want []Record
+	for i := 0; i < 20; i++ {
+		r := addRec(uint64(i), fmt.Sprintf("row %d spilling across file blocks for good measure", i))
+		seq, err := a.Append(r)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		r.Seq = seq
+		want = append(want, r)
+	}
+	if err := fd.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	fd2, err := storage.OpenFileDisk(path)
+	if err != nil {
+		t.Fatalf("OpenFileDisk: %v", err)
+	}
+	defer fd2.Close()
+	_, rec, err := Open(fd2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Torn != nil {
+		t.Fatalf("torn tail on clean reopen: %v", rec.Torn)
+	}
+	if !recordsEqual(rec.Records, want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+}
+
+func TestOpenNotAWAL(t *testing.T) {
+	dev := storage.NewDisk(testBlockSize)
+	if _, _, err := Open(dev); !errors.Is(err, ErrNotWAL) {
+		t.Fatalf("Open on empty device: %v, want ErrNotWAL", err)
+	}
+	id := dev.Alloc()
+	if err := dev.Write(id, []byte("not a wal header, definitely")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, _, err := Open(dev); !errors.Is(err, ErrNotWAL) {
+		t.Fatalf("Open on foreign device: %v, want ErrNotWAL", err)
+	}
+}
+
+func TestCodecRejectsMalformedPayloads(t *testing.T) {
+	good := encodePayload(Record{Seq: 1, Op: OpAdd, ID: 3, Point: []float64{1, 2}, Text: "x"})
+	if _, err := decodePayload(good); err != nil {
+		t.Fatalf("decode good payload: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"short":           good[:10],
+		"truncated point": good[:20],
+		"bad opcode":      append(append([]byte{}, good[:8]...), append([]byte{99}, good[9:]...)...),
+		"trailing bytes":  append(append([]byte{}, good...), 1, 2, 3),
+	}
+	for name, p := range cases {
+		if _, err := decodePayload(p); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	// Delete payloads must carry exactly the fixed header.
+	del := encodePayload(Record{Seq: 2, Op: OpDelete, ID: 9})
+	if _, err := decodePayload(del); err != nil {
+		t.Fatalf("decode delete: %v", err)
+	}
+	if _, err := decodePayload(append(del, 0)); err == nil {
+		t.Fatalf("decode delete with trailing byte succeeded")
+	}
+}
+
+func TestCodecRoundTripPreservesValues(t *testing.T) {
+	want := Record{Seq: 42, Op: OpAdd, ID: 7, Point: []float64{25.77, -80.19, 3.5}, Text: "exact float round trip"}
+	got, err := decodePayload(encodePayload(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip %+v, want %+v", got, want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"spatialkeyword/internal/core"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/wal"
 )
 
 // Engine durability. An engine created with NewDurableEngine lives in a
@@ -61,6 +62,12 @@ func genObjectsName(gen uint64) string { return fmt.Sprintf("objects.%d.db", gen
 // genIndexName names the immutable per-generation index snapshot.
 func genIndexName(gen uint64) string { return fmt.Sprintf("index.%d.db", gen) }
 
+// walName names the write-ahead log that carries mutations made after
+// generation gen's snapshot. It is staged (empty) alongside the snapshot,
+// so the commit rename atomically switches both the checkpoint and the log
+// the next open replays.
+func walName(gen uint64) string { return fmt.Sprintf("wal.%d.db", gen) }
+
 // The save/open protocol reaches the filesystem only through these
 // indirections, so crash-consistency tests can kill a save at any chosen
 // operation and verify that Open still recovers a consistent snapshot.
@@ -69,7 +76,21 @@ var (
 	fsRename    = os.Rename
 	fsRemove    = os.Remove
 	fsCopyFile  = copyFile
+	fsCreateWAL = createWALFile
 )
+
+// createWALFile creates a fresh, empty write-ahead log file at path.
+func createWALFile(path string, blockSize int) (*storage.FileDisk, *wal.Log, error) {
+	fd, err := storage.CreateFileDisk(path, blockSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := wal.Create(fd)
+	if err != nil {
+		return nil, nil, errors.Join(err, fd.Close())
+	}
+	return fd, l, nil
+}
 
 // copyFile copies src to dst (truncating) and fsyncs the result.
 func copyFile(dst, src string) error {
@@ -128,6 +149,15 @@ func NewDurableEngine(cfg Config, dir string) (*Engine, error) {
 		return nil, errors.Join(err, objDisk.Close(), idxDisk.Close())
 	}
 	e.dir = dir
+	if cfg.WAL {
+		// A log is only replayable on top of a committed snapshot, so a WAL
+		// engine starts with an immediate empty checkpoint: Save commits
+		// generation 1 and rotates in wal.1.db, making every subsequent
+		// acknowledged mutation recoverable by OpenEngine.
+		if err := e.Save(); err != nil {
+			return nil, errors.Join(fmt.Errorf("spatialkeyword: initial wal checkpoint: %w", err), e.Close())
+		}
+	}
 	return e, nil
 }
 
@@ -142,6 +172,17 @@ func (e *Engine) Generation() uint64 { return e.gen }
 func (e *Engine) Save() error {
 	if e.dir == "" {
 		return ErrNotDurable
+	}
+	if e.walBroken != nil {
+		return fmt.Errorf("spatialkeyword: refusing to save with broken write-ahead log: %w", e.walBroken)
+	}
+	if e.walApp != nil {
+		// Drain async appends so the log and the applied state agree before
+		// the snapshot supersedes the log.
+		if err := e.walApp.Sync(); err != nil {
+			e.walBroken = err
+			return err
+		}
 	}
 	if err := e.Flush(); err != nil {
 		return err
@@ -190,20 +231,57 @@ func (e *Engine) Save() error {
 	if err := fsWriteFile(filepath.Join(e.dir, genManifestName(gen)), data, 0o644); err != nil {
 		return err
 	}
+	// Stage the new generation's (empty) write-ahead log before the commit
+	// point, so the committed manifest always finds its log on open. A crash
+	// before the rename leaves an orphan wal.<G>.db that the next Save
+	// attempt recreates (CreateFileDisk truncates).
+	var newWAL *storage.FileDisk
+	var newLog *wal.Log
+	if e.cfg.WAL {
+		bs := e.cfg.BlockSize
+		if bs == 0 {
+			bs = storage.DefaultBlockSize
+		}
+		newWAL, newLog, err = fsCreateWAL(filepath.Join(e.dir, walName(gen)), bs)
+		if err != nil {
+			return fmt.Errorf("spatialkeyword: stage wal: %w", err)
+		}
+	}
 	// Commit.
 	tmp := filepath.Join(e.dir, manifestName+".tmp")
 	if err := fsWriteFile(tmp, data, 0o644); err != nil {
+		if newWAL != nil {
+			return errors.Join(err, newWAL.Close())
+		}
 		return err
 	}
 	if err := fsRename(tmp, filepath.Join(e.dir, manifestName)); err != nil {
+		if newWAL != nil {
+			return errors.Join(err, newWAL.Close())
+		}
 		return err
 	}
 	e.gen = gen
+	if e.cfg.WAL {
+		// Rotate: the snapshot now covers everything the old log held, so
+		// mutations from here land in the new generation's log. The old log
+		// file (wal.<G-1>.db) stays on disk for pinned readers.
+		old := e.walFile
+		e.walFile = newWAL
+		e.walApp = wal.NewAppender(newLog, e.cfg.WALSyncWindow)
+		if e.walOnFsync != nil {
+			e.walApp.SetFsyncObserver(e.walOnFsync)
+		}
+		if old != nil {
+			//skvet:ignore erroprov the old log is fully superseded by the committed snapshot; its close cannot un-commit the save
+			old.Close()
+		}
+	}
 	// Prune generation G-2; G-1 is kept for pinned readers. Best effort: a
 	// failure here cannot un-commit the save.
 	if gen >= 2 {
 		old := gen - 2
-		for _, name := range []string{genObjectsName(old), genIndexName(old), genManifestName(old)} {
+		for _, name := range []string{genObjectsName(old), genIndexName(old), genManifestName(old), walName(old)} {
 			fsRemove(filepath.Join(e.dir, name)) //nolint:errcheck
 		}
 	}
@@ -214,7 +292,13 @@ func (e *Engine) Save() error {
 // metadata). Memory-only engines have nothing to close.
 func (e *Engine) Close() error {
 	var firstErr error
-	for _, d := range []*storage.FileDisk{e.objFile, e.idxFile} {
+	if e.walApp != nil && e.walBroken == nil {
+		// Make any async-staged records durable before losing the appender.
+		if err := e.walApp.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, d := range []*storage.FileDisk{e.objFile, e.idxFile, e.walFile} {
 		if d == nil {
 			continue
 		}
@@ -222,7 +306,8 @@ func (e *Engine) Close() error {
 			firstErr = err
 		}
 	}
-	e.objFile, e.idxFile = nil, nil
+	e.objFile, e.idxFile, e.walFile = nil, nil, nil
+	e.walApp = nil
 	return firstErr
 }
 
@@ -315,7 +400,57 @@ func openFromManifest(dir string, m manifest) (*Engine, error) {
 		return nil, err
 	}
 	e.live = store.NumObjects() - len(m.Deleted)
+	if m.Config.WAL && m.Generation > 0 {
+		if err := e.openWAL(dir, m.Generation); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// openWAL opens generation gen's write-ahead log, replays its records on
+// top of the freshly recovered snapshot, and installs the log for further
+// appends. Replay is deterministic: the log was physically truncated at the
+// first torn frame, so two opens of the same directory apply the same
+// mutations in the same order.
+func (e *Engine) openWAL(dir string, gen uint64) error {
+	wd, err := storage.OpenFileDisk(filepath.Join(dir, walName(gen)))
+	if err != nil {
+		return fmt.Errorf("spatialkeyword: open wal: %w", err)
+	}
+	l, rec, err := wal.Open(wd)
+	if err != nil {
+		return errors.Join(fmt.Errorf("spatialkeyword: recover wal: %w", err), wd.Close())
+	}
+	if rec.Torn != nil {
+		e.walTorn++
+	}
+	for _, r := range rec.Records {
+		switch r.Op {
+		case wal.OpAdd:
+			// The record carries the ID the store assigned at log time;
+			// replay onto the snapshot must reproduce it exactly.
+			if got := uint64(e.store.NumObjects()); r.ID != got {
+				return errors.Join(
+					fmt.Errorf("spatialkeyword: wal replay: record %d adds object %d, store is at %d", r.Seq, r.ID, got),
+					wd.Close())
+			}
+			if _, err := e.applyAdd(r.Point, r.Text); err != nil {
+				return errors.Join(fmt.Errorf("spatialkeyword: wal replay add %d: %w", r.ID, err), wd.Close())
+			}
+		case wal.OpDelete:
+			if err := e.applyDelete(r.ID); err != nil {
+				return errors.Join(fmt.Errorf("spatialkeyword: wal replay delete %d: %w", r.ID, err), wd.Close())
+			}
+		default:
+			return errors.Join(fmt.Errorf("spatialkeyword: wal replay: unknown op %d", r.Op), wd.Close())
+		}
+		e.walReplay = append(e.walReplay, WALOp{Delete: r.Op == wal.OpDelete, ID: r.ID, Tag: r.Tag})
+	}
+	e.walFile = wd
+	e.walApp = wal.NewAppender(l, e.cfg.WALSyncWindow)
+	return nil
 }
 
 // assembleEngine builds an Engine around an existing store and a

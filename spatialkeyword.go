@@ -28,6 +28,7 @@ import (
 	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
 	"spatialkeyword/internal/textutil"
+	"spatialkeyword/internal/wal"
 )
 
 // Config parameterizes an Engine. The zero value is a production-reasonable
@@ -63,6 +64,18 @@ type Config struct {
 	// error instead of being deserialized into a wrong tree. Costs four
 	// bytes of payload per block plus one CRC per block access.
 	Checksums bool
+	// WAL gives a durable engine a write-ahead log: every Add/Delete is
+	// group-committed to an append-only log before it is applied, and
+	// OpenEngine replays the log suffix on top of the last Save snapshot —
+	// so acknowledged mutations survive a crash without a snapshot per
+	// mutation. Save truncates the log atomically with its commit point.
+	// Only durable engines (NewDurableEngine) honor it.
+	WAL bool
+	// WALSyncWindow is the group-commit window: how long a commit leader
+	// waits for more records before the shared fsync. Zero syncs
+	// immediately (lowest latency, one fsync per quiet-period append);
+	// a small window (e.g. 2ms) batches concurrent writers.
+	WALSyncWindow time.Duration
 }
 
 // Object is a spatial object: a point location and a text description.
@@ -161,6 +174,17 @@ type Engine struct {
 	deleted map[uint64]bool
 	live    int
 
+	// Write-ahead log state (Config.WAL on a durable engine): mutations
+	// are logged and group-committed before they are applied, and replayed
+	// on open. See persistence.go for the log's lifecycle.
+	walApp      *wal.Appender
+	walFile     *storage.FileDisk
+	walBroken   error               // sticky: set when the log and applied state may diverge
+	walReplay   []WALOp             // mutations replayed at open, in log order
+	walTorn     uint64              // torn tails truncated at open
+	walOnAppend func()              // metrics hook; see SetWALObserver
+	walOnFsync  func(time.Duration) // kept so Save's rotation re-installs it
+
 	sink MetricsSink // per-query observability sink; nil = disabled
 }
 
@@ -226,13 +250,18 @@ func frameDevices(cfg Config, objDev, idxDev storage.Device) (storage.Device, st
 	return objDev, idxDev
 }
 
-// InjectFault installs (or clears, with nil) a fault-injection hook on both
-// of the engine's devices, reaching through checksum framing to the real
-// device. It reports whether both devices accepted the hook; fault-tolerance
-// tests use it to make a live engine's storage fail on demand.
+// InjectFault installs (or clears, with nil) a fault-injection hook on all
+// of the engine's devices — object file, index, and write-ahead log when
+// present — reaching through checksum framing to the real device. It
+// reports whether every device accepted the hook; fault-tolerance tests use
+// it to make a live engine's storage fail on demand.
 func (e *Engine) InjectFault(f storage.FaultFunc) bool {
+	devs := []storage.Device{e.objDisk, e.idxDisk}
+	if e.walFile != nil {
+		devs = append(devs, e.walFile)
+	}
 	ok := true
-	for _, dev := range []storage.Device{e.objDisk, e.idxDisk} {
+	for _, dev := range devs {
 		if !setDeviceFault(dev, f) {
 			ok = false
 		}
@@ -291,10 +320,47 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Add appends an object and schedules it for indexing; it returns the
 // object's ID. The object becomes queryable at the next query (or Flush).
+// On a WAL-enabled engine the mutation is durable before Add returns.
 func (e *Engine) Add(point []float64, text string) (uint64, error) {
+	return e.AddTagged(point, text, 0)
+}
+
+// AddTagged is Add with an opaque tag recorded alongside the mutation in
+// the write-ahead log. The engine never interprets the tag; the sharded
+// engine stores its global object ID there so crash recovery can rebuild
+// the global→shard assignment. Without a WAL the tag is simply dropped.
+func (e *Engine) AddTagged(point []float64, text string, tag uint64) (uint64, error) {
 	if len(point) != e.dim {
 		return 0, fmt.Errorf("spatialkeyword: point has %d dimensions, engine uses %d", len(point), e.dim)
 	}
+	if e.walBroken != nil {
+		return 0, fmt.Errorf("spatialkeyword: write-ahead log broken: %w", e.walBroken)
+	}
+	if e.walApp == nil {
+		return e.applyAdd(point, text)
+	}
+	// Log before apply: the record carries the ID the store will assign, so
+	// replay can verify it reconstructs the same assignment.
+	id := uint64(e.store.NumObjects())
+	if _, err := e.walApp.Append(wal.Record{Op: wal.OpAdd, ID: id, Tag: tag, Point: point, Text: text}); err != nil {
+		e.walBroken = err
+		return 0, err
+	}
+	if e.walOnAppend != nil {
+		e.walOnAppend()
+	}
+	gotID, err := e.applyAdd(point, text)
+	if err != nil {
+		// Logged but not applied: in-memory state no longer matches the
+		// durable log, so refuse further mutations until reopen.
+		e.walBroken = err
+	}
+	return gotID, err
+}
+
+// applyAdd performs the insertion against the store and index structures.
+// WAL replay calls it directly (mutations in the log are already durable).
+func (e *Engine) applyAdd(point []float64, text string) (uint64, error) {
 	id, _, err := e.store.Append(geo.NewPoint(point...), text)
 	if err != nil {
 		return uint64(id), err
@@ -335,8 +401,13 @@ func (e *Engine) Get(id uint64) (Object, error) {
 	if e.deleted[id] {
 		return Object{}, fmt.Errorf("%w: %d", ErrDeleted, id)
 	}
-	if err := e.Flush(); err != nil {
-		return Object{}, err
+	// Only flush when the requested row could still be in the unflushed
+	// buffer. Pending IDs are ascending, so anything below the first pending
+	// ID is already synced and readable — a Get on it must not pay write I/O.
+	if len(e.pending) > 0 && id >= e.pending[0] {
+		if err := e.Flush(); err != nil {
+			return Object{}, err
+		}
 	}
 	obj, err := e.store.GetByID(objstore.ID(id))
 	if err != nil {
@@ -346,7 +417,8 @@ func (e *Engine) Get(id uint64) (Object, error) {
 }
 
 // Delete removes an object from the index. The object's row remains in the
-// append-only object file but will never be returned again.
+// append-only object file but will never be returned again. On a
+// WAL-enabled engine the deletion is durable before Delete returns.
 func (e *Engine) Delete(id uint64) error {
 	if id >= uint64(e.store.NumObjects()) {
 		return fmt.Errorf("%w: %d", ErrUnknownID, id)
@@ -354,6 +426,29 @@ func (e *Engine) Delete(id uint64) error {
 	if e.deleted[id] {
 		return fmt.Errorf("%w: %d", ErrDeleted, id)
 	}
+	if e.walBroken != nil {
+		return fmt.Errorf("spatialkeyword: write-ahead log broken: %w", e.walBroken)
+	}
+	if e.walApp == nil {
+		return e.applyDelete(id)
+	}
+	if _, err := e.walApp.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+		e.walBroken = err
+		return err
+	}
+	if e.walOnAppend != nil {
+		e.walOnAppend()
+	}
+	if err := e.applyDelete(id); err != nil {
+		e.walBroken = err
+		return err
+	}
+	return nil
+}
+
+// applyDelete performs the deletion against the index. WAL replay calls it
+// directly.
+func (e *Engine) applyDelete(id uint64) error {
 	if err := e.Flush(); err != nil {
 		return err
 	}
@@ -458,6 +553,71 @@ func (e *Engine) TopKRanked(k int, point []float64, keywords ...string) ([]Ranke
 		return nil, iterErr
 	}
 	return out, nil
+}
+
+// WALOp is one mutation replayed from the write-ahead log at open.
+type WALOp struct {
+	// Delete distinguishes a replayed deletion from an insertion.
+	Delete bool
+	// ID is the engine-local object ID the mutation applied to.
+	ID uint64
+	// Tag is the opaque tag the writer attached (see AddTagged); zero for
+	// deletions and untagged adds.
+	Tag uint64
+}
+
+// WALInfo describes an engine's write-ahead log state.
+type WALInfo struct {
+	// Enabled reports whether the engine has a live log.
+	Enabled bool
+	// Broken is the sticky error that disabled further mutations, if any.
+	Broken error
+	// ReplayedRecords is how many log records the open of this engine
+	// replayed on top of its snapshot.
+	ReplayedRecords uint64
+	// TornTails is how many torn tails the open truncated.
+	TornTails uint64
+	// Appends is the number of mutations logged since open.
+	Appends uint64
+	// Fsyncs is the number of group commits since open; Appends/Fsyncs is
+	// the realized batching factor.
+	Fsyncs uint64
+}
+
+// WALInfo returns the engine's write-ahead log state. On a non-WAL engine
+// only the zero value is returned.
+func (e *Engine) WALInfo() WALInfo {
+	info := WALInfo{
+		Enabled:         e.walApp != nil,
+		Broken:          e.walBroken,
+		ReplayedRecords: uint64(len(e.walReplay)),
+		TornTails:       e.walTorn,
+	}
+	if e.walApp != nil {
+		st := e.walApp.Stats()
+		info.Appends = st.Appends
+		info.Fsyncs = st.Fsyncs
+	}
+	return info
+}
+
+// WALReplay returns the mutations the open of this engine replayed from
+// the write-ahead log, in log order. The sharded engine consumes the tags
+// to rebuild its global assignment after a crash.
+func (e *Engine) WALReplay() []WALOp {
+	return e.walReplay
+}
+
+// SetWALObserver installs metrics hooks: onAppend fires after every logged
+// mutation, onFsync after every durable group commit with the sync's
+// duration. Either may be nil; calls on a non-WAL engine are no-ops.
+func (e *Engine) SetWALObserver(onAppend func(), onFsync func(time.Duration)) {
+	if e.walApp == nil {
+		return
+	}
+	e.walOnAppend = onAppend
+	e.walOnFsync = onFsync
+	e.walApp.SetFsyncObserver(onFsync)
 }
 
 // Stats reports the engine's contents and footprint.
