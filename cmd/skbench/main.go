@@ -8,13 +8,13 @@
 //
 //	-dataset     hotels | restaurants | both (default both)
 //	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
-//	             selectivity | table2 | maintenance | ingest |
+//	             selectivity | table2 | maintenance | ingest | repl |
 //	             ablate-cache | ablate-capacity | ablate-build |
 //	             ablate-split | parallel (default all;
-//	             "all" covers the paper experiments; ingest, the
+//	             "all" covers the paper experiments; ingest, repl, the
 //	             ablations, and the sharded-throughput experiment run
 //	             only when named; a comma-separated list runs several,
-//	             e.g. -experiment vary-k,ingest)
+//	             e.g. -experiment vary-k,ingest,repl)
 //	-scale       dataset scale factor in (0,1]; 1 = full Table 1 sizes
 //	             (default 0.02 — laptop-friendly)
 //	-queries     queries per measured cell (default 20)
@@ -255,6 +255,19 @@ func run(cfg config) error {
 	// deterministic, so it feeds the same baseline gate as vary-k.
 	if named("ingest") {
 		t, err := bench.IngestDurability(200, []int{1, 8, 32}, cfg.seed, cm)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+
+	// Replication catch-up: snapshot re-bootstrap vs log shipping at varying
+	// lag. Like ingest, dataset-independent and fully deterministic, so it
+	// feeds the same baseline gate.
+	if named("repl") {
+		t, err := bench.ReplCatchup(400, []int{16, 64, 400}, 8, cfg.seed, cm)
 		if err != nil {
 			return err
 		}

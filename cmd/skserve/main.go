@@ -21,6 +21,19 @@
 //	-pprof      also mount net/http/pprof under /debug/pprof/
 //	-slowquery  log queries slower than this to stderr as JSON lines
 //	            (default 50ms; 0 disables)
+//	-replica-of leader base URL: serve as a read-only replica of that
+//	            skserve instance, bootstrapping and tailing its WAL into
+//	            -dir (requires -dir; mutations answer 403)
+//	-read-mode  replica read consistency: "eventual" (default) serves
+//	            whatever has been applied; "ryw" honors the
+//	            X-SK-Repl-Position request header (as stamped on leader
+//	            write responses) by waiting until the replica has caught
+//	            up to that position — read-your-writes
+//	-ryw-timeout how long a ryw read waits before answering 504 (default 2s)
+//
+// A WAL-enabled leader additionally serves the replication protocol under
+// /repl (see internal/repl): replicas bootstrap from its snapshots and
+// long-poll its log. Leader write responses carry X-SK-Repl-Position.
 //
 // API:
 //
@@ -68,6 +81,7 @@ import (
 
 	"spatialkeyword"
 	"spatialkeyword/internal/obs"
+	"spatialkeyword/internal/repl"
 	"spatialkeyword/internal/shard"
 )
 
@@ -83,6 +97,12 @@ func main() {
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowQuery   = flag.Duration("slowquery", 50*time.Millisecond,
 			"log queries slower than this to stderr as JSON lines (0 disables)")
+		replicaOf = flag.String("replica-of", "",
+			"leader base URL: serve as a read-only replica of that instance (requires -dir)")
+		readMode = flag.String("read-mode", "eventual",
+			`replica read consistency: "eventual" or "ryw" (honor X-SK-Repl-Position)`)
+		rywTimeout = flag.Duration("ryw-timeout", 2*time.Second,
+			"how long a ryw read waits for the requested position before answering 504")
 	)
 	flag.Parse()
 
@@ -90,16 +110,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "skserve: -wal requires -dir (an in-memory engine has nothing to make durable)")
 		os.Exit(1)
 	}
-	cfg := spatialkeyword.Config{SignatureBytes: *sig, WAL: *walEnable, WALSyncWindow: *walFsync}
-	eng, err := openOrCreate(*dir, cfg, *shards)
+	if *replicaOf != "" && *dir == "" {
+		fmt.Fprintln(os.Stderr, "skserve: -replica-of requires -dir (the replica is a durable copy)")
+		os.Exit(1)
+	}
+	if *readMode != "eventual" && *readMode != "ryw" {
+		fmt.Fprintf(os.Stderr, "skserve: unknown -read-mode %q (want eventual or ryw)\n", *readMode)
+		os.Exit(1)
+	}
+	reg := obs.NewRegistry()
+	var (
+		eng    engine
+		leader *repl.Leader
+		err    error
+	)
+	if *replicaOf != "" {
+		eng, err = repl.OpenFollower(*dir, *replicaOf, repl.Options{Registry: reg})
+	} else {
+		cfg := spatialkeyword.Config{SignatureBytes: *sig, WAL: *walEnable, WALSyncWindow: *walFsync}
+		eng, err = openOrCreate(*dir, cfg, *shards)
+		if err == nil {
+			leader = attachLeader(eng, *dir)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skserve:", err)
 		os.Exit(1)
 	}
-	srv := newServer(eng, *dir != "", serverOptions{
-		pprof:     *enablePprof,
-		slowQuery: *slowQuery,
-		slowLogTo: os.Stderr,
+	srv := newServer(eng, *dir != "" && *replicaOf == "", serverOptions{
+		pprof:      *enablePprof,
+		slowQuery:  *slowQuery,
+		slowLogTo:  os.Stderr,
+		registry:   reg,
+		leader:     leader,
+		readMode:   *readMode,
+		rywTimeout: *rywTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
@@ -107,8 +152,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("skserve listening on %s (durable=%v, shards=%d, wal=%v)",
-		*addr, *dir != "", srv.numShards(), srv.wal != nil)
+	log.Printf("skserve listening on %s (role=%s, durable=%v, shards=%d, wal=%v)",
+		*addr, srv.role(), *dir != "", srv.numShards(), srv.wal != nil)
 
 	select {
 	case err := <-errc:
@@ -184,6 +229,29 @@ func openOrCreate(dir string, cfg spatialkeyword.Config, shards int) (engine, er
 	return &lockedEngine{eng: eng}, nil
 }
 
+// attachLeader mounts a replication leader over a WAL-enabled durable
+// backend (nil otherwise). Called before the server accepts traffic, so the
+// ship-buffer hooks are installed ahead of the first mutation.
+func attachLeader(eng engine, dir string) *repl.Leader {
+	if dir == "" {
+		return nil
+	}
+	wr, ok := eng.(walReporter)
+	if !ok || !wr.WALInfo().Enabled {
+		return nil
+	}
+	l := repl.NewLeader(dir)
+	switch b := eng.(type) {
+	case *lockedEngine:
+		l.AttachEngine(b.eng)
+	case *shard.ShardedEngine:
+		l.AttachSharded(b)
+	default:
+		return nil
+	}
+	return l
+}
+
 // lockedEngine adapts a single Engine to the backend contract. The engine
 // permits concurrent readers but writers need exclusion, so a RWMutex
 // mediates: queries take the read lock, mutations the write lock. Mutations
@@ -255,6 +323,12 @@ func (l *lockedEngine) SetWALObserver(onAppend func(), onFsync func(time.Duratio
 	l.eng.SetWALObserver(onAppend, onFsync)
 }
 
+func (l *lockedEngine) DurabilityStats() spatialkeyword.DurabilityStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.DurabilityStats()
+}
+
 func (l *lockedEngine) Save() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -291,11 +365,27 @@ type walReporter interface {
 	SetWALObserver(onAppend func(), onFsync func(time.Duration))
 }
 
-// serverOptions configures the observability surface.
+// durabilityReporter and shardDurabilityReporter give /healthz a
+// generation/sequence durability block. Both durable backends implement one
+// of them.
+type durabilityReporter interface {
+	DurabilityStats() spatialkeyword.DurabilityStats
+}
+
+type shardDurabilityReporter interface {
+	ShardDurability() []spatialkeyword.DurabilityStats
+}
+
+// serverOptions configures the observability surface and the replication
+// role.
 type serverOptions struct {
-	pprof     bool          // mount net/http/pprof under /debug/pprof/
-	slowQuery time.Duration // slow-query log threshold; 0 disables
-	slowLogTo io.Writer     // slow-query destination (tests override)
+	pprof      bool          // mount net/http/pprof under /debug/pprof/
+	slowQuery  time.Duration // slow-query log threshold; 0 disables
+	slowLogTo  io.Writer     // slow-query destination (tests override)
+	registry   *obs.Registry // pre-built metrics registry (nil = fresh one)
+	leader     *repl.Leader  // non-nil: serve the /repl protocol
+	readMode   string        // replica read consistency: "eventual" or "ryw"
+	rywTimeout time.Duration // ryw position-wait bound; 0 = 2s
 }
 
 // server wraps a backend engine with the JSON API. Request counters and
@@ -303,25 +393,38 @@ type serverOptions struct {
 // (Prometheus text) and /debug/vars (JSON); /stats keeps serving the
 // per-endpoint totals it always had, now read from the same counters.
 type server struct {
-	eng     engine
-	durable bool
-	opts    serverOptions
-	reg     *obs.Registry
-	reqs    map[string]*obs.Counter
-	slow    *obs.SlowLog
-	wal     walReporter // non-nil when the backend has a live WAL
+	eng      engine
+	durable  bool
+	opts     serverOptions
+	reg      *obs.Registry
+	reqs     map[string]*obs.Counter
+	slow     *obs.SlowLog
+	wal      walReporter    // non-nil when the backend has a live WAL
+	leader   *repl.Leader   // non-nil when serving the replication protocol
+	follower *repl.Follower // non-nil when the backend is a read replica
 }
 
 // endpoints names every route for the request counter family.
 var endpoints = []string{"add", "get", "delete", "search", "ranked", "stats", "metrics", "vars", "healthz", "save"}
 
 func newServer(eng engine, durable bool, opts serverOptions) *server {
+	reg := opts.registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if opts.rywTimeout <= 0 {
+		opts.rywTimeout = 2 * time.Second
+	}
 	s := &server{
 		eng:     eng,
 		durable: durable,
 		opts:    opts,
-		reg:     obs.NewRegistry(),
+		reg:     reg,
 		reqs:    make(map[string]*obs.Counter, len(endpoints)),
+		leader:  opts.leader,
+	}
+	if f, ok := eng.(*repl.Follower); ok {
+		s.follower = f
 	}
 	for _, ep := range endpoints {
 		s.reqs[ep] = s.reg.Counter("sk_http_requests_total",
@@ -378,6 +481,14 @@ func (s *server) requestSnapshot() map[string]uint64 {
 	return out
 }
 
+// role names the server's replication role for logs and /healthz.
+func (s *server) role() string {
+	if s.follower != nil {
+		return "replica"
+	}
+	return "primary"
+}
+
 // numShards reports the backend's shard count (1 for a single engine).
 func (s *server) numShards() int {
 	if sh, ok := s.eng.(sharded); ok {
@@ -418,6 +529,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /debug/vars", counted("vars", s.handleVars))
 	mux.HandleFunc("GET /healthz", counted("healthz", s.handleHealthz))
 	mux.HandleFunc("POST /save", counted("save", s.handleSave))
+	if s.leader != nil {
+		mux.Handle("/repl/", s.leader.Handler())
+	}
 	if s.opts.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -454,16 +568,52 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.eng.Add(req.Point, req.Text)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, repl.ErrReadOnlyReplica) {
+			status = http.StatusForbidden
+		}
+		httpError(w, status, err)
 		return
 	}
+	s.stampPosition(w)
 	writeJSON(w, http.StatusCreated, map[string]uint64{"id": id})
+}
+
+// stampPosition adds the leader's replication position to a write response:
+// a client that read this token can demand read-your-writes from a replica
+// by echoing it as the X-SK-Repl-Position request header.
+func (s *server) stampPosition(w http.ResponseWriter) {
+	if s.leader != nil {
+		w.Header().Set(repl.HeaderPosition, s.leader.PositionToken())
+	}
+}
+
+// awaitReadPosition implements the replica's "ryw" read mode: when the
+// request carries a position token, the read blocks until the replica has
+// applied at least that much of the leader's log. Reports whether the
+// caller may proceed (on timeout it has already answered 504).
+func (s *server) awaitReadPosition(w http.ResponseWriter, r *http.Request) bool {
+	if s.follower == nil || s.opts.readMode != "ryw" {
+		return true
+	}
+	tok := r.Header.Get(repl.HeaderPosition)
+	if tok == "" {
+		return true
+	}
+	if err := s.follower.WaitFor(tok, s.opts.rywTimeout); err != nil {
+		httpError(w, http.StatusGatewayTimeout, err)
+		return false
+	}
+	return true
 }
 
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	if !s.awaitReadPosition(w, r) {
 		return
 	}
 	obj, err := s.eng.Get(id)
@@ -484,6 +634,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	s.stampPosition(w)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -525,6 +676,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.awaitReadPosition(w, r) {
+		return
+	}
 	results, stats, err := s.eng.TopKWithStats(k, point, keywords...)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -540,6 +694,9 @@ func (s *server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	point, k, keywords, err := parseQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.awaitReadPosition(w, r) {
 		return
 	}
 	results, err := s.eng.TopKRanked(k, point, keywords...)
@@ -576,6 +733,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"durable": s.durable,
 		"shards":  s.numShards(),
 		"objects": s.eng.Stats().Objects,
+		"role":    s.role(),
+	}
+	if s.follower != nil {
+		st := s.follower.Status()
+		resp["replication"] = st
+		if !st.Connected {
+			resp["status"] = "degraded"
+		}
+	} else if s.leader != nil {
+		resp["replication"] = map[string]any{"position": s.leader.PositionToken()}
+	}
+	if s.durable {
+		if dr, ok := s.eng.(durabilityReporter); ok {
+			resp["durability"] = dr.DurabilityStats()
+		} else if sdr, ok := s.eng.(shardDurabilityReporter); ok {
+			resp["durability"] = sdr.ShardDurability()
+		}
 	}
 	if hr, ok := s.eng.(healthReporter); ok {
 		if hr.Degraded() {
@@ -602,6 +776,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		// Replica checkpoints are leader-driven (the follower rotates when
+		// the leader's stream does).
+		httpError(w, http.StatusForbidden, repl.ErrReadOnlyReplica)
+		return
+	}
 	if !s.durable {
 		httpError(w, http.StatusConflict, spatialkeyword.ErrNotDurable)
 		return
@@ -619,6 +799,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, spatialkeyword.ErrDeleted):
 		return http.StatusGone
+	case errors.Is(err, repl.ErrReadOnlyReplica):
+		return http.StatusForbidden
 	default:
 		return http.StatusInternalServerError
 	}

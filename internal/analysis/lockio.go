@@ -9,13 +9,15 @@ import (
 )
 
 // lockIO enforces the no-I/O-under-lock discipline in the sharded engine,
-// the core engine, and the write-ahead log: while a sync.Mutex or
-// sync.RWMutex is held, no direct storage-device I/O (Read, ReadRun,
-// Write, WriteRun) may run. A slow or faulted device call under a shard's
-// RWMutex stalls every other query on that shard — the exact tail-latency
-// failure the fan-out design of PR 1 exists to avoid — and under the WAL
-// appender's mutex it would serialize every group commit behind the
-// device, defeating group commit entirely.
+// the core engine, the write-ahead log, and the replication layer: while a
+// sync.Mutex or sync.RWMutex is held, no direct storage-device I/O (Read,
+// ReadRun, Write, WriteRun) may run. A slow or faulted device call under a
+// shard's RWMutex stalls every other query on that shard — the exact
+// tail-latency failure the fan-out design of PR 1 exists to avoid — under
+// the WAL appender's mutex it would serialize every group commit behind
+// the device, defeating group commit entirely, and under the replication
+// leader's ship-buffer mutex it would stall the write path of every
+// stream.
 //
 // The analysis is linear per function body: lock state is tracked in
 // source order, deferred unlocks keep the mutex held to the end of the
@@ -26,7 +28,7 @@ type lockIO struct{}
 func (lockIO) Name() string { return "lockio" }
 
 func (lockIO) Doc() string {
-	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, or internal/wal"
+	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, internal/wal, or internal/repl"
 }
 
 // deviceIOMethods are the Device methods that perform (modeled) disk I/O.
@@ -38,7 +40,7 @@ func (lockIO) Run(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		if !pathHasSegments(pkg.Path, "internal/shard") && !pathHasSegments(pkg.Path, "internal/core") &&
-			!pathHasSegments(pkg.Path, "internal/wal") {
+			!pathHasSegments(pkg.Path, "internal/wal") && !pathHasSegments(pkg.Path, "internal/repl") {
 			continue
 		}
 		for _, f := range pkg.Files {

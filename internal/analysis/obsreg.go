@@ -57,7 +57,7 @@ func (obsReg) Run(prog *Program) []Diagnostic {
 }
 
 // registryCall reports whether call is (*obs.Registry).Counter, .Gauge,
-// or .Histogram, returning the metric kind.
+// .FloatGauge, or .Histogram, returning the metric kind.
 func registryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	fn := calleeFunc(info, call)
 	if fn == nil || fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs") {
@@ -76,8 +76,11 @@ func registryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	switch fn.Name() {
-	case "Counter", "Gauge", "Histogram":
-		return map[string]string{"Counter": "counter", "Gauge": "gauge", "Histogram": "histogram"}[fn.Name()], true
+	case "Counter", "Gauge", "FloatGauge", "Histogram":
+		return map[string]string{
+			"Counter": "counter", "Gauge": "gauge",
+			"FloatGauge": "floatgauge", "Histogram": "histogram",
+		}[fn.Name()], true
 	}
 	return "", false
 }

@@ -1,0 +1,38 @@
+// Package repl holds erroprov cases shaped like the replication
+// follower's staging path: a dropped storage error while staging a
+// bootstrap snapshot silently corrupts the replica, so every storage error
+// must propagate.
+package repl
+
+import "spatialkeyword/internal/storage"
+
+// Positive cases: discarding device errors while staging snapshot blocks.
+
+func stageSnapshot(dev storage.Device, blocks [][]byte) {
+	for i, b := range blocks {
+		dev.Write(storage.BlockID(i), b) // want `error from storage\.Write discarded \(call used as a statement\)`
+	}
+}
+
+func verifyStaged(dev storage.Device, n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		blk, _ := dev.Read(storage.BlockID(i)) // want `error from storage\.Read assigned to _`
+		out = append(out, blk)
+	}
+	return out
+}
+
+// Negative cases: the staging path propagates every error.
+
+func stageBlock(dev storage.Device, id storage.BlockID, b []byte) error {
+	return dev.Write(id, b)
+}
+
+func readStaged(dev storage.Device, id storage.BlockID) ([]byte, error) {
+	blk, err := dev.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	return blk, nil
+}

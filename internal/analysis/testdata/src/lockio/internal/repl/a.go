@@ -1,0 +1,58 @@
+// Package repl holds positive and negative cases for the lockio pass in
+// the replication layer: the leader's ship-buffer mutex sits on the engine
+// write path and on every follower's log fetch, so device I/O under it
+// stalls replication and writes together.
+package repl
+
+import (
+	"sync"
+
+	"spatialkeyword/internal/storage"
+)
+
+// L is a stand-in for the leader: a mutex guarding per-stream ship buffers
+// plus a device the snapshot files live on.
+type L struct {
+	mu      sync.Mutex
+	streams [][]byte
+	dev     storage.Device
+	head    storage.BlockID
+}
+
+// Positive cases.
+
+func (l *L) snapshotUnderLock() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.ReadRun(l.head, 8) // want `storage I/O \(ReadRun\) in snapshotUnderLock while holding l\.mu`
+}
+
+func (l *L) persistBufferUnderLock(stream int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Write(l.head, l.streams[stream]) // want `storage I/O \(Write\) in persistBufferUnderLock while holding l\.mu`
+}
+
+// Negative cases.
+
+func (l *L) shipBuffer(stream int) []byte {
+	// The hook path: staging a record is memory-only under the mutex.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.streams[stream]
+}
+
+func (l *L) serveSnapshot() ([]byte, error) {
+	// Snapshot bytes are read with the ship-buffer mutex released; the
+	// generation files are immutable, so no lock is needed.
+	l.mu.Lock()
+	head := l.head
+	l.mu.Unlock()
+	return l.dev.ReadRun(head, 8)
+}
+
+func (l *L) bufferDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.NumBlocks() // metadata, not modeled I/O
+}

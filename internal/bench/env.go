@@ -26,8 +26,9 @@ import (
 type Method int
 
 // The four methods of the evaluation, plus the two durability arms of the
-// ingest experiment (which compare write-path strategies, not query
-// algorithms, and are therefore excluded from AllMethods).
+// ingest experiment and the two catch-up arms of the replication experiment
+// (which compare write-path/replication strategies, not query algorithms,
+// and are therefore excluded from AllMethods).
 const (
 	MethodRTree Method = iota
 	MethodIIO
@@ -35,6 +36,8 @@ const (
 	MethodMIR2
 	MethodSavePerOp
 	MethodWALGroup
+	MethodReplSnapshot
+	MethodReplShip
 )
 
 // AllMethods lists the methods in the paper's presentation order.
@@ -55,6 +58,10 @@ func (m Method) String() string {
 		return "Save/op"
 	case MethodWALGroup:
 		return "WAL"
+	case MethodReplSnapshot:
+		return "Snapshot"
+	case MethodReplShip:
+		return "LogShip"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

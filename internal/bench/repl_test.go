@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialkeyword/internal/storage"
+)
+
+// replTotal pulls one row's total modeled disk time (avg x records).
+func replTotal(t *testing.T, tab *Table, sweep string) float64 {
+	t.Helper()
+	m := ingestCell(t, tab, sweep)
+	return float64(m.AvgDiskTime) * float64(m.Queries)
+}
+
+// TestReplCatchupCrossover pins the property the resync policy is built on:
+// shipping a small lag is far cheaper than a snapshot re-bootstrap, and the
+// advantage must shrink monotonically as the lag grows toward the dataset.
+func TestReplCatchupCrossover(t *testing.T) {
+	total := 400
+	tab, err := ReplCatchup(total, []int{16, 64, total}, 8, 1, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (snapshot + three lags)", len(tab.Cells))
+	}
+	snap := ingestCell(t, tab, "snapshot")
+	if snap.Method != MethodReplSnapshot {
+		t.Fatalf("snapshot cell method = %s", snap.Method)
+	}
+	if snap.AvgDiskTime <= 0 {
+		t.Fatal("snapshot arm has no modeled disk time")
+	}
+	snapTotal := replTotal(t, tab, "snapshot")
+	small := replTotal(t, tab, "lag=16")
+	mid := replTotal(t, tab, "lag=64")
+	full := replTotal(t, tab, "lag=400")
+	if small <= 0 || mid <= 0 || full <= 0 {
+		t.Fatalf("ship arms have no modeled disk time: %v %v %v", small, mid, full)
+	}
+	if got := snapTotal / small; got < 3 {
+		t.Errorf("shipping lag=16 only %.1fx cheaper than snapshot, want >= 3x", got)
+	}
+	if !(small < mid && mid < full) {
+		t.Errorf("ship cost not monotone in lag: %v, %v, %v", small, mid, full)
+	}
+	if full < snapTotal {
+		t.Errorf("replaying the whole dataset (%.0f) cheaper than snapshot copy (%.0f): 410 re-bootstrap would never pay off",
+			full, snapTotal)
+	}
+}
+
+// TestReplCatchupDeterministic pins the property the CI regression gate
+// relies on: identical runs produce identical cells and rendered rows, with
+// no wall-clock component anywhere in the table.
+func TestReplCatchupDeterministic(t *testing.T) {
+	a, err := ReplCatchup(200, []int{8, 32}, 8, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplCatchup(200, []int{8, 32}, 8, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Errorf("cells differ between identical runs:\n%+v\n%+v", a.Cells, b.Cells)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("rendered rows differ between identical runs:\n%q\n%q", a.Rows, b.Rows)
+	}
+	for _, c := range a.Cells {
+		if c.Meas.AvgCPUTime != 0 {
+			t.Errorf("cell %q reports CPU time %v; the repl table must be wall-clock free",
+				c.Sweep, c.Meas.AvgCPUTime)
+		}
+	}
+}

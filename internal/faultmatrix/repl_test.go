@@ -1,0 +1,374 @@
+package faultmatrix
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/repl"
+)
+
+// The replication row of the matrix: the faults here live on the wire and
+// in process lifetimes, not in a block device, so they are injected by an
+// HTTP middleware between follower and leader (torn and corrupt response
+// bodies, delays) and by crash-imaging the follower's directory mid-replay.
+// The hardening contract is the same shape as the storage rows: every fault
+// is detected, never silently absorbed, and the follower converges back to
+// the leader's exact state.
+
+// faultProxy wraps the leader's /repl handler and mutates /repl/log
+// responses according to mode for the first `remaining` non-empty bodies.
+type faultProxy struct {
+	h http.Handler
+
+	mu        sync.Mutex
+	mode      string // "truncate", "corrupt", "delay"
+	remaining int
+	delay     time.Duration
+	injected  int
+}
+
+func (p *faultProxy) arm(mode string, n int, delay time.Duration) {
+	p.mu.Lock()
+	p.mode, p.remaining, p.delay = mode, n, delay
+	p.mu.Unlock()
+}
+
+func (p *faultProxy) injections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+func (p *faultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != repl.LogPath {
+		p.h.ServeHTTP(w, r)
+		return
+	}
+	p.mu.Lock()
+	mode, delay := p.mode, p.delay
+	armed := p.remaining > 0
+	p.mu.Unlock()
+
+	if armed && mode == "delay" {
+		p.mu.Lock()
+		p.remaining--
+		p.injected++
+		p.mu.Unlock()
+		time.Sleep(delay)
+		p.h.ServeHTTP(w, r)
+		return
+	}
+
+	rec := httptest.NewRecorder()
+	p.h.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if armed && rec.Code == http.StatusOK && len(body) > 16 {
+		p.mu.Lock()
+		switch mode {
+		case "truncate":
+			// Cut mid-frame: the follower must see a partial frame, not a
+			// short-but-valid stream.
+			body = body[:len(body)-7]
+			p.remaining--
+			p.injected++
+		case "corrupt":
+			// Flip one payload byte; the frame CRC must catch it.
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0x20
+			p.remaining--
+			p.injected++
+		}
+		p.mu.Unlock()
+	}
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(body) //nolint:errcheck // best-effort response write
+}
+
+// newReplLeader builds a WAL leader engine with a fault proxy in front of
+// its replication handler.
+func newReplLeader(t *testing.T) (*spatialkeyword.Engine, *repl.Leader, *faultProxy, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	e, err := spatialkeyword.NewDurableEngine(spatialkeyword.Config{SignatureBytes: 16, WAL: true}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() }) //nolint:errcheck // test teardown
+	l := repl.NewLeader(dir)
+	l.AttachEngine(e)
+	proxy := &faultProxy{h: l.Handler()}
+	srv := httptest.NewServer(proxy)
+	t.Cleanup(srv.Close)
+	return e, l, proxy, srv
+}
+
+func replAddN(t *testing.T, e *spatialkeyword.Engine, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		text := fmt.Sprintf("poi %d fault matrix row with some padding text", i)
+		if _, err := e.Add([]float64{float64(i % 16), float64(i / 16)}, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replFastOpts() repl.Options {
+	return repl.Options{PollWait: 30 * time.Millisecond, RetryInterval: 5 * time.Millisecond}
+}
+
+// replConverged asserts the follower serves exactly the leader's live set.
+func replConverged(t *testing.T, e *spatialkeyword.Engine, l *repl.Leader, f *repl.Follower) {
+	t.Helper()
+	if err := f.WaitFor(l.PositionToken(), 10*time.Second); err != nil {
+		t.Fatalf("follower never converged: %v", err)
+	}
+	if got, want := f.Stats().Objects, e.Stats().Objects; got != want {
+		t.Fatalf("follower holds %d objects, leader %d", got, want)
+	}
+	n := e.Stats().Objects
+	want, err := e.TopK(n+1, []float64{4, 2}, "poi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.TopK(n+1, []float64{4, 2}, "poi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("follower query found %d objects, leader %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Object.ID != want[i].Object.ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d diverged: follower %+v, leader %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplStreamCutMidFrame tears /repl/log bodies mid-frame: the follower
+// must detect the partial frame, re-request from its acknowledged position,
+// and converge without applying a torn record.
+func TestReplStreamCutMidFrame(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, proxy, srv := newReplLeader(t)
+	replAddN(t, e, 0, 30)
+	proxy.arm("truncate", 3, 0)
+
+	f, err := repl.OpenFollower(t.TempDir(), srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	replConverged(t, e, l, f)
+	if proxy.injections() == 0 {
+		t.Fatal("fault never injected: the scenario did not run")
+	}
+	if f.Status().Resyncs == 0 {
+		t.Fatal("torn stream never counted as a resync")
+	}
+}
+
+// TestReplCorruptFrameOnWire flips a byte inside a shipped frame: the CRC
+// must reject it and the follower must re-fetch, never applying the
+// corrupted record.
+func TestReplCorruptFrameOnWire(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, proxy, srv := newReplLeader(t)
+	replAddN(t, e, 0, 30)
+	proxy.arm("corrupt", 3, 0)
+
+	f, err := repl.OpenFollower(t.TempDir(), srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	replConverged(t, e, l, f)
+	if proxy.injections() == 0 {
+		t.Fatal("fault never injected: the scenario did not run")
+	}
+	if f.Status().Resyncs == 0 {
+		t.Fatal("corrupt frame never counted as a resync")
+	}
+}
+
+// TestReplLeaderRotationDuringTail rotates the leader's log while the
+// follower is mid-drain: the follower must finish the old generation,
+// checkpoint locally, and continue in the new one — without a second
+// snapshot bootstrap.
+func TestReplLeaderRotationDuringTail(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, _, srv := newReplLeader(t)
+	replAddN(t, e, 0, 40)
+
+	f, err := repl.OpenFollower(t.TempDir(), srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+
+	for round := 0; round < 3; round++ {
+		replAddN(t, e, 40+20*round, 10)
+		if err := e.Save(); err != nil {
+			t.Fatal(err)
+		}
+		replAddN(t, e, 50+20*round, 10)
+		// Drain before the next rotation: the leader retains only one
+		// previous generation, so a follower two rotations behind would be
+		// forced into a (legitimate) re-bootstrap — not this scenario.
+		if err := f.WaitFor(l.PositionToken(), 10*time.Second); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	replConverged(t, e, l, f)
+	st := f.Status()
+	if st.Snapshots != 1 {
+		t.Fatalf("rotation forced %d snapshots, want only the bootstrap", st.Snapshots)
+	}
+	if st.Streams[0].Gen != e.Generation() {
+		t.Fatalf("follower at generation %d, leader at %d", st.Streams[0].Gen, e.Generation())
+	}
+}
+
+// TestReplSlowFollower delays every log response: the follower lags but
+// stays connected, reports the lag, and still converges.
+func TestReplSlowFollower(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, proxy, srv := newReplLeader(t)
+	replAddN(t, e, 0, 20)
+	proxy.arm("delay", 50, 20*time.Millisecond)
+
+	f, err := repl.OpenFollower(t.TempDir(), srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	replAddN(t, e, 20, 20)
+	replConverged(t, e, l, f)
+	st := f.Status()
+	if st.LagRecords != 0 {
+		t.Fatalf("converged follower still reports %d lagging records", st.LagRecords)
+	}
+	if st.Resyncs != 0 || st.Snapshots != 1 {
+		t.Fatalf("slowness alone triggered recovery: %+v", st)
+	}
+}
+
+// copyTree snapshots a directory — the crash image. It runs while the
+// follower is live, so it may capture torn, partially written files; that
+// is the point: the image is what a power cut mid-replay would leave.
+func copyTree(dst, src string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// TestReplFollowerCrashMidReplay kills the follower mid-replay (a crash
+// image of its directory taken while the tail is applying) and restarts
+// from the image: recovery must replay the local log and resume the
+// stream, converging to the leader.
+func TestReplFollowerCrashMidReplay(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, _, srv := newReplLeader(t)
+	replAddN(t, e, 0, 50)
+
+	fdir := filepath.Join(t.TempDir(), "replica")
+	f, err := repl.OpenFollower(fdir, srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill mid-replay: image the directory while the tail is running.
+	time.Sleep(10 * time.Millisecond)
+	image := filepath.Join(t.TempDir(), "crash-image")
+	if err := copyTree(image, fdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(fdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(image, fdir); err != nil {
+		t.Fatal(err)
+	}
+
+	replAddN(t, e, 50, 20)
+	f, err = repl.OpenFollower(fdir, srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatalf("reopen from crash image: %v", err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	replConverged(t, e, l, f)
+}
+
+// TestReplKillFollowerLoop is the replication acceptance loop: 100
+// iterations of write → kill the follower at an arbitrary moment
+// (crash-imaging its directory while live) → restart from the image. Every
+// restart must recover from its own WAL and resume the stream; the final
+// state must equal the leader's exactly.
+func TestReplKillFollowerLoop(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	e, l, _, srv := newReplLeader(t)
+	replAddN(t, e, 0, 10)
+
+	base := t.TempDir()
+	fdir := filepath.Join(base, "replica")
+	var f *repl.Follower
+	var err error
+	for iter := 0; iter < 100; iter++ {
+		replAddN(t, e, 10+3*iter, 3)
+		f, err = repl.OpenFollower(fdir, srv.URL, replFastOpts())
+		if err != nil {
+			t.Fatalf("iter %d: open: %v", iter, err)
+		}
+		// Vary the kill point across iterations so crashes land during
+		// bootstrap, mid-batch, and while idle.
+		time.Sleep(time.Duration(iter%7) * time.Millisecond)
+		image := filepath.Join(base, fmt.Sprintf("image-%d", iter))
+		if err := copyTree(image, fdir); err != nil {
+			t.Fatalf("iter %d: image: %v", iter, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+		if err := os.RemoveAll(fdir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(image, fdir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f, err = repl.OpenFollower(fdir, srv.URL, replFastOpts())
+	if err != nil {
+		t.Fatalf("final open: %v", err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	replConverged(t, e, l, f)
+}

@@ -48,6 +48,19 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (seconds of lag, ratios, ...).
+// The zero value is ready to use. All methods are safe for concurrent use
+// and lock-free (the value is stored as float bits in a uint64).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket histogram: observations are counted into the
 // first bucket whose upper bound is >= the value, with an implicit +Inf
 // bucket after the last bound. Bounds are fixed at construction, so

@@ -23,6 +23,7 @@ type metricKind int
 const (
 	counterKind metricKind = iota
 	gaugeKind
+	floatGaugeKind
 	histogramKind
 )
 
@@ -30,7 +31,9 @@ func (k metricKind) String() string {
 	switch k {
 	case counterKind:
 		return "counter"
-	case gaugeKind:
+	case gaugeKind, floatGaugeKind:
+		// Prometheus has a single gauge type; the int/float split is an
+		// implementation detail of this package.
 		return "gauge"
 	default:
 		return "histogram"
@@ -38,11 +41,12 @@ func (k metricKind) String() string {
 }
 
 // series is one labelled instance of a metric family. Exactly one of
-// c/g/h is non-nil, matching the family kind.
+// c/g/fg/h is non-nil, matching the family kind.
 type series struct {
 	labels []Label
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -128,6 +132,8 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 			s.c = &Counter{}
 		case gaugeKind:
 			s.g = &Gauge{}
+		case floatGaugeKind:
+			s.fg = &FloatGauge{}
 		case histogramKind:
 			s.h = NewHistogram(f.bounds)
 		}
@@ -148,6 +154,12 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 // first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return r.get(name, help, gaugeKind, nil, labels).g
+}
+
+// FloatGauge returns the float-valued gauge series for (name, labels),
+// registering it on first use.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	return r.get(name, help, floatGaugeKind, nil, labels).fg
 }
 
 // Histogram returns the histogram series for (name, labels), registering
@@ -213,6 +225,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
 			case gaugeKind:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+			case floatGaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.fg.Value()))
 			case histogramKind:
 				err = writePromHistogram(w, f.name, s)
 			}
@@ -259,6 +273,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				return s.c.Value()
 			case gaugeKind:
 				return s.g.Value()
+			case floatGaugeKind:
+				return s.fg.Value()
 			default:
 				return s.h.Snapshot()
 			}

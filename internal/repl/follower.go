@@ -1,0 +1,839 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/obs"
+	"spatialkeyword/internal/shard"
+	"spatialkeyword/internal/wal"
+)
+
+// ErrReadOnlyReplica is returned by mutation methods on a Follower: all
+// writes go to the leader.
+var ErrReadOnlyReplica = errors.New("repl: read-only replica")
+
+// errResync signals the tail loops that the follower's position is no
+// longer servable (or its state no longer trustworthy) and it must rebuild
+// from a fresh snapshot.
+var errResync = errors.New("repl: full resync required")
+
+// errResyncing is returned to reads that land while a resync has torn the
+// local engine down.
+var errResyncing = errors.New("repl: replica resyncing")
+
+// badFrameLimit is how many consecutive undecodable /repl/log responses
+// the tail re-requests before escalating to a full resync.
+const badFrameLimit = 5
+
+// Options tunes a Follower.
+type Options struct {
+	// Registry, when set, registers the follower's sk_repl_* metrics.
+	Registry *obs.Registry
+	// Client is the HTTP client used against the leader (default: a plain
+	// http.Client).
+	Client *http.Client
+	// PollWait is the /repl/log long-poll duration (default 500ms).
+	PollWait time.Duration
+	// RetryInterval is the backoff after a failed leader request
+	// (default 100ms).
+	RetryInterval time.Duration
+}
+
+// followerMetrics are the follower-side replication instruments. All five
+// exist whether or not a registry was provided (unregistered instruments
+// still work, they just render nowhere).
+type followerMetrics struct {
+	lagSeconds *obs.FloatGauge
+	lagRecords *obs.Gauge
+	snapshots  *obs.Counter
+	resyncs    *obs.Counter
+	connected  *obs.Gauge
+}
+
+func newFollowerMetrics(reg *obs.Registry) followerMetrics {
+	if reg == nil {
+		return followerMetrics{
+			lagSeconds: &obs.FloatGauge{},
+			lagRecords: &obs.Gauge{},
+			snapshots:  &obs.Counter{},
+			resyncs:    &obs.Counter{},
+			connected:  &obs.Gauge{},
+		}
+	}
+	return followerMetrics{
+		lagSeconds: reg.FloatGauge("sk_repl_lag_seconds", "Seconds the follower has continuously been behind the leader (0 when caught up)."),
+		lagRecords: reg.Gauge("sk_repl_lag_records", "Log records known shipped by the leader but not yet applied."),
+		snapshots:  reg.Counter("sk_repl_snapshots_total", "Snapshot bootstraps completed."),
+		resyncs:    reg.Counter("sk_repl_resyncs_total", "Stream re-syncs from the last acknowledged position."),
+		connected:  reg.Gauge("sk_repl_follower_connected", "1 while every replication stream to the leader is healthy."),
+	}
+}
+
+// Follower is a read-only replica: it bootstraps a local copy of the
+// leader's engine directory from a snapshot, then tails the leader's WAL
+// stream(s), re-logging every record into its own write-ahead log before
+// applying it — so a killed and restarted follower recovers by the
+// ordinary open path and resumes from its durable watermark.
+//
+// Reads (Get, TopK*, Stats) are served from the local replica and are safe
+// concurrently with the tail. Mutations return ErrReadOnlyReplica.
+type Follower struct {
+	dir      string
+	base     string
+	client   *http.Client
+	pollWait time.Duration
+	retry    time.Duration
+	m        followerMetrics
+
+	// mu is the serving lock: reads hold RLock, single-engine applies and
+	// rotations hold Lock, and a resync holds Lock across teardown and
+	// re-bootstrap. (Sharded applies take RLock — the shard engine does
+	// its own per-shard write locking.)
+	mu      sync.RWMutex
+	single  *spatialkeyword.Engine
+	sharded *shard.ShardedEngine
+
+	// posMu guards the position/watermark vectors and the lag metrics
+	// derived from them. posChanged is closed and replaced on every
+	// update (WaitFor waits on it).
+	posMu       sync.Mutex
+	positions   []Position
+	heads       []Position
+	streamOK    []bool
+	behindSince time.Time
+	posChanged  chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// OpenFollower opens (or bootstraps) a replica of the leader at leaderURL
+// in dir and starts tailing. If dir already holds a committed replica, it
+// recovers locally — replaying its own WAL — and resumes the stream from
+// its durable watermark; otherwise it bootstraps a fresh snapshot.
+func OpenFollower(dir, leaderURL string, opts Options) (*Follower, error) {
+	f := &Follower{
+		dir:        dir,
+		base:       strings.TrimRight(leaderURL, "/"),
+		client:     opts.Client,
+		pollWait:   opts.PollWait,
+		retry:      opts.RetryInterval,
+		m:          newFollowerMetrics(opts.Registry),
+		posChanged: make(chan struct{}),
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	if f.pollWait <= 0 {
+		f.pollWait = 500 * time.Millisecond
+	}
+	if f.retry <= 0 {
+		f.retry = 100 * time.Millisecond
+	}
+	if err := f.openOrBootstrap(); err != nil {
+		return nil, err
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// openOrBootstrap recovers a committed local replica, or bootstraps from
+// the leader when there is none (or the local one no longer opens).
+func (f *Follower) openOrBootstrap() error {
+	if _, err := os.Stat(filepath.Join(f.dir, shard.ManifestFileName)); err == nil {
+		if s, err := shard.Open(f.dir); err == nil {
+			f.install(nil, s)
+			return nil
+		}
+	} else if _, err := os.Stat(filepath.Join(f.dir, spatialkeyword.ManifestFileName)); err == nil {
+		if e, err := spatialkeyword.OpenEngine(f.dir); err == nil {
+			f.install(e, nil)
+			return nil
+		}
+	}
+	return f.bootstrap()
+}
+
+// install publishes freshly opened engines and derives the stream
+// positions from their durability watermarks: each stream resumes at
+// (generation, durable sequence) — exactly what local recovery replayed.
+func (f *Follower) install(e *spatialkeyword.Engine, s *shard.ShardedEngine) {
+	f.single, f.sharded = e, s
+	var ds []spatialkeyword.DurabilityStats
+	if s != nil {
+		ds = s.ShardDurability()
+	} else {
+		ds = []spatialkeyword.DurabilityStats{e.DurabilityStats()}
+	}
+	f.posMu.Lock()
+	f.positions = make([]Position, len(ds))
+	f.heads = make([]Position, len(ds))
+	f.streamOK = make([]bool, len(ds))
+	for i, d := range ds {
+		f.positions[i] = Position{Gen: d.Generation, Seq: d.DurableSeq}
+		f.heads[i] = f.positions[i]
+	}
+	f.notifyLocked()
+	f.posMu.Unlock()
+}
+
+// closeEnginesLocked tears the local engines down (mu held).
+func (f *Follower) closeEnginesLocked() error {
+	var err error
+	if f.single != nil {
+		err = f.single.Close()
+		f.single = nil
+	}
+	if f.sharded != nil {
+		if cerr := f.sharded.Close(); err == nil {
+			err = cerr
+		}
+		f.sharded = nil
+	}
+	return err
+}
+
+// bootstrap wipes dir and rebuilds it from the leader's snapshot: the
+// immutable generation files first, the commit manifest last — so a crash
+// mid-bootstrap leaves a directory without a commit point, which the next
+// open simply re-bootstraps. Finishes by opening the replica and
+// installing it.
+func (f *Follower) bootstrap() error {
+	meta, err := f.fetchMeta()
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(f.dir); err != nil {
+		return fmt.Errorf("repl: wipe replica dir: %w", err)
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return err
+	}
+	if meta.Sharded {
+		err = f.bootstrapSharded()
+	} else {
+		err = f.bootstrapSingle(meta)
+	}
+	if err != nil {
+		return err
+	}
+	if meta.Sharded {
+		s, err := shard.Open(f.dir)
+		if err != nil {
+			return fmt.Errorf("repl: open bootstrapped replica: %w", err)
+		}
+		f.install(nil, s)
+	} else {
+		e, err := spatialkeyword.OpenEngine(f.dir)
+		if err != nil {
+			return fmt.Errorf("repl: open bootstrapped replica: %w", err)
+		}
+		f.install(e, nil)
+	}
+	f.m.snapshots.Inc()
+	return nil
+}
+
+// bootstrapSingle stages one engine directory at the leader's committed
+// generation: snapshot files, a fresh empty WAL, then manifest.json.
+func (f *Follower) bootstrapSingle(meta Meta) error {
+	if len(meta.Streams) != 1 {
+		return fmt.Errorf("repl: leader reports %d streams for a single engine", len(meta.Streams))
+	}
+	gen := meta.Streams[0].Gen
+	if gen == 0 {
+		return fmt.Errorf("repl: leader has no committed generation")
+	}
+	return f.stageStream(f.dir, 0, gen, true)
+}
+
+// bootstrapSharded stages a sharded engine directory: the leader's
+// shards.json pins every shard's generation; each shard is staged at its
+// pinned generation, then shards.json itself commits the bootstrap.
+func (f *Follower) bootstrapSharded() error {
+	manifestBytes, err := f.fetchSnapshot(0, 0, "shards")
+	if err != nil {
+		return err
+	}
+	var pins struct {
+		Gens []uint64 `json:"gens"`
+	}
+	if err := json.Unmarshal(manifestBytes, &pins); err != nil {
+		return fmt.Errorf("repl: parse leader shards manifest: %w", err)
+	}
+	if len(pins.Gens) == 0 {
+		return fmt.Errorf("repl: leader shards manifest pins no generations")
+	}
+	for i, gen := range pins.Gens {
+		if gen == 0 {
+			return fmt.Errorf("repl: shard %d has no committed generation", i)
+		}
+		sub := filepath.Join(f.dir, shard.DirName(i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		if err := f.stageStream(sub, i, gen, false); err != nil {
+			return err
+		}
+	}
+	return writeFileSync(filepath.Join(f.dir, shard.ManifestFileName), manifestBytes)
+}
+
+// stageStream downloads one stream's generation-gen snapshot into dir and
+// creates the generation's empty local WAL. With commit set it also writes
+// the engine's top-level manifest.json (same bytes as the generation
+// manifest) — the single-engine commit point. Sharded staging leaves the
+// per-shard manifest.json absent: shards.json pins the generation and
+// shard.Open never reads it.
+func (f *Follower) stageStream(dir string, stream int, gen uint64, commit bool) error {
+	objects, index, manifest := spatialkeyword.SnapshotFileNames(gen)
+	manifestBytes, err := f.fetchSnapshot(stream, gen, "manifest")
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(dir, manifest), manifestBytes); err != nil {
+		return err
+	}
+	for file, name := range map[string]string{"objects": objects, "index": index} {
+		data, err := f.fetchSnapshot(stream, gen, file)
+		if err != nil {
+			return err
+		}
+		if err := writeFileSync(filepath.Join(dir, name), data); err != nil {
+			return err
+		}
+	}
+	cfg, mgen, err := spatialkeyword.PeekManifest(filepath.Join(dir, manifest))
+	if err != nil {
+		return err
+	}
+	if mgen != gen {
+		return fmt.Errorf("repl: leader served manifest for generation %d, want %d", mgen, gen)
+	}
+	if !cfg.WAL {
+		return fmt.Errorf("repl: leader engine has no write-ahead log")
+	}
+	if err := spatialkeyword.CreateEmptyWAL(filepath.Join(dir, spatialkeyword.WALFileName(gen)), cfg.BlockSize); err != nil {
+		return err
+	}
+	if commit {
+		return writeFileSync(filepath.Join(dir, spatialkeyword.ManifestFileName), manifestBytes)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fd.Write(data); err != nil {
+		fd.Close() //nolint:errcheck // already failing
+		return err
+	}
+	if err := fd.Sync(); err != nil {
+		fd.Close() //nolint:errcheck // already failing
+		return err
+	}
+	return fd.Close()
+}
+
+// fetchMeta asks the leader for its replication topology.
+func (f *Follower) fetchMeta() (Meta, error) {
+	var m Meta
+	resp, err := f.client.Get(f.base + MetaPath)
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only body
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("repl: meta: leader answered %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("repl: meta: %w", err)
+	}
+	return m, nil
+}
+
+// fetchSnapshot downloads one snapshot file's bytes.
+func (f *Follower) fetchSnapshot(stream int, gen uint64, file string) ([]byte, error) {
+	url := fmt.Sprintf("%s%s?shard=%d&gen=%d&file=%s", f.base, SnapshotPath, stream, gen, file)
+	resp, err := f.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only body
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repl: snapshot %s gen %d: leader answered %s", file, gen, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// run supervises the per-stream tail loops: any loop demanding a resync
+// tears every engine down, re-bootstraps from a fresh snapshot, and
+// restarts the tails. Exits only when the follower is closed.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	for {
+		if f.ctx.Err() != nil {
+			return
+		}
+		f.posMu.Lock()
+		n := len(f.positions)
+		f.posMu.Unlock()
+		tailCtx, cancel := context.WithCancel(f.ctx)
+		errc := make(chan error, n)
+		var tw sync.WaitGroup
+		for i := 0; i < n; i++ {
+			tw.Add(1)
+			go func(stream int) {
+				defer tw.Done()
+				errc <- f.tail(tailCtx, stream)
+			}(i)
+		}
+		needResync := false
+		select {
+		case <-f.ctx.Done():
+		case err := <-errc:
+			if err != nil {
+				needResync = true
+			}
+		}
+		cancel()
+		tw.Wait()
+		for len(errc) > 0 {
+			if err := <-errc; err != nil {
+				needResync = true
+			}
+		}
+		if f.ctx.Err() != nil {
+			return
+		}
+		if !needResync {
+			continue
+		}
+		f.m.resyncs.Inc()
+		f.mu.Lock()
+		f.closeEnginesLocked() //nolint:errcheck // state is being discarded
+		err := f.bootstrap()
+		f.mu.Unlock()
+		if err != nil {
+			// Leader unreachable mid-resync: back off and try again.
+			select {
+			case <-time.After(f.retry):
+			case <-f.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// tail drains one stream: fetch the log after the current position, verify
+// and apply, advance, rotate generations when the leader did. Transient
+// leader errors retry in place; an unservable position (410) or a broken
+// apply escalates to a full resync; corrupt or torn response bodies
+// re-request from the last acknowledged position.
+func (f *Follower) tail(ctx context.Context, stream int) error {
+	badStreak := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		pos := f.position(stream)
+		body, header, status, err := f.fetchLog(ctx, stream, pos)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			f.setConnected(stream, false)
+			if !sleepCtx(ctx, f.retry) {
+				return nil
+			}
+			continue
+		}
+		if status == http.StatusGone {
+			return errResync
+		}
+		if status != http.StatusOK {
+			f.setConnected(stream, false)
+			if !sleepCtx(ctx, f.retry) {
+				return nil
+			}
+			continue
+		}
+		f.setConnected(stream, true)
+		head, _ := strconv.ParseUint(header.Get(HeaderHead), 10, 64)
+		recs, err := decodeFrames(body, pos.Seq)
+		if err != nil {
+			// Torn or corrupt on the wire: the local log is untouched, so
+			// re-requesting from the acknowledged position re-syncs the
+			// stream without losing anything.
+			badStreak++
+			f.m.resyncs.Inc()
+			if badStreak >= badFrameLimit {
+				return errResync
+			}
+			continue
+		}
+		badStreak = 0
+		if len(recs) > 0 {
+			if err := f.apply(stream, recs); err != nil {
+				return err
+			}
+			pos.Seq += uint64(len(recs))
+		}
+		f.setPosition(stream, pos, Position{Gen: pos.Gen, Seq: head})
+		if rot := header.Get(HeaderRotate); rot != "" && pos.Seq >= head {
+			nextGen, err := strconv.ParseUint(rot, 10, 64)
+			if err != nil || nextGen <= pos.Gen {
+				return errResync
+			}
+			if err := f.rotate(stream, nextGen); err != nil {
+				return err
+			}
+			next := Position{Gen: nextGen, Seq: 0}
+			f.setPosition(stream, next, next)
+		}
+	}
+}
+
+// sleepCtx sleeps d, reporting false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// fetchLog performs one /repl/log request.
+func (f *Follower) fetchLog(ctx context.Context, stream int, pos Position) ([]byte, http.Header, int, error) {
+	url := fmt.Sprintf("%s%s?shard=%d&gen=%d&after=%d&wait=%d",
+		f.base, LogPath, stream, pos.Gen, pos.Seq, f.pollWait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only body
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return body, resp.Header, resp.StatusCode, nil
+}
+
+// apply replays one verified batch into the local replica. Single-engine
+// applies hold the serving write lock across the batch, its flush, and the
+// WAL group commit, so concurrent reads never see a half-applied batch;
+// sharded applies delegate to the shard engine's own per-shard locking.
+func (f *Follower) apply(stream int, recs []wal.Record) error {
+	if s := f.shardedEngine(); s != nil {
+		return s.ApplyReplicatedBatch(stream, recs)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single == nil {
+		return errResyncing
+	}
+	for _, rec := range recs {
+		if err := f.single.ApplyReplicated(rec); err != nil {
+			return err
+		}
+	}
+	if err := f.single.Flush(); err != nil {
+		return err
+	}
+	return f.single.SyncWAL()
+}
+
+// rotate performs the follower-local generation handoff: the stream's old
+// log is fully applied, so a local checkpoint commits the same state the
+// leader's rotation did, opens the same new generation, and lets the local
+// WAL track the leader's new log from sequence 1.
+func (f *Follower) rotate(stream int, nextGen uint64) error {
+	if s := f.shardedEngine(); s != nil {
+		if err := s.RotateShard(stream); err != nil {
+			return err
+		}
+		if got := s.ShardDurability()[stream].Generation; got != nextGen {
+			return fmt.Errorf("%w: local rotation reached generation %d, leader is at %d", errResync, got, nextGen)
+		}
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single == nil {
+		return errResyncing
+	}
+	if err := f.single.Save(); err != nil {
+		return err
+	}
+	if got := f.single.Generation(); got != nextGen {
+		return fmt.Errorf("%w: local rotation reached generation %d, leader is at %d", errResync, got, nextGen)
+	}
+	return nil
+}
+
+// shardedEngine snapshots the sharded-engine pointer under the read lock.
+func (f *Follower) shardedEngine() *shard.ShardedEngine {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.sharded
+}
+
+// position reads one stream's current position.
+func (f *Follower) position(stream int) Position {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	return f.positions[stream]
+}
+
+// setPosition advances one stream's applied position and leader watermark,
+// refreshes the lag metrics, and wakes WaitFor waiters.
+func (f *Follower) setPosition(stream int, pos, head Position) {
+	f.posMu.Lock()
+	f.positions[stream] = pos
+	f.heads[stream] = head
+	f.updateLagLocked()
+	f.notifyLocked()
+	f.posMu.Unlock()
+}
+
+// setConnected tracks per-stream connectivity; the connected gauge is 1
+// only while every stream's last leader request succeeded.
+func (f *Follower) setConnected(stream int, ok bool) {
+	f.posMu.Lock()
+	f.streamOK[stream] = ok
+	all := true
+	for _, s := range f.streamOK {
+		all = all && s
+	}
+	if all {
+		f.m.connected.Set(1)
+	} else {
+		f.m.connected.Set(0)
+	}
+	f.posMu.Unlock()
+}
+
+// updateLagLocked recomputes the lag gauges (posMu held). Record lag
+// counts what the last responses proved shipped but unapplied; once a
+// stream's watermark moved to a newer generation the old generation's
+// remainder is unknown, so the value is a lower bound until the follower
+// catches the rotation.
+func (f *Follower) updateLagLocked() {
+	var lag uint64
+	caught := true
+	for i := range f.positions {
+		p, h := f.positions[i], f.heads[i]
+		if h.Gen == p.Gen && h.Seq > p.Seq {
+			lag += h.Seq - p.Seq
+		} else if h.Gen > p.Gen {
+			lag += h.Seq
+		}
+		if !p.AtLeast(h) {
+			caught = false
+		}
+	}
+	f.m.lagRecords.Set(int64(lag))
+	if caught {
+		f.behindSince = time.Time{}
+		f.m.lagSeconds.Set(0)
+		return
+	}
+	if f.behindSince.IsZero() {
+		f.behindSince = time.Now()
+	}
+	f.m.lagSeconds.Set(time.Since(f.behindSince).Seconds())
+}
+
+// notifyLocked wakes position waiters (posMu held).
+func (f *Follower) notifyLocked() {
+	close(f.posChanged)
+	f.posChanged = make(chan struct{})
+}
+
+// StreamStatus is one stream's replication progress.
+type StreamStatus struct {
+	// Gen and Applied are the follower's position: the generation it is
+	// tailing and the last sequence durably applied within it.
+	Gen     uint64 `json:"gen"`
+	Applied uint64 `json:"applied"`
+	// LeaderGen and LeaderHead are the leader's watermark as of the last
+	// successful poll.
+	LeaderGen  uint64 `json:"leader_gen"`
+	LeaderHead uint64 `json:"leader_head"`
+}
+
+// Status is the follower's health summary (the skserve /healthz replication
+// block).
+type Status struct {
+	Connected  bool           `json:"connected"`
+	LagRecords uint64         `json:"lag_records"`
+	LagSeconds float64        `json:"lag_seconds"`
+	Snapshots  uint64         `json:"snapshots"`
+	Resyncs    uint64         `json:"resyncs"`
+	Streams    []StreamStatus `json:"streams"`
+}
+
+// Status reports the follower's replication progress.
+func (f *Follower) Status() Status {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	st := Status{
+		Connected:  true,
+		LagRecords: uint64(f.m.lagRecords.Value()),
+		LagSeconds: f.m.lagSeconds.Value(),
+		Snapshots:  f.m.snapshots.Value(),
+		Resyncs:    f.m.resyncs.Value(),
+		Streams:    make([]StreamStatus, len(f.positions)),
+	}
+	for i := range f.positions {
+		st.Streams[i] = StreamStatus{
+			Gen:        f.positions[i].Gen,
+			Applied:    f.positions[i].Seq,
+			LeaderGen:  f.heads[i].Gen,
+			LeaderHead: f.heads[i].Seq,
+		}
+		st.Connected = st.Connected && f.streamOK[i]
+	}
+	return st
+}
+
+// PositionToken returns the follower's applied position vector as a token.
+func (f *Follower) PositionToken() string {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	return EncodePositions(f.positions)
+}
+
+// WaitFor blocks until the follower's applied positions cover the token
+// (a leader write-position, see Leader.PositionToken) — the
+// read-your-writes barrier — or the timeout passes.
+func (f *Follower) WaitFor(token string, timeout time.Duration) error {
+	want, err := ParsePositions(token)
+	if err != nil {
+		return err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		f.posMu.Lock()
+		ok := len(want) == len(f.positions)
+		for i := 0; ok && i < len(want); i++ {
+			ok = f.positions[i].AtLeast(want[i])
+		}
+		ch := f.posChanged
+		f.posMu.Unlock()
+		if ok {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return fmt.Errorf("repl: position %s not reached within %v", token, timeout)
+		}
+	}
+}
+
+// Close stops the tail loops and releases the local replica.
+func (f *Follower) Close() error {
+	f.cancel()
+	f.wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closeEnginesLocked()
+}
+
+// Add implements the write surface — always refused on a replica.
+func (f *Follower) Add(point []float64, text string) (uint64, error) {
+	return 0, ErrReadOnlyReplica
+}
+
+// Delete implements the write surface — always refused on a replica.
+func (f *Follower) Delete(id uint64) error { return ErrReadOnlyReplica }
+
+// Save implements the write surface — checkpoints are leader-driven (the
+// follower rotates when the leader does), so explicit saves are refused.
+func (f *Follower) Save() error { return ErrReadOnlyReplica }
+
+// Get returns a stored object by ID from the local replica.
+func (f *Follower) Get(id uint64) (spatialkeyword.Object, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.Get(id)
+	case f.single != nil:
+		return f.single.Get(id)
+	}
+	return spatialkeyword.Object{}, errResyncing
+}
+
+// TopK answers the distance-first query from the local replica.
+func (f *Follower) TopK(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	res, _, err := f.TopKWithStats(k, point, keywords...)
+	return res, err
+}
+
+// TopKWithStats answers the distance-first query from the local replica.
+func (f *Follower) TopKWithStats(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, spatialkeyword.QueryStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.TopKWithStats(k, point, keywords...)
+	case f.single != nil:
+		return f.single.TopKWithStats(k, point, keywords...)
+	}
+	return nil, spatialkeyword.QueryStats{}, errResyncing
+}
+
+// TopKRanked answers the general ranked query from the local replica.
+func (f *Follower) TopKRanked(k int, point []float64, keywords ...string) ([]spatialkeyword.RankedResult, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.TopKRanked(k, point, keywords...)
+	case f.single != nil:
+		return f.single.TopKRanked(k, point, keywords...)
+	}
+	return nil, errResyncing
+}
+
+// Stats reports the local replica's contents and footprint.
+func (f *Follower) Stats() spatialkeyword.Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.Stats()
+	case f.single != nil:
+		return f.single.Stats()
+	}
+	return spatialkeyword.Stats{}
+}

@@ -56,7 +56,7 @@ var (
 
 // shardDir names the i-th shard's subdirectory.
 func shardDir(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+	return filepath.Join(dir, DirName(i))
 }
 
 // IsShardedDir reports whether dir holds a durable sharded engine.
@@ -143,6 +143,13 @@ func (s *ShardedEngine) Save() error {
 			return err
 		}
 	}
+	return s.writeShardManifest(gens)
+}
+
+// writeShardManifest atomically commits the sharded manifest — the current
+// assignment pinned to the given per-shard generation vector. Save and
+// RotateShard share it.
+func (s *ShardedEngine) writeShardManifest(gens []uint64) error {
 	ps, err := marshalPartitioner(s.part)
 	if err != nil {
 		return err

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"fmt"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/wal"
+)
+
+// Replication. A sharded engine replicates as N independent record streams,
+// one per shard, each an ordinary engine WAL stream (see the root package's
+// replication surface). Cross-shard ordering is not preserved — and does not
+// need to be: add records carry the reserved global ID as their tag, so the
+// follower rebuilds the global→shard assignment from the per-shard streams
+// exactly the way crash recovery rebuilds it from the per-shard logs.
+
+// ManifestFileName is the sharded manifest's name within the engine
+// directory; replication serves and stages it by this name.
+const ManifestFileName = shardManifestName
+
+// DirName names shard i's subdirectory within a sharded engine directory.
+func DirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// SetReplicationHooks installs the leader-side tail hooks on every shard's
+// engine: onAppend fires after shard i durably logs a record, onRotate when
+// shard i commits a new snapshot generation. Either may be nil. Hooks run on
+// the mutating goroutine under the shard's write lock — stage, don't block.
+// Install before serving traffic.
+func (s *ShardedEngine) SetReplicationHooks(onAppend func(shard int, gen uint64, rec wal.Record), onRotate func(shard int, newGen uint64)) {
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		idx := sh.idx
+		var appendHook func(uint64, wal.Record)
+		var rotateHook func(uint64)
+		if onAppend != nil {
+			appendHook = func(gen uint64, rec wal.Record) { onAppend(idx, gen, rec) }
+		}
+		if onRotate != nil {
+			rotateHook = func(newGen uint64) { onRotate(idx, newGen) }
+		}
+		sh.eng.SetReplicationHooks(appendHook, rotateHook)
+	}
+}
+
+// ShardDurability returns every shard's WAL generation/sequence watermark,
+// in shard order. An unavailable shard reports the zero value.
+func (s *ShardedEngine) ShardDurability() []spatialkeyword.DurabilityStats {
+	out := make([]spatialkeyword.DurabilityStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.eng != nil {
+			out[i] = sh.eng.DurabilityStats()
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// ShardReplayRecords returns the full records shard i's open replayed from
+// its write-ahead log, in log order (see Engine.WALReplayRecords).
+func (s *ShardedEngine) ShardReplayRecords(i int) []wal.Record {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.eng == nil {
+		return nil
+	}
+	return sh.eng.WALReplayRecords()
+}
+
+// ApplyReplicatedBatch applies one batch of records shipped from the
+// leader's shard-i stream, in order, then flushes and group-commits. The
+// shard's write lock is held across the whole batch so concurrent queries
+// never observe a half-applied batch (or race the flush).
+//
+// Global-assignment bookkeeping mirrors crash recovery: an add's tag is the
+// leader's reserved global ID. A gid beyond the current assignment extends
+// it (gap-filling with tombstones — the gap belongs to other shards' still
+// undelivered streams); a gid already assigned must be a tombstone, which
+// the record resurrects. A live duplicate means the streams and the local
+// state disagree — corruption, never silently absorbed.
+func (s *ShardedEngine) ApplyReplicatedBatch(shard int, recs []wal.Record) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("shard: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.eng == nil {
+		return fmt.Errorf("shard %d: %w", shard, errShardDown)
+	}
+	for _, rec := range recs {
+		if rec.Op == wal.OpAdd {
+			gid := rec.Tag
+			// Lock order matches Add: sh.mu (held) then s.mu.
+			s.mu.Lock()
+			for uint64(len(s.assign)) < gid {
+				s.assign = append(s.assign, tombstone)
+			}
+			if uint64(len(s.assign)) == gid {
+				s.assign = append(s.assign, shardLoc{shard: shard, local: rec.ID})
+			} else if s.assign[gid].shard < 0 {
+				s.assign[gid] = shardLoc{shard: shard, local: rec.ID}
+			} else {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: replicated record %d reassigns live global id %d", errCorruptShard, rec.Seq, gid)
+			}
+			s.vocab.AddDocWith(s.analyzer(), rec.Text)
+			s.mu.Unlock()
+			if err := sh.eng.ApplyReplicated(rec); err != nil {
+				// Reserved but never applied — same rule as a failed Add: the
+				// gid must never resolve.
+				s.mu.Lock()
+				s.assign[gid] = tombstone
+				s.mu.Unlock()
+				return fmt.Errorf("shard %d: %w", shard, err)
+			}
+			sh.globals = append(sh.globals, gid)
+			continue
+		}
+		if err := sh.eng.ApplyReplicated(rec); err != nil {
+			return fmt.Errorf("shard %d: %w", shard, err)
+		}
+	}
+	if err := sh.eng.Flush(); err != nil {
+		return fmt.Errorf("shard %d: %w", shard, err)
+	}
+	if err := sh.eng.SyncWAL(); err != nil {
+		return fmt.Errorf("shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// RotateShard checkpoints shard i into a new snapshot generation and
+// rewrites the sharded manifest to pin it — the follower's reaction to a
+// leader-side rotation of that shard's stream. Unlike Save it touches only
+// the one shard, so the other shards' streams keep draining undisturbed;
+// the manifest's mixed generation vector is exactly what a crash between
+// per-shard saves would leave, which Open already reopens consistently.
+func (s *ShardedEngine) RotateShard(i int) error {
+	if s.dir == "" {
+		return spatialkeyword.ErrNotDurable
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("shard: no shard %d", i)
+	}
+	sh := s.shards[i]
+	sh.mu.Lock()
+	if sh.eng == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("shard %d: %w", i, errShardDown)
+	}
+	err := sh.eng.Save()
+	sh.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	gens := make([]uint64, len(s.shards))
+	for j, other := range s.shards {
+		other.mu.RLock()
+		if other.eng != nil {
+			gens[j] = other.eng.Generation()
+		}
+		other.mu.RUnlock()
+	}
+	return s.writeShardManifest(gens)
+}

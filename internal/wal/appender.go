@@ -114,6 +114,14 @@ func (a *Appender) Sync() error {
 	return a.err
 }
 
+// LastAssignedSeq returns the highest sequence number handed out so far
+// (durable or merely staged); 0 before the first append of a fresh log.
+func (a *Appender) LastAssignedSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nextSeq - 1
+}
+
 // Err returns the sticky error, if any.
 func (a *Appender) Err() error {
 	a.mu.Lock()

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -104,6 +105,52 @@ func decodePayload(p []byte) (Record, error) {
 		return r, fmt.Errorf("unknown opcode %d", uint8(r.Op))
 	}
 	return r, nil
+}
+
+// ErrPartialFrame is returned by DecodeFrame when the buffer ends before
+// the frame does. Stream consumers treat it as "wait for more bytes"; it
+// is never a corruption verdict.
+var ErrPartialFrame = errors.New("wal: partial frame")
+
+// ErrBadFrame is wrapped by DecodeFrame for frames that can never become
+// valid with more bytes: implausible length, CRC mismatch, undecodable
+// payload. Stream consumers treat it as corruption on the wire and
+// re-request the region from a trusted position.
+var ErrBadFrame = errors.New("wal: bad frame")
+
+// DecodeFrame decodes the single framed record at the start of data and
+// returns it with the number of bytes consumed. Unlike recovery's stream
+// scan it carries no sequence expectations, so it can parse a batch of
+// frames shipped from the middle of a log — the replication wire format.
+// A zero length field decodes as a clean end: (zero Record, 0, nil).
+func DecodeFrame(data []byte) (Record, int, error) {
+	var r Record
+	if len(data) < 4 {
+		if len(data) == 0 {
+			return r, 0, nil
+		}
+		return r, 0, ErrPartialFrame
+	}
+	length := int64(binary.LittleEndian.Uint32(data[0:4]))
+	if length == 0 {
+		return r, 0, nil
+	}
+	if length > MaxRecordSize {
+		return r, 0, fmt.Errorf("%w: implausible length %d", ErrBadFrame, length)
+	}
+	if int64(len(data)) < frameHeaderSize+length {
+		return r, 0, ErrPartialFrame
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[4:8])
+	payload := data[frameHeaderSize : frameHeaderSize+length]
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return r, 0, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return r, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return r, int(frameHeaderSize + length), nil
 }
 
 // parseStream scans a recovered byte region for framed records. It returns

@@ -276,6 +276,9 @@ func (e *Engine) Save() error {
 			//skvet:ignore erroprov the old log is fully superseded by the committed snapshot; its close cannot un-commit the save
 			old.Close()
 		}
+		if e.replOnRotate != nil {
+			e.replOnRotate(gen)
+		}
 	}
 	// Prune generation G-2; G-1 is kept for pinned readers. Best effort: a
 	// failure here cannot un-commit the save.
@@ -448,6 +451,7 @@ func (e *Engine) openWAL(dir string, gen uint64) error {
 		}
 		e.walReplay = append(e.walReplay, WALOp{Delete: r.Op == wal.OpDelete, ID: r.ID, Tag: r.Tag})
 	}
+	e.walReplayRecs = rec.Records
 	e.walFile = wd
 	e.walApp = wal.NewAppender(l, e.cfg.WALSyncWindow)
 	return nil

@@ -1,0 +1,170 @@
+package spatialkeyword
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/wal"
+)
+
+// Replication surface. The write-ahead log is already a totally ordered,
+// CRC-framed description of every mutation since the last snapshot, which
+// makes it the natural replication stream: a leader publishes each durable
+// record (and each log rotation) through the hooks below, and a follower
+// replays the same records through ApplyReplicated — re-logging them into
+// its own WAL first, so a replica crash recovers by the ordinary OpenEngine
+// path and resumes from its durable watermark. internal/repl builds the
+// leader/follower machinery on top of this surface.
+
+// DurabilityStats is the engine's WAL watermark: which snapshot generation
+// the log belongs to and how far the log has advanced within it. The pair
+// (Generation, DurableSeq) is a replication position — a follower holding
+// it has exactly the leader's acknowledged state up to that record.
+type DurabilityStats struct {
+	// Enabled reports whether the engine has a live write-ahead log.
+	Enabled bool `json:"enabled"`
+	// Generation is the last committed snapshot generation; the current
+	// log carries mutations made after it.
+	Generation uint64 `json:"generation"`
+	// DurableSeq is the highest fsynced log sequence number in this
+	// generation (0 right after a rotation).
+	DurableSeq uint64 `json:"durable_seq"`
+	// StagedSeq is the highest assigned sequence number, including
+	// async-staged records not yet group-committed.
+	StagedSeq uint64 `json:"staged_seq"`
+}
+
+// DurabilityStats returns the engine's WAL generation/sequence watermark.
+// On a non-WAL engine only the snapshot generation is meaningful.
+func (e *Engine) DurabilityStats() DurabilityStats {
+	ds := DurabilityStats{Generation: e.gen}
+	if e.walApp != nil {
+		ds.Enabled = true
+		ds.DurableSeq = e.walApp.Stats().DurableSeq
+		ds.StagedSeq = e.walApp.LastAssignedSeq()
+	}
+	return ds
+}
+
+// SetReplicationHooks installs the leader-side tail hooks: onAppend fires
+// after every durably logged mutation with the engine's current generation
+// and the full record (sequence number included); onRotate fires when Save
+// commits a new generation and rotates the log. Either may be nil. The
+// hooks run synchronously on the mutating goroutine — the engine's write
+// path — so they must not block on I/O; the replication leader only stages
+// the record in an in-memory ship buffer. Install before serving traffic.
+func (e *Engine) SetReplicationHooks(onAppend func(gen uint64, rec wal.Record), onRotate func(newGen uint64)) {
+	e.replOnAppend = onAppend
+	e.replOnRotate = onRotate
+}
+
+// ApplyReplicated applies one record shipped from a leader's log. The
+// record is first re-logged into the follower's own WAL — verifying that
+// the locally assigned sequence number matches the leader's, i.e. the
+// stream arrived gap-free — and then applied, exactly like recovery
+// replay. Durability is batched: the caller syncs with SyncWAL at batch
+// boundaries. Any failure is sticky (the local log and applied state may
+// diverge), matching the engine's own mutation path.
+func (e *Engine) ApplyReplicated(rec wal.Record) error {
+	if e.walApp == nil {
+		return errors.New("spatialkeyword: ApplyReplicated needs a WAL-enabled durable engine")
+	}
+	if e.walBroken != nil {
+		return fmt.Errorf("spatialkeyword: write-ahead log broken: %w", e.walBroken)
+	}
+	seq, err := e.walApp.AppendAsync(wal.Record{Op: rec.Op, ID: rec.ID, Tag: rec.Tag, Point: rec.Point, Text: rec.Text})
+	if err != nil {
+		e.walBroken = err
+		return err
+	}
+	if seq != rec.Seq {
+		e.walBroken = fmt.Errorf("spatialkeyword: replicated record %d landed at local sequence %d", rec.Seq, seq)
+		return e.walBroken
+	}
+	switch rec.Op {
+	case wal.OpAdd:
+		if got := uint64(e.store.NumObjects()); rec.ID != got {
+			e.walBroken = fmt.Errorf("spatialkeyword: replicated record %d adds object %d, store is at %d", rec.Seq, rec.ID, got)
+			return e.walBroken
+		}
+		if _, err := e.applyAdd(rec.Point, rec.Text); err != nil {
+			e.walBroken = err
+			return err
+		}
+	case wal.OpDelete:
+		if err := e.applyDelete(rec.ID); err != nil {
+			e.walBroken = err
+			return err
+		}
+	default:
+		e.walBroken = fmt.Errorf("spatialkeyword: replicated record %d has unknown op %d", rec.Seq, rec.Op)
+		return e.walBroken
+	}
+	if e.walOnAppend != nil {
+		e.walOnAppend()
+	}
+	return nil
+}
+
+// SyncWAL group-commits every async-staged WAL record — the follower's
+// batch boundary. A no-op without a WAL.
+func (e *Engine) SyncWAL() error {
+	if e.walApp == nil {
+		return nil
+	}
+	if err := e.walApp.Sync(); err != nil {
+		e.walBroken = err
+		return err
+	}
+	return nil
+}
+
+// WALReplayRecords returns the full records (points and text included)
+// the open of this engine replayed from its write-ahead log, in log
+// order. A restarted leader seeds its current-generation ship buffer from
+// them, so followers can resume mid-generation across leader restarts.
+func (e *Engine) WALReplayRecords() []wal.Record {
+	return e.walReplayRecs
+}
+
+// SnapshotFileNames returns the immutable per-generation file names a
+// committed generation consists of, relative to the engine directory. The
+// replication leader serves these bytes for follower bootstrap; the
+// follower writes them under the same names.
+func SnapshotFileNames(gen uint64) (objects, index, manifest string) {
+	return genObjectsName(gen), genIndexName(gen), genManifestName(gen)
+}
+
+// WALFileName returns the name of generation gen's write-ahead log file,
+// relative to the engine directory.
+func WALFileName(gen uint64) string { return walName(gen) }
+
+// ManifestFileName is the committed-manifest name an engine directory is
+// opened from.
+const ManifestFileName = manifestName
+
+// CreateEmptyWAL creates a fresh, empty write-ahead log file at path — the
+// follower's bootstrap staging step: a downloaded snapshot is only
+// openable once its generation's (empty) log exists beside it.
+func CreateEmptyWAL(path string, blockSize int) error {
+	if blockSize == 0 {
+		blockSize = storage.DefaultBlockSize
+	}
+	fd, _, err := createWALFile(path, blockSize)
+	if err != nil {
+		return err
+	}
+	return fd.Close()
+}
+
+// PeekManifest reads the engine configuration and generation out of a
+// manifest file without opening the engine. The replication follower uses
+// it to learn the block size and generation of a downloaded snapshot.
+func PeekManifest(path string) (Config, uint64, error) {
+	m, err := readManifest(path)
+	if err != nil {
+		return Config{}, 0, err
+	}
+	return m.Config, m.Generation, nil
+}

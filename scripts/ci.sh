@@ -57,7 +57,7 @@ run_cover() {
 run_bench() {
 	step bench
 	go run ./cmd/skbench \
-		-dataset restaurants -experiment vary-k,ingest \
+		-dataset restaurants -experiment vary-k,ingest,repl \
 		-scale 0.01 -queries 10 -seed 1 \
 		-json -out benchmarks -baseline benchmarks/baseline.json
 }

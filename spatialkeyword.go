@@ -185,6 +185,14 @@ type Engine struct {
 	walOnAppend func()              // metrics hook; see SetWALObserver
 	walOnFsync  func(time.Duration) // kept so Save's rotation re-installs it
 
+	// Replication hooks (see SetReplicationHooks): the leader side of
+	// internal/repl tails the log through them. walReplayRecs keeps the
+	// full replayed records so a restarted leader can still serve the
+	// current generation's log suffix to followers.
+	replOnAppend  func(gen uint64, rec wal.Record)
+	replOnRotate  func(newGen uint64)
+	walReplayRecs []wal.Record
+
 	sink MetricsSink // per-query observability sink; nil = disabled
 }
 
@@ -342,12 +350,16 @@ func (e *Engine) AddTagged(point []float64, text string, tag uint64) (uint64, er
 	// Log before apply: the record carries the ID the store will assign, so
 	// replay can verify it reconstructs the same assignment.
 	id := uint64(e.store.NumObjects())
-	if _, err := e.walApp.Append(wal.Record{Op: wal.OpAdd, ID: id, Tag: tag, Point: point, Text: text}); err != nil {
+	seq, err := e.walApp.Append(wal.Record{Op: wal.OpAdd, ID: id, Tag: tag, Point: point, Text: text})
+	if err != nil {
 		e.walBroken = err
 		return 0, err
 	}
 	if e.walOnAppend != nil {
 		e.walOnAppend()
+	}
+	if e.replOnAppend != nil {
+		e.replOnAppend(e.gen, wal.Record{Seq: seq, Op: wal.OpAdd, ID: id, Tag: tag, Point: append([]float64(nil), point...), Text: text})
 	}
 	gotID, err := e.applyAdd(point, text)
 	if err != nil {
@@ -432,12 +444,16 @@ func (e *Engine) Delete(id uint64) error {
 	if e.walApp == nil {
 		return e.applyDelete(id)
 	}
-	if _, err := e.walApp.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+	seq, err := e.walApp.Append(wal.Record{Op: wal.OpDelete, ID: id})
+	if err != nil {
 		e.walBroken = err
 		return err
 	}
 	if e.walOnAppend != nil {
 		e.walOnAppend()
+	}
+	if e.replOnAppend != nil {
+		e.replOnAppend(e.gen, wal.Record{Seq: seq, Op: wal.OpDelete, ID: id})
 	}
 	if err := e.applyDelete(id); err != nil {
 		e.walBroken = err
