@@ -9,12 +9,12 @@
 //	-dataset     hotels | restaurants | both (default both)
 //	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
 //	             selectivity | table2 | maintenance | ingest | repl |
-//	             ablate-cache | ablate-capacity | ablate-build |
-//	             ablate-split | parallel (default all;
-//	             "all" covers the paper experiments; ingest, repl, the
-//	             ablations, and the sharded-throughput experiment run
-//	             only when named; a comma-separated list runs several,
-//	             e.g. -experiment vary-k,ingest,repl)
+//	             fence-churn | ablate-cache | ablate-capacity |
+//	             ablate-build | ablate-split | parallel (default all;
+//	             "all" covers the paper experiments; ingest, repl,
+//	             fence-churn, the ablations, and the sharded-throughput
+//	             experiment run only when named; a comma-separated list
+//	             runs several, e.g. -experiment vary-k,ingest,fence-churn)
 //	-scale       dataset scale factor in (0,1]; 1 = full Table 1 sizes
 //	             (default 0.02 — laptop-friendly)
 //	-queries     queries per measured cell (default 20)
@@ -268,6 +268,19 @@ func run(cfg config) error {
 	// feeds the same baseline gate.
 	if named("repl") {
 		t, err := bench.ReplCatchup(400, []int{16, 64, 400}, 8, cfg.seed, cm)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+
+	// Standing-query churn: the WAL mutation path with 1k/10k registered
+	// fences evaluated per mutation. Disk cells are deterministic and gated;
+	// the pruning-funnel ratios are the expect notes.
+	if named("fence-churn") {
+		t, err := bench.FenceChurn(300, []int{1000, 10000}, 8, cfg.seed, cm)
 		if err != nil {
 			return err
 		}

@@ -52,6 +52,14 @@
 //	                           degraded status and per-shard health, WAL
 //	                           backends their durability state
 //	POST   /save             → checkpoint a durable engine
+//	POST   /fences           register a standing query (geofence); every
+//	                           applied mutation is evaluated against it
+//	GET    /fences           list fences; GET/DELETE /fences/{id} manage one
+//	GET    /fences/{id}/events
+//	                         → live enter/leave/update events: Server-Sent
+//	                           Events for Accept: text/event-stream clients
+//	                           (resumable via Last-Event-ID), long-poll JSON
+//	                           otherwise (?since=SEQ&wait=DUR&max=N)
 //
 // Example session:
 //
@@ -80,6 +88,7 @@ import (
 	"time"
 
 	"spatialkeyword"
+	"spatialkeyword/internal/fence"
 	"spatialkeyword/internal/obs"
 	"spatialkeyword/internal/repl"
 	"spatialkeyword/internal/shard"
@@ -399,13 +408,15 @@ type server struct {
 	reg      *obs.Registry
 	reqs     map[string]*obs.Counter
 	slow     *obs.SlowLog
-	wal      walReporter    // non-nil when the backend has a live WAL
-	leader   *repl.Leader   // non-nil when serving the replication protocol
-	follower *repl.Follower // non-nil when the backend is a read replica
+	wal      walReporter     // non-nil when the backend has a live WAL
+	leader   *repl.Leader    // non-nil when serving the replication protocol
+	follower *repl.Follower  // non-nil when the backend is a read replica
+	fences   *fence.Registry // non-nil when the backend exposes mutation events
 }
 
 // endpoints names every route for the request counter family.
-var endpoints = []string{"add", "get", "delete", "search", "ranked", "stats", "metrics", "vars", "healthz", "save"}
+var endpoints = []string{"add", "get", "delete", "search", "ranked", "stats", "metrics", "vars", "healthz", "save",
+	"fence-add", "fence-list", "fence-get", "fence-delete", "fence-events"}
 
 func newServer(eng engine, durable bool, opts serverOptions) *server {
 	reg := opts.registry
@@ -469,6 +480,7 @@ func newServer(eng engine, durable bool, opts serverOptions) *server {
 			)
 		}
 	}
+	s.attachFences()
 	return s
 }
 
@@ -529,6 +541,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /debug/vars", counted("vars", s.handleVars))
 	mux.HandleFunc("GET /healthz", counted("healthz", s.handleHealthz))
 	mux.HandleFunc("POST /save", counted("save", s.handleSave))
+	if s.fences != nil {
+		mux.HandleFunc("POST /fences", counted("fence-add", s.handleFenceAdd))
+		mux.HandleFunc("GET /fences", counted("fence-list", s.handleFenceList))
+		mux.HandleFunc("GET /fences/{id}", counted("fence-get", s.handleFenceGet))
+		mux.HandleFunc("DELETE /fences/{id}", counted("fence-delete", s.handleFenceDelete))
+		mux.HandleFunc("GET /fences/{id}/events", counted("fence-events", s.handleFenceEvents))
+	}
 	if s.leader != nil {
 		mux.Handle("/repl/", s.leader.Handler())
 	}

@@ -9,15 +9,17 @@ import (
 )
 
 // lockIO enforces the no-I/O-under-lock discipline in the sharded engine,
-// the core engine, the write-ahead log, and the replication layer: while a
-// sync.Mutex or sync.RWMutex is held, no direct storage-device I/O (Read,
-// ReadRun, Write, WriteRun) may run. A slow or faulted device call under a
-// shard's RWMutex stalls every other query on that shard — the exact
-// tail-latency failure the fan-out design of PR 1 exists to avoid — under
-// the WAL appender's mutex it would serialize every group commit behind
-// the device, defeating group commit entirely, and under the replication
-// leader's ship-buffer mutex it would stall the write path of every
-// stream.
+// the core engine, the write-ahead log, the replication layer, and the
+// fence registry: while a sync.Mutex or sync.RWMutex is held, no direct
+// storage-device I/O (Read, ReadRun, Write, WriteRun) may run. A slow or
+// faulted device call under a shard's RWMutex stalls every other query on
+// that shard — the exact tail-latency failure the fan-out design of PR 1
+// exists to avoid — under the WAL appender's mutex it would serialize
+// every group commit behind the device, defeating group commit entirely,
+// under the replication leader's ship-buffer mutex it would stall the
+// write path of every stream, and under the fence registry's lock (held
+// while evaluating standing queries on the mutation path) it would add
+// device latency to every acknowledged write.
 //
 // The analysis is linear per function body: lock state is tracked in
 // source order, deferred unlocks keep the mutex held to the end of the
@@ -28,7 +30,7 @@ type lockIO struct{}
 func (lockIO) Name() string { return "lockio" }
 
 func (lockIO) Doc() string {
-	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, internal/wal, or internal/repl"
+	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, internal/wal, internal/repl, or internal/fence"
 }
 
 // deviceIOMethods are the Device methods that perform (modeled) disk I/O.
@@ -40,7 +42,8 @@ func (lockIO) Run(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		if !pathHasSegments(pkg.Path, "internal/shard") && !pathHasSegments(pkg.Path, "internal/core") &&
-			!pathHasSegments(pkg.Path, "internal/wal") && !pathHasSegments(pkg.Path, "internal/repl") {
+			!pathHasSegments(pkg.Path, "internal/wal") && !pathHasSegments(pkg.Path, "internal/repl") &&
+			!pathHasSegments(pkg.Path, "internal/fence") {
 			continue
 		}
 		for _, f := range pkg.Files {

@@ -1,0 +1,53 @@
+// Package fence holds positive and negative cases for the lockio pass in
+// the fence registry: Apply runs under the registry's write lock on every
+// acknowledged mutation, so device I/O there adds disk latency to every
+// write the engine serves. Evaluation must stay a pure function of the
+// mutation stream already in memory.
+package fence
+
+import (
+	"sync"
+
+	"spatialkeyword/internal/storage"
+)
+
+// R is a stand-in for the registry: a write lock guarding the fence set
+// plus a device a hypothetical implementation might be tempted to consult.
+type R struct {
+	mu      sync.RWMutex
+	matched map[uint64][]uint64
+	dev     storage.Device
+	head    storage.BlockID
+}
+
+// Positive cases.
+
+func (r *R) rehydrateUnderLock(id uint64) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Loading the object's stored text during evaluation: the exact
+	// temptation the pure-function-of-the-stream contract forbids.
+	return r.dev.Read(r.head) // want `storage I/O \(Read\) in rehydrateUnderLock while holding r\.mu`
+}
+
+func (r *R) persistHistoryUnderLock(buf []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dev.Write(r.head, buf) // want `storage I/O \(Write\) in persistHistoryUnderLock while holding r\.mu`
+}
+
+// Negative cases.
+
+func (r *R) apply(id uint64) int {
+	// The real shape: evaluation touches only in-memory state.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.matched[id])
+}
+
+func (r *R) snapshotOutsideLock() ([]byte, error) {
+	r.mu.RLock()
+	head := r.head
+	r.mu.RUnlock()
+	return r.dev.Read(head)
+}

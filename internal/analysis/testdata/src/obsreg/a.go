@@ -36,3 +36,17 @@ func badDynamicName(r *obs.Registry, name string) {
 func badDupKey(r *obs.Registry) {
 	r.Counter("sk_fixture_dupkey_total", "Dup key.", obs.L("shard", "0"), obs.L("shard", "1")).Inc() // want `label "shard" out of canonical order \(after "shard"\)`
 }
+
+// The fence-metrics shape: one counter family fanned out per event kind at
+// registration time, plus a bare gauge — must stay clean.
+func goodFenceShape(r *obs.Registry) {
+	r.Gauge("sk_fence_registered", "Standing queries currently registered.").Set(0)
+	r.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "enter")).Inc()
+	r.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "leave")).Inc()
+	r.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "update")).Inc()
+}
+
+// Drifting one kind's help string forks the family's meaning.
+func badFenceHelpDrift(r *obs.Registry) {
+	r.Counter("sk_fence_events_total", "Events, but described differently.", obs.L("kind", "enter")).Inc() // want `re-registered with different help`
+}

@@ -26,9 +26,9 @@ import (
 type Method int
 
 // The four methods of the evaluation, plus the two durability arms of the
-// ingest experiment and the two catch-up arms of the replication experiment
-// (which compare write-path/replication strategies, not query algorithms,
-// and are therefore excluded from AllMethods).
+// ingest experiment, the two catch-up arms of the replication experiment,
+// and the fence-churn arm (which compare write-path strategies, not query
+// algorithms, and are therefore excluded from AllMethods).
 const (
 	MethodRTree Method = iota
 	MethodIIO
@@ -38,6 +38,7 @@ const (
 	MethodWALGroup
 	MethodReplSnapshot
 	MethodReplShip
+	MethodFenceWAL
 )
 
 // AllMethods lists the methods in the paper's presentation order.
@@ -62,6 +63,8 @@ func (m Method) String() string {
 		return "Snapshot"
 	case MethodReplShip:
 		return "LogShip"
+	case MethodFenceWAL:
+		return "Fence+WAL"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"spatialkeyword/internal/storage"
+)
+
+// TestFenceChurnTable pins the two properties the experiment exists to
+// show: fence evaluation adds no disk I/O to the mutation path (disk time
+// is identical across fence counts), and the pruning funnel only narrows.
+func TestFenceChurnTable(t *testing.T) {
+	tab, err := FenceChurn(120, []int{50, 500}, 8, 1, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("cells = %d rows = %d, want 2 each", len(tab.Cells), len(tab.Rows))
+	}
+	small := ingestCell(t, tab, "fences=50")
+	big := ingestCell(t, tab, "fences=500")
+	if small.Method != MethodFenceWAL || big.Method != MethodFenceWAL {
+		t.Fatalf("methods %s / %s", small.Method, big.Method)
+	}
+	if small.AvgDiskTime <= 0 {
+		t.Fatal("no modeled disk time on the WAL path")
+	}
+	if small.AvgDiskTime != big.AvgDiskTime {
+		t.Errorf("disk time varies with fence count: %v vs %v — evaluation leaked I/O",
+			small.AvgDiskTime, big.AvgDiskTime)
+	}
+	// The funnel columns (spat% >= sig% >= exact%) follow measurementColumns.
+	base := len(measurementColumns)
+	for _, row := range tab.Rows {
+		if len(row) != base+4 {
+			t.Fatalf("row width %d, want %d", len(row), base+4)
+		}
+		pct := make([]float64, 3)
+		for i := range pct {
+			v, err := strconv.ParseFloat(row[base+i], 64)
+			if err != nil {
+				t.Fatalf("funnel column %d = %q: %v", i, row[base+i], err)
+			}
+			pct[i] = v
+		}
+		if pct[0] < pct[1] || pct[1] < pct[2] {
+			t.Errorf("pruning funnel widened in row %v: %v", row[0], pct)
+		}
+		if pct[0] <= 0 {
+			t.Errorf("row %v: spatial stage pruned everything; the workload never exercises matching", row[0])
+		}
+	}
+	// Some enter/leave traffic must actually flow, or the experiment
+	// measures an empty funnel.
+	if small.AvgResults <= 0 || big.AvgResults <= 0 {
+		t.Errorf("no fence events emitted: %v / %v events per mutation",
+			small.AvgResults, big.AvgResults)
+	}
+}
+
+// TestFenceChurnDeterministic pins what the CI baseline gate relies on:
+// every compared metric is a pure function of the inputs. CPU time is
+// wall-clock and excluded, exactly as in the gate.
+func TestFenceChurnDeterministic(t *testing.T) {
+	a, err := FenceChurn(80, []int{64}, 4, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FenceChurn(80, []int{64}, 4, 7, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := ingestCell(t, a, "fences=64"), ingestCell(t, b, "fences=64")
+	am.AvgCPUTime, bm.AvgCPUTime = 0, 0
+	if am.AvgDiskTime != bm.AvgDiskTime ||
+		am.AvgRandom != bm.AvgRandom ||
+		am.AvgSequential != bm.AvgSequential ||
+		am.AvgResults != bm.AvgResults {
+		t.Errorf("deterministic fields differ:\n%+v\n%+v", am, bm)
+	}
+	for i, bucket := range am.DiskTimeHist.Counts {
+		if bucket != bm.DiskTimeHist.Counts[i] {
+			t.Errorf("disk-time histogram differs at bucket %d", i)
+		}
+	}
+	// The funnel columns must also be identical (they feed the notes and
+	// the rendered report).
+	base := len(measurementColumns)
+	for i := base; i < base+4; i++ {
+		if a.Rows[0][i] != b.Rows[0][i] {
+			t.Errorf("funnel column %d differs: %q vs %q", i, a.Rows[0][i], b.Rows[0][i])
+		}
+	}
+}
+
+// TestFenceChurnValidation covers the error paths.
+func TestFenceChurnValidation(t *testing.T) {
+	cm := storage.DefaultCostModel()
+	if _, err := FenceChurn(0, []int{10}, 8, 1, cm); err == nil {
+		t.Error("ops=0 accepted")
+	}
+	if _, err := FenceChurn(10, []int{0}, 8, 1, cm); err == nil {
+		t.Error("fences=0 accepted")
+	}
+	if _, err := FenceChurn(10, []int{10}, 0, 1, cm); err == nil {
+		t.Error("batch=0 accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package fence
+
+import (
+	"fmt"
+	"math"
+
+	"spatialkeyword/internal/geo"
+)
+
+// memTree is a small in-memory R-Tree over fence bounding rectangles.
+//
+// The registry deliberately does not reuse internal/rtree: that tree is
+// disk-backed and every traversal performs device I/O, which would put
+// block reads under the registry lock (forbidden by the lockio invariant)
+// and make fence evaluation pay modeled disk costs that belong to the
+// primary index, not to standing queries. Fence sets are small (10^3-10^5
+// rectangles) and mutate rarely compared to the object stream, so a
+// pointer-based quadratic-split tree is the right tool.
+//
+// Deletion removes the entry, tightens MBRs on the way back up, and drops
+// nodes that become empty, but does not rebalance underfull nodes: fences
+// are registered and removed far less often than they are probed, so the
+// classic condense-and-reinsert step buys nothing here. The structural
+// invariants checked by check() (and relied on by the fuzz target) are
+// therefore: uniform leaf depth, parent MBRs exactly covering children,
+// and no empty non-root nodes.
+type memTree struct {
+	root  *memNode
+	size  int
+	maxE  int // max entries per node before split
+	depth int // leaf depth; root is depth 0
+}
+
+type memNode struct {
+	leaf    bool
+	entries []memEntry
+}
+
+// memEntry is either a leaf entry (child == nil, id set) or a branch
+// entry pointing at a child node whose MBR is rect.
+type memEntry struct {
+	rect  geo.Rect
+	child *memNode
+	id    uint64
+}
+
+const memTreeMaxEntries = 8
+
+func newMemTree() *memTree {
+	return &memTree{
+		root: &memNode{leaf: true},
+		maxE: memTreeMaxEntries,
+	}
+}
+
+func (t *memTree) len() int { return t.size }
+
+// insert adds (rect, id). Duplicate ids are the caller's responsibility;
+// the registry never inserts the same fence id twice.
+func (t *memTree) insert(rect geo.Rect, id uint64) {
+	left, right := t.insertAt(t.root, memEntry{rect: rect, id: id}, 0)
+	if right != nil {
+		// Root split: grow the tree by one level.
+		t.root = &memNode{entries: []memEntry{
+			{rect: nodeRect(left), child: left},
+			{rect: nodeRect(right), child: right},
+		}}
+		t.depth++
+	}
+	t.size++
+}
+
+// insertAt descends to the leaf level, inserts e, and splits on overflow.
+// It returns the (possibly new) node replacing n, plus a second node when
+// n was split.
+func (t *memTree) insertAt(n *memNode, e memEntry, level int) (*memNode, *memNode) {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxE {
+			return t.split(n)
+		}
+		return n, nil
+	}
+	i := chooseSubtree(n, e.rect)
+	child, extra := t.insertAt(n.entries[i].child, e, level+1)
+	n.entries[i] = memEntry{rect: nodeRect(child), child: child}
+	if extra != nil {
+		n.entries = append(n.entries, memEntry{rect: nodeRect(extra), child: extra})
+		if len(n.entries) > t.maxE {
+			return t.split(n)
+		}
+	}
+	return n, nil
+}
+
+// chooseSubtree picks the child needing the least MBR enlargement to
+// absorb rect, breaking ties by smaller area then lower index.
+func chooseSubtree(n *memNode, rect geo.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.rect.Enlargement(rect)
+		area := e.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// split partitions an overflowing node's entries with the quadratic seed
+// heuristic (Guttman 1984) into two nodes at the same level.
+func (t *memTree) split(n *memNode) (*memNode, *memNode) {
+	entries := n.entries
+	// Pick the pair of entries that would waste the most area together.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	a := &memNode{leaf: n.leaf, entries: []memEntry{entries[s1]}}
+	b := &memNode{leaf: n.leaf, entries: []memEntry{entries[s2]}}
+	ra, rb := entries[s1].rect, entries[s2].rect
+	minFill := (t.maxE + 1) / 2
+	rest := make([]memEntry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for k, e := range rest {
+		remaining := len(rest) - k
+		switch {
+		case len(a.entries)+remaining <= minFill:
+			a.entries = append(a.entries, e)
+			ra = ra.Union(e.rect)
+			continue
+		case len(b.entries)+remaining <= minFill:
+			b.entries = append(b.entries, e)
+			rb = rb.Union(e.rect)
+			continue
+		}
+		da := ra.Enlargement(e.rect)
+		db := rb.Enlargement(e.rect)
+		if da < db || (da == db && len(a.entries) <= len(b.entries)) {
+			a.entries = append(a.entries, e)
+			ra = ra.Union(e.rect)
+		} else {
+			b.entries = append(b.entries, e)
+			rb = rb.Union(e.rect)
+		}
+	}
+	return a, b
+}
+
+// delete removes the entry (rect, id) and reports whether it was found.
+func (t *memTree) delete(rect geo.Rect, id uint64) bool {
+	if !t.deleteFrom(t.root, rect, id) {
+		return false
+	}
+	t.size--
+	// Collapse a root that has decayed to a single branch entry.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.depth--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &memNode{leaf: true}
+		t.depth = 0
+	}
+	return true
+}
+
+func (t *memTree) deleteFrom(n *memNode, rect geo.Rect, id uint64) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id && e.rect.Equal(rect) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range n.entries {
+		if !e.rect.Contains(rect) {
+			continue
+		}
+		if t.deleteFrom(e.child, rect, id) {
+			if len(e.child.entries) == 0 {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				n.entries[i].rect = nodeRect(e.child)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// searchPoint invokes fn for every stored id whose rectangle contains p.
+// Visit order is arbitrary; callers that need determinism sort the ids.
+func (t *memTree) searchPoint(p geo.Point, fn func(id uint64)) {
+	searchPointNode(t.root, p, fn)
+}
+
+func searchPointNode(n *memNode, p geo.Point, fn func(id uint64)) {
+	for _, e := range n.entries {
+		if !e.rect.ContainsPoint(p) {
+			continue
+		}
+		if e.child == nil {
+			fn(e.id)
+		} else {
+			searchPointNode(e.child, p, fn)
+		}
+	}
+}
+
+// nodeRect computes the MBR of a node's entries. Empty nodes only occur
+// transiently during deletion and are removed by the caller.
+func nodeRect(n *memNode) geo.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// check validates the structural invariants and returns the first
+// violation found. Used by tests and the fuzz target.
+func (t *memTree) check() error {
+	count, err := checkNode(t.root, t.depth, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("fence: tree size %d but %d reachable entries", t.size, count)
+	}
+	return nil
+}
+
+func checkNode(n *memNode, depthLeft int, isRoot bool) (int, error) {
+	if n.leaf {
+		if depthLeft != 0 {
+			return 0, fmt.Errorf("fence: leaf at wrong depth (%d levels early)", depthLeft)
+		}
+		return len(n.entries), nil
+	}
+	if depthLeft <= 0 {
+		return 0, fmt.Errorf("fence: branch node below leaf depth")
+	}
+	if len(n.entries) == 0 && !isRoot {
+		return 0, fmt.Errorf("fence: empty non-root branch node")
+	}
+	total := 0
+	for i, e := range n.entries {
+		if e.child == nil {
+			return 0, fmt.Errorf("fence: branch entry %d has nil child", i)
+		}
+		if len(e.child.entries) == 0 {
+			return 0, fmt.Errorf("fence: branch entry %d points at empty node", i)
+		}
+		if got := nodeRect(e.child); !e.rect.Equal(got) {
+			return 0, fmt.Errorf("fence: branch entry %d MBR %v != child cover %v", i, e.rect, got)
+		}
+		c, err := checkNode(e.child, depthLeft-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}

@@ -1,0 +1,145 @@
+package fence
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+)
+
+func randRect(rng *rand.Rand) geo.Rect {
+	x, y := rng.Float64()*100, rng.Float64()*100
+	w, h := rng.Float64()*10, rng.Float64()*10
+	return geo.Rect{Lo: geo.Point{x, y}, Hi: geo.Point{x + w, y + h}}
+}
+
+// bruteSearch is the reference for searchPoint.
+func bruteSearch(rects map[uint64]geo.Rect, p geo.Point) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for id, r := range rects {
+		if r.ContainsPoint(p) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func treeSearch(t *memTree, p geo.Point) map[uint64]bool {
+	out := make(map[uint64]bool)
+	t.searchPoint(p, func(id uint64) {
+		if out[id] {
+			panic("duplicate id from searchPoint")
+		}
+		out[id] = true
+	})
+	return out
+}
+
+func sameIDs(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMemTreeInsertSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newMemTree()
+	rects := make(map[uint64]geo.Rect)
+	for id := uint64(1); id <= 500; id++ {
+		r := randRect(rng)
+		rects[id] = r
+		tr.insert(r, id)
+		if id%97 == 0 {
+			if err := tr.check(); err != nil {
+				t.Fatalf("after %d inserts: %v", id, err)
+			}
+		}
+	}
+	if tr.len() != 500 {
+		t.Fatalf("len = %d, want 500", tr.len())
+	}
+	for i := 0; i < 200; i++ {
+		p := geo.Point{rng.Float64() * 110, rng.Float64() * 110}
+		want := bruteSearch(rects, p)
+		got := treeSearch(tr, p)
+		if !sameIDs(got, want) {
+			t.Fatalf("searchPoint(%v): got %d ids, want %d", p, len(got), len(want))
+		}
+	}
+}
+
+func TestMemTreeDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := newMemTree()
+	rects := make(map[uint64]geo.Rect)
+	for id := uint64(1); id <= 300; id++ {
+		r := randRect(rng)
+		rects[id] = r
+		tr.insert(r, id)
+	}
+	// Delete in random interleaving with searches.
+	ids := make([]uint64, 0, len(rects))
+	for id := range rects {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for n, id := range ids {
+		if !tr.delete(rects[id], id) {
+			t.Fatalf("delete(%d) not found", id)
+		}
+		delete(rects, id)
+		if tr.delete(geo.Rect{Lo: geo.Point{0, 0}, Hi: geo.Point{1, 1}}, id) {
+			t.Fatalf("second delete(%d) succeeded", id)
+		}
+		if n%31 == 0 {
+			if err := tr.check(); err != nil {
+				t.Fatalf("after %d deletes: %v", n+1, err)
+			}
+			p := geo.Point{rng.Float64() * 110, rng.Float64() * 110}
+			if !sameIDs(treeSearch(tr, p), bruteSearch(rects, p)) {
+				t.Fatalf("search mismatch after %d deletes", n+1)
+			}
+		}
+	}
+	if tr.len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.len())
+	}
+	if err := tr.check(); err != nil {
+		t.Fatalf("empty tree: %v", err)
+	}
+	// The tree must stay usable after total drain.
+	tr.insert(geo.Rect{Lo: geo.Point{5, 5}, Hi: geo.Point{6, 6}}, 42)
+	got := treeSearch(tr, geo.Point{5.5, 5.5})
+	if len(got) != 1 || !got[42] {
+		t.Fatalf("reinsert after drain: got %v", got)
+	}
+}
+
+func TestMemTreeDegenerateRects(t *testing.T) {
+	// Identical and point-sized rectangles must not confuse the split.
+	tr := newMemTree()
+	r := geo.PointRect(geo.Point{1, 1})
+	for id := uint64(1); id <= 50; id++ {
+		tr.insert(r, id)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := treeSearch(tr, geo.Point{1, 1}); len(got) != 50 {
+		t.Fatalf("got %d ids, want 50", len(got))
+	}
+	for id := uint64(1); id <= 50; id++ {
+		if !tr.delete(r, id) {
+			t.Fatalf("delete(%d) not found", id)
+		}
+	}
+	if tr.len() != 0 {
+		t.Fatalf("len = %d", tr.len())
+	}
+}

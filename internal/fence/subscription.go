@@ -1,0 +1,103 @@
+package fence
+
+import "spatialkeyword/internal/obs"
+
+// Subscription is one consumer of a fence's event stream.
+//
+// Delivery semantics: events are sent to C with a non-blocking send while
+// the registry lock is held. A subscriber that does not drain C fast
+// enough loses events — each loss increments Dropped (and the registry's
+// sk_fence_dropped_total) rather than stalling the mutation path. Lost
+// events show up as gaps in Event.Seq; the consumer recovers by calling
+// Registry.EventsSince with the last sequence it saw. C is closed when
+// the subscription is closed or its fence is removed.
+type Subscription struct {
+	// C delivers the fence's events in order (modulo drops).
+	C <-chan Event
+
+	ch      chan Event
+	reg     *Registry
+	fence   uint64
+	dropped uint64 // guarded by reg.mu
+	closed  bool   // guarded by reg.mu
+}
+
+// Subscribe attaches a new subscriber to a fence. buffer is the channel
+// capacity (<= 0 uses the default of 64): the slack a consumer has before
+// events start dropping.
+func (r *Registry) Subscribe(id uint64, buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = defaultSubBuffer
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fences[id]
+	if !ok {
+		return nil, ErrNoFence
+	}
+	ch := make(chan Event, buffer)
+	sub := &Subscription{C: ch, ch: ch, reg: r, fence: id}
+	f.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// Fence returns the id of the fence this subscription watches.
+func (s *Subscription) Fence() uint64 { return s.fence }
+
+// Dropped returns how many events this subscription has lost to a full
+// buffer.
+func (s *Subscription) Dropped() uint64 {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	return s.dropped
+}
+
+// Close detaches the subscription and closes C. Closing twice is safe.
+func (s *Subscription) Close() {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if f, ok := s.reg.fences[s.fence]; ok {
+		delete(f.subs, s)
+	}
+	s.closed = true
+	close(s.ch)
+}
+
+// closeLocked closes the subscription while the caller already holds the
+// registry lock (fence removal).
+func (s *Subscription) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+}
+
+// Metrics bundles the obs instruments the registry reports into. Families
+// follow the sk_fence_* naming of the other subsystems.
+type Metrics struct {
+	Registered  *obs.Gauge
+	EvalSeconds *obs.Histogram
+	Dropped     *obs.Counter
+
+	byKind map[Kind]*obs.Counter
+}
+
+// NewMetrics registers the fence metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Registered:  reg.Gauge("sk_fence_registered", "Standing queries currently registered."),
+		EvalSeconds: reg.Histogram("sk_fence_eval_seconds", "Fence-evaluation latency per mutation.", obs.LatencyBuckets()),
+		Dropped:     reg.Counter("sk_fence_dropped_total", "Fence events dropped on full subscriber buffers."),
+		byKind:      make(map[Kind]*obs.Counter, 3),
+	}
+	m.byKind[Enter] = reg.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "enter"))
+	m.byKind[Leave] = reg.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "leave"))
+	m.byKind[Update] = reg.Counter("sk_fence_events_total", "Fence events emitted, by kind.", obs.L("kind", "update"))
+	return m
+}
+
+func (m *Metrics) events(k Kind) *obs.Counter { return m.byKind[k] }

@@ -105,6 +105,11 @@ type Follower struct {
 	single  *spatialkeyword.Engine
 	sharded *shard.ShardedEngine
 
+	// mutObserver is forwarded to whichever engine is currently installed,
+	// and re-installed across resyncs (install tears engines down and
+	// republishes them). See SetMutationObserver.
+	mutObserver func(spatialkeyword.MutationEvent)
+
 	// posMu guards the position/watermark vectors and the lag metrics
 	// derived from them. posChanged is closed and replaced on every
 	// update (WaitFor waits on it).
@@ -174,6 +179,7 @@ func (f *Follower) openOrBootstrap() error {
 // (generation, durable sequence) — exactly what local recovery replayed.
 func (f *Follower) install(e *spatialkeyword.Engine, s *shard.ShardedEngine) {
 	f.single, f.sharded = e, s
+	f.installObserver()
 	var ds []spatialkeyword.DurabilityStats
 	if s != nil {
 		ds = s.ShardDurability()
@@ -190,6 +196,36 @@ func (f *Follower) install(e *spatialkeyword.Engine, s *shard.ShardedEngine) {
 	}
 	f.notifyLocked()
 	f.posMu.Unlock()
+}
+
+// SetMutationObserver installs fn as the mutation observer on the
+// replica's underlying engine (single or sharded), and keeps it installed
+// across resyncs — a full re-bootstrap tears the engines down and opens
+// fresh ones, and install re-attaches the observer to them.
+//
+// The observer fires for every replicated record the follower applies,
+// post-WAL and post-apply, so a fence registry fed from it emits the same
+// event stream the leader's does once the follower drains. Caveat: a full
+// snapshot re-bootstrap is a state jump, not a mutation stream — standing
+// queries tracking result sets across a resync hold stale members and
+// should be re-registered. Install before traffic; nil removes it.
+func (f *Follower) SetMutationObserver(fn func(spatialkeyword.MutationEvent)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mutObserver = fn
+	f.installObserver()
+}
+
+// installObserver pushes the stored observer onto whichever engine is
+// currently published. Callers hold f.mu (or, during OpenFollower, have
+// exclusive access).
+func (f *Follower) installObserver() {
+	if f.single != nil {
+		f.single.SetMutationObserver(f.mutObserver)
+	}
+	if f.sharded != nil {
+		f.sharded.SetMutationObserver(f.mutObserver)
+	}
 }
 
 // closeEnginesLocked tears the local engines down (mu held).

@@ -1,0 +1,51 @@
+package shard
+
+import "spatialkeyword"
+
+// SetMutationObserver installs fn to run after every successfully applied
+// mutation on any shard, with IDs translated to the global space: the
+// delivered event's ID (and Tag) is the global object ID, never a
+// shard-local one. Like the single engine's observer it fires post-WAL
+// and post-apply, on leader writes and on ApplyReplicatedBatch, so a
+// follower observing its own sharded engine sees the leader's per-shard
+// event streams. Cross-shard ordering is whatever the mutation
+// interleaving was — the same guarantee replication gives.
+//
+// fn runs on the mutating goroutine while the shard's write lock is held;
+// it must not block and must not call back into the engine. Install
+// before serving traffic; passing nil removes the observer.
+func (s *ShardedEngine) SetMutationObserver(fn func(spatialkeyword.MutationEvent)) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.eng == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		if fn == nil {
+			sh.eng.SetMutationObserver(nil)
+			sh.mu.Unlock()
+			continue
+		}
+		sh := sh
+		sh.eng.SetMutationObserver(func(ev spatialkeyword.MutationEvent) {
+			if ev.Delete {
+				// The shard lock is held by the mutating path that fired
+				// this, so reading the local→global map is safe. A local
+				// ID beyond the map cannot come from an intact shard;
+				// drop the event rather than fabricate a global ID.
+				if ev.ID >= uint64(len(sh.globals)) {
+					return
+				}
+				ev.ID = sh.globals[ev.ID]
+				ev.Tag = ev.ID
+				fn(ev)
+				return
+			}
+			// Adds carry the reserved global ID as the record tag on
+			// every path: Add (WAL and not), replay, and replication.
+			ev.ID = ev.Tag
+			fn(ev)
+		})
+		sh.mu.Unlock()
+	}
+}

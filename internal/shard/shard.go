@@ -376,19 +376,24 @@ func (s *ShardedEngine) Add(point []float64, text string) (uint64, error) {
 		return 0, fmt.Errorf("shard %d: %w", sh.idx, errShardDown)
 	}
 	if !s.cfg.WAL {
-		local, err := sh.eng.Add(point, text)
-		if err != nil {
-			return 0, err
-		}
-		if err := sh.eng.Flush(); err != nil {
-			return 0, err
-		}
+		// Mirror the WAL path: reserve the global ID first so the engine-
+		// level mutation observer (see SetMutationObserver) sees it as the
+		// record tag while the add is applied.
 		s.mu.Lock()
 		gid := uint64(len(s.assign))
-		s.assign = append(s.assign, shardLoc{shard: sh.idx, local: local})
+		s.assign = append(s.assign, shardLoc{shard: sh.idx, local: uint64(sh.eng.NumObjects())})
 		s.vocab.AddDocWith(s.analyzer(), text)
 		s.mu.Unlock()
+		if _, err := sh.eng.AddTagged(point, text, gid); err != nil {
+			s.mu.Lock()
+			s.assign[gid] = tombstone
+			s.mu.Unlock()
+			return 0, err
+		}
 		sh.globals = append(sh.globals, gid)
+		if err := sh.eng.Flush(); err != nil {
+			return gid, err
+		}
 		return gid, nil
 	}
 	// WAL path: reserve the global ID before the durable append so the log

@@ -443,7 +443,7 @@ func (e *Engine) openWAL(dir string, gen uint64) error {
 				return errors.Join(fmt.Errorf("spatialkeyword: wal replay add %d: %w", r.ID, err), wd.Close())
 			}
 		case wal.OpDelete:
-			if err := e.applyDelete(r.ID); err != nil {
+			if _, err := e.applyDelete(r.ID); err != nil {
 				return errors.Join(fmt.Errorf("spatialkeyword: wal replay delete %d: %w", r.ID, err), wd.Close())
 			}
 		default:

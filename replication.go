@@ -92,11 +92,14 @@ func (e *Engine) ApplyReplicated(rec wal.Record) error {
 			e.walBroken = err
 			return err
 		}
+		e.notifyAdd(rec.ID, rec.Tag, rec.Point, rec.Text)
 	case wal.OpDelete:
-		if err := e.applyDelete(rec.ID); err != nil {
+		obj, err := e.applyDelete(rec.ID)
+		if err != nil {
 			e.walBroken = err
 			return err
 		}
+		e.notifyDelete(rec.ID, obj.Point, obj.Text)
 	default:
 		e.walBroken = fmt.Errorf("spatialkeyword: replicated record %d has unknown op %d", rec.Seq, rec.Op)
 		return e.walBroken

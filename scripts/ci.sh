@@ -6,7 +6,9 @@
 #   analyze skvet, the project's own invariant passes (cmd/skvet)
 #   test    go test -race ./...
 #   cover   coverage with the CI floor (scripts/coverage.sh)
-#   bench   benchmark-regression check against benchmarks/baseline.json
+#   bench   benchmark-regression gate against benchmarks/baseline.json
+#           (the one definition of the gated workload: ci.yml bench-smoke
+#           and the nightly bench.yml both invoke this step)
 #   fuzz    every Fuzz target for FUZZTIME (default 30s) each
 #   all     everything above (the default)
 #
@@ -57,8 +59,8 @@ run_cover() {
 run_bench() {
 	step bench
 	go run ./cmd/skbench \
-		-dataset restaurants -experiment vary-k,ingest,repl \
-		-scale 0.01 -queries 10 -seed 1 \
+		-dataset restaurants -experiment vary-k,ingest,repl,fence-churn \
+		-scale 0.01 -queries 5 -seed 1 \
 		-json -out benchmarks -baseline benchmarks/baseline.json
 }
 

@@ -193,6 +193,11 @@ type Engine struct {
 	replOnRotate  func(newGen uint64)
 	walReplayRecs []wal.Record
 
+	// Mutation observer (see SetMutationObserver): fires post-WAL,
+	// post-apply with the full object, on the leader write path and on
+	// replicated applies. internal/fence evaluates standing queries here.
+	mutObserver func(MutationEvent)
+
 	sink MetricsSink // per-query observability sink; nil = disabled
 }
 
@@ -345,7 +350,12 @@ func (e *Engine) AddTagged(point []float64, text string, tag uint64) (uint64, er
 		return 0, fmt.Errorf("spatialkeyword: write-ahead log broken: %w", e.walBroken)
 	}
 	if e.walApp == nil {
-		return e.applyAdd(point, text)
+		id, err := e.applyAdd(point, text)
+		if err != nil {
+			return id, err
+		}
+		e.notifyAdd(id, tag, point, text)
+		return id, nil
 	}
 	// Log before apply: the record carries the ID the store will assign, so
 	// replay can verify it reconstructs the same assignment.
@@ -366,8 +376,10 @@ func (e *Engine) AddTagged(point []float64, text string, tag uint64) (uint64, er
 		// Logged but not applied: in-memory state no longer matches the
 		// durable log, so refuse further mutations until reopen.
 		e.walBroken = err
+		return gotID, err
 	}
-	return gotID, err
+	e.notifyAdd(gotID, tag, point, text)
+	return gotID, nil
 }
 
 // applyAdd performs the insertion against the store and index structures.
@@ -442,7 +454,12 @@ func (e *Engine) Delete(id uint64) error {
 		return fmt.Errorf("spatialkeyword: write-ahead log broken: %w", e.walBroken)
 	}
 	if e.walApp == nil {
-		return e.applyDelete(id)
+		obj, err := e.applyDelete(id)
+		if err != nil {
+			return err
+		}
+		e.notifyDelete(id, obj.Point, obj.Text)
+		return nil
 	}
 	seq, err := e.walApp.Append(wal.Record{Op: wal.OpDelete, ID: id})
 	if err != nil {
@@ -455,33 +472,37 @@ func (e *Engine) Delete(id uint64) error {
 	if e.replOnAppend != nil {
 		e.replOnAppend(e.gen, wal.Record{Seq: seq, Op: wal.OpDelete, ID: id})
 	}
-	if err := e.applyDelete(id); err != nil {
+	obj, err := e.applyDelete(id)
+	if err != nil {
 		e.walBroken = err
 		return err
 	}
+	e.notifyDelete(id, obj.Point, obj.Text)
 	return nil
 }
 
-// applyDelete performs the deletion against the index. WAL replay calls it
-// directly.
-func (e *Engine) applyDelete(id uint64) error {
+// applyDelete performs the deletion against the index and returns the
+// deleted object — it has to load the row to unindex it anyway, and the
+// mutation observer wants the object's point and text without paying a
+// second store read. WAL replay calls it directly.
+func (e *Engine) applyDelete(id uint64) (objstore.Object, error) {
 	if err := e.Flush(); err != nil {
-		return err
+		return objstore.Object{}, err
 	}
 	obj, err := e.store.GetByID(objstore.ID(id))
 	if err != nil {
-		return err
+		return objstore.Object{}, err
 	}
 	ok, err := e.tree.Delete(obj.Point, e.store.Ptrs()[id])
 	if err != nil {
-		return err
+		return obj, err
 	}
 	if !ok {
-		return fmt.Errorf("%w: %d not in index", ErrUnknownID, id)
+		return obj, fmt.Errorf("%w: %d not in index", ErrUnknownID, id)
 	}
 	e.deleted[id] = true
 	e.live--
-	return nil
+	return obj, nil
 }
 
 // TopK returns the k objects containing every keyword, nearest to point
