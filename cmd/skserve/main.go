@@ -332,6 +332,12 @@ func (l *lockedEngine) SetWALObserver(onAppend func(), onFsync func(time.Duratio
 	l.eng.SetWALObserver(onAppend, onFsync)
 }
 
+func (l *lockedEngine) NodeCacheStats() spatialkeyword.NodeCacheStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.NodeCacheStats()
+}
+
 func (l *lockedEngine) DurabilityStats() spatialkeyword.DurabilityStats {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -363,6 +369,14 @@ type healthReporter interface {
 	Degraded() bool
 	Health() []shard.ShardHealth
 	SetHealthMetrics(errs *obs.Counter, unhealthy *obs.Gauge)
+}
+
+// nodeCacheReporter is the optional backend extension for the decoded-node
+// cache on the read hot path; both backends implement it (the sharded
+// engine sums its per-shard caches). The server snapshots the counters into
+// gauges on every /metrics and /debug/vars scrape.
+type nodeCacheReporter interface {
+	NodeCacheStats() spatialkeyword.NodeCacheStats
 }
 
 // walReporter is the optional backend extension for write-ahead-log
@@ -412,6 +426,12 @@ type server struct {
 	leader   *repl.Leader    // non-nil when serving the replication protocol
 	follower *repl.Follower  // non-nil when the backend is a read replica
 	fences   *fence.Registry // non-nil when the backend exposes mutation events
+
+	// Node-cache export (optional backend extension): the counters live in
+	// the engine, so every scrape snapshots them into these gauges.
+	ncache                             nodeCacheReporter
+	ncacheHits, ncacheMisses           *obs.Gauge
+	ncacheEvictions, ncacheInvalidates *obs.Gauge
 }
 
 // endpoints names every route for the request counter family.
@@ -460,6 +480,17 @@ func newServer(eng engine, durable bool, opts serverOptions) *server {
 			s.reg.Gauge("sk_shards_unhealthy",
 				"Shards currently marked unhealthy and out of rotation."),
 		)
+	}
+	if nr, ok := eng.(nodeCacheReporter); ok {
+		s.ncache = nr
+		s.ncacheHits = s.reg.Gauge("sk_nodecache_hits",
+			"Decoded-node cache hits: warm node expansions served without re-decoding.")
+		s.ncacheMisses = s.reg.Gauge("sk_nodecache_misses",
+			"Decoded-node cache misses: nodes decoded from their block image.")
+		s.ncacheEvictions = s.reg.Gauge("sk_nodecache_evictions",
+			"Decoded nodes evicted by the cache's CLOCK policy.")
+		s.ncacheInvalidates = s.reg.Gauge("sk_nodecache_invalidations",
+			"Decoded nodes dropped because the mutation path rewrote or freed them.")
 	}
 	if wr, ok := eng.(walReporter); ok {
 		if wi := wr.WALInfo(); wi.Enabled {
@@ -564,13 +595,28 @@ func (s *server) routes() http.Handler {
 // handleMetrics serves the registry in Prometheus text exposition format.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.refreshNodeCache()
 	s.reg.WritePrometheus(w) //nolint:errcheck // best effort to a client
 }
 
 // handleVars serves the registry as expvar-style JSON.
 func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	s.refreshNodeCache()
 	s.reg.WriteJSON(w) //nolint:errcheck // best effort to a client
+}
+
+// refreshNodeCache snapshots the backend's node-cache counters into the
+// exported gauges. No-op when the backend doesn't report them.
+func (s *server) refreshNodeCache() {
+	if s.ncache == nil {
+		return
+	}
+	st := s.ncache.NodeCacheStats()
+	s.ncacheHits.Set(int64(st.Hits))
+	s.ncacheMisses.Set(int64(st.Misses))
+	s.ncacheEvictions.Set(int64(st.Evictions))
+	s.ncacheInvalidates.Set(int64(st.Invalidations))
 }
 
 // addRequest is the POST /objects payload.

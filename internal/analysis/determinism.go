@@ -41,7 +41,8 @@ var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf"
 func (determinism) Run(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
-		if !pathHasSegments(pkg.Path, "internal/storage") && !pathHasSegments(pkg.Path, "internal/bench") {
+		if !pathHasSegments(pkg.Path, "internal/storage") && !pathHasSegments(pkg.Path, "internal/bench") &&
+			!pathHasSegments(pkg.Path, "internal/nodecache") {
 			continue
 		}
 		for _, f := range pkg.Files {

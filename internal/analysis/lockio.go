@@ -30,12 +30,12 @@ type lockIO struct{}
 func (lockIO) Name() string { return "lockio" }
 
 func (lockIO) Doc() string {
-	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, internal/wal, internal/repl, or internal/fence"
+	return "no storage-device I/O while holding a mutex in internal/shard, internal/core, internal/wal, internal/repl, internal/fence, or internal/nodecache"
 }
 
 // deviceIOMethods are the Device methods that perform (modeled) disk I/O.
 var deviceIOMethods = map[string]bool{
-	"Read": true, "ReadRun": true, "Write": true, "WriteRun": true,
+	"Read": true, "ReadRun": true, "ReadRunInto": true, "Write": true, "WriteRun": true,
 }
 
 func (lockIO) Run(prog *Program) []Diagnostic {
@@ -43,7 +43,7 @@ func (lockIO) Run(prog *Program) []Diagnostic {
 	for _, pkg := range prog.Pkgs {
 		if !pathHasSegments(pkg.Path, "internal/shard") && !pathHasSegments(pkg.Path, "internal/core") &&
 			!pathHasSegments(pkg.Path, "internal/wal") && !pathHasSegments(pkg.Path, "internal/repl") &&
-			!pathHasSegments(pkg.Path, "internal/fence") {
+			!pathHasSegments(pkg.Path, "internal/fence") && !pathHasSegments(pkg.Path, "internal/nodecache") {
 			continue
 		}
 		for _, f := range pkg.Files {

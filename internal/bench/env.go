@@ -27,8 +27,9 @@ type Method int
 
 // The four methods of the evaluation, plus the two durability arms of the
 // ingest experiment, the two catch-up arms of the replication experiment,
-// and the fence-churn arm (which compare write-path strategies, not query
-// algorithms, and are therefore excluded from AllMethods).
+// the fence-churn arm, and the two hot-path arms (which compare write-path
+// strategies or engine implementations, not query algorithms, and are
+// therefore excluded from AllMethods).
 const (
 	MethodRTree Method = iota
 	MethodIIO
@@ -39,6 +40,8 @@ const (
 	MethodReplSnapshot
 	MethodReplShip
 	MethodFenceWAL
+	MethodHotLegacy
+	MethodHotPacked
 )
 
 // AllMethods lists the methods in the paper's presentation order.
@@ -65,6 +68,10 @@ func (m Method) String() string {
 		return "LogShip"
 	case MethodFenceWAL:
 		return "Fence+WAL"
+	case MethodHotLegacy:
+		return "Legacy"
+	case MethodHotPacked:
+		return "Packed"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/dataset"
+	"spatialkeyword/internal/storage"
+)
+
+// hotPathBase is the acceptance environment: large enough for a multi-level
+// tree (so warm traversals expand several nodes per query) but quick to
+// build.
+func hotPathBase() BuildConfig {
+	return BuildConfig{
+		Spec:     dataset.Restaurants(0.005), // ~2281 objects
+		SigBytes: 8,
+	}
+}
+
+// TestHotPathAcceptance enforces the tentpole's two promises on both query
+// modes: the packed arm allocates at least 10x less than the legacy arm on
+// the warm path, and the modeled disk accounting — block counts, disk time,
+// and the per-query disk-time histogram — is bit-identical between arms (a
+// node-cache hit must pay exactly the I/O a cold decode would).
+func TestHotPathAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a ~2k-object environment")
+	}
+	cells, err := HotPathCells(hotPathBase(), 10, 2, 8, 41, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(hotPathModes)*len(hotPathArms) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byMode := make(map[string]map[Method]HotPathCell)
+	for _, c := range cells {
+		if byMode[c.Mode] == nil {
+			byMode[c.Mode] = make(map[Method]HotPathCell)
+		}
+		byMode[c.Mode][c.Meas.Method] = c
+	}
+	for _, mode := range hotPathModes {
+		legacy, ok1 := byMode[mode][MethodHotLegacy]
+		packed, ok2 := byMode[mode][MethodHotPacked]
+		if !ok1 || !ok2 {
+			t.Fatalf("mode %s: missing arm (%v, %v)", mode, ok1, ok2)
+		}
+		if packed.AllocsPerOp <= 0 {
+			t.Fatalf("mode %s: packed allocs/op = %g", mode, packed.AllocsPerOp)
+		}
+		if legacy.AllocsPerOp < 10*packed.AllocsPerOp {
+			t.Errorf("mode %s: legacy %.0f allocs/op vs packed %.0f: reduction below 10x",
+				mode, legacy.AllocsPerOp, packed.AllocsPerOp)
+		}
+		// Modeled disk accounting must be bit-identical between the arms.
+		if legacy.Meas.AvgDiskTime != packed.Meas.AvgDiskTime {
+			t.Errorf("mode %s: disk time differs: legacy %v, packed %v",
+				mode, legacy.Meas.AvgDiskTime, packed.Meas.AvgDiskTime)
+		}
+		if legacy.Meas.AvgRandom != packed.Meas.AvgRandom ||
+			legacy.Meas.AvgSequential != packed.Meas.AvgSequential {
+			t.Errorf("mode %s: block counts differ: legacy (%g,%g), packed (%g,%g)",
+				mode, legacy.Meas.AvgRandom, legacy.Meas.AvgSequential,
+				packed.Meas.AvgRandom, packed.Meas.AvgSequential)
+		}
+		if !reflect.DeepEqual(legacy.Meas.DiskTimeHist, packed.Meas.DiskTimeHist) {
+			t.Errorf("mode %s: per-query disk-time histograms differ", mode)
+		}
+		// Same tree, same workload: answers must agree too.
+		if legacy.Meas.AvgResults != packed.Meas.AvgResults ||
+			legacy.Meas.AvgObjects != packed.Meas.AvgObjects {
+			t.Errorf("mode %s: results/objects differ: legacy (%g,%g), packed (%g,%g)",
+				mode, legacy.Meas.AvgResults, legacy.Meas.AvgObjects,
+				packed.Meas.AvgResults, packed.Meas.AvgObjects)
+		}
+		if legacy.Meas.AvgDiskTime <= 0 || legacy.Meas.AvgRandom <= 0 {
+			t.Errorf("mode %s: no disk work measured", mode)
+		}
+	}
+}
+
+// TestHotPathTable checks the rendered E-X10 table shape: one row per
+// (mode, arm), the appended allocation and percentile columns, and raw cells
+// retained for the JSON report / baseline gate.
+func TestHotPathTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a ~2k-object environment")
+	}
+	tbl, err := HotPath(hotPathBase(), 5, 2, 4, 43, storage.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(hotPathModes) * len(hotPathArms); len(tbl.Rows) != want || len(tbl.Cells) != want {
+		t.Fatalf("rows = %d, cells = %d, want %d", len(tbl.Rows), len(tbl.Cells), want)
+	}
+	if got, want := len(tbl.Columns), len(measurementColumns)+3; got != want {
+		t.Fatalf("columns = %d, want %d", got, want)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d vs %d columns", len(row), len(tbl.Columns))
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Hot path", "mode=topk", "mode=ranked", "Legacy", "Packed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+//go:build !race
+
+// Allocation-regression gates for the warm query path. Skipped under -race:
+// the race detector's allocation instrumentation breaks
+// testing.AllocsPerRun's accounting. (The same queries run race-enabled in
+// the ordinary correctness tests.)
+package core
+
+import (
+	"testing"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/irscore"
+	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/sigfile"
+	"spatialkeyword/internal/storage"
+)
+
+// newWarmTree builds a small in-memory IR²-Tree over a few hundred objects.
+func newWarmTree(t *testing.T) *IR2Tree {
+	t.Helper()
+	store := objstore.New(storage.NewDisk(4096))
+	words := []string{"pizza", "cafe", "bar", "sushi", "deli", "pub", "grill", "bakery"}
+	for i := 0; i < 400; i++ {
+		text := words[i%len(words)] + " " + words[(i+3)%len(words)]
+		if _, _, err := store.Append(geo.NewPoint(float64(i%20)*5, float64(i/20)*5), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(storage.NewDisk(4096), store, Options{
+		LeafSignature: sigfile.Config{LengthBytes: 16, BitsPerWord: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestWarmTopKAllocBounded gates the distance-first query: once the node
+// cache is warm, a TopK's allocations are per-query constants plus the
+// materialized result objects — never the per-node decode storm. The budget
+// is an absolute ceiling with headroom over the measured steady state (~64);
+// the legacy path on the same workload runs an order of magnitude above it.
+func TestWarmTopKAllocBounded(t *testing.T) {
+	x := newWarmTree(t)
+	p := geo.NewPoint(50, 50)
+	run := func() {
+		if _, _, err := x.TopK(5, p, []string{"pizza"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the node cache and pools
+	packed := testing.AllocsPerRun(100, run)
+	const budget = 128
+	if packed > budget {
+		t.Fatalf("warm TopK allocates %.1f objects/op, want <= %d", packed, budget)
+	}
+	x.RTree().SetHotPath(false)
+	run()
+	legacy := testing.AllocsPerRun(100, run)
+	x.RTree().SetHotPath(true)
+	if legacy < 5*packed {
+		t.Fatalf("legacy path allocates %.1f/op vs packed %.1f/op: packed path lost its edge", legacy, packed)
+	}
+}
+
+// TestWarmRankedAllocBounded gates the general ranked query the same way.
+func TestWarmRankedAllocBounded(t *testing.T) {
+	x := newWarmTree(t)
+	sc := irscore.NewScorer(400, func(string) int { return 50 })
+	p := geo.NewPoint(50, 50)
+	run := func() {
+		if _, _, err := x.TopKRanked(5, p, []string{"pizza", "cafe"}, GeneralOptions{Scorer: sc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(100, run)
+	const budget = 160
+	if allocs > budget {
+		t.Fatalf("warm TopKRanked allocates %.1f objects/op, want <= %d", allocs, budget)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/rtree"
-	"spatialkeyword/internal/sigfile"
 )
 
 // SearchArea is the query-area variant the paper mentions for the
@@ -15,29 +14,21 @@ import (
 // area-distance order.
 func (x *IR2Tree) SearchArea(area geo.Rect, keywords []string) *ResultIter {
 	kws := x.an.Keywords(keywords)
-	sigs := make(map[int]sigfile.Signature)
-	querySig := func(level int) sigfile.Signature {
-		if s, ok := sigs[level]; ok {
-			return s
-		}
-		s := x.scheme.querySignature(level, kws)
-		sigs[level] = s
-		return s
-	}
+	sigs := &levelSigs{scheme: x.scheme, kws: kws}
 	scorer := func(isObject bool, level int, rect geo.Rect, aux []byte) (float64, bool) {
-		if !sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(level)) {
+		if !sigs.matches(level, aux) {
 			return 0, false
 		}
 		return rectDist(rect, area), true
 	}
-	it := x.rt.Seek(scorer)
-	return &ResultIter{x: x, it: it, keywords: kws}
+	return newResultIter(x, x.rt.Seek(scorer), kws)
 }
 
 // TopKArea returns the k objects containing every keyword that are nearest
 // to (or inside) the query area.
 func (x *IR2Tree) TopKArea(k int, area geo.Rect, keywords []string) ([]Result, SearchStats, error) {
 	it := x.SearchArea(area, keywords)
+	defer it.Close()
 	var results []Result
 	for len(results) < k {
 		res, ok, err := it.Next()

@@ -4,7 +4,6 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/rtree"
-	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
 	"spatialkeyword/internal/textutil"
 )
@@ -51,21 +50,26 @@ func (s *SearchStats) fillTraversal(t rtree.TraversalStats) {
 // cannot contain all the query keywords.
 func (x *IR2Tree) Search(p geo.Point, keywords []string) *ResultIter {
 	kws := x.an.Keywords(keywords)
-	// Per-level query signatures, built lazily: W = Signature(Q.t).
-	sigs := make(map[int]sigfile.Signature)
-	querySig := func(level int) sigfile.Signature {
-		if s, ok := sigs[level]; ok {
-			return s
-		}
-		s := x.scheme.querySignature(level, kws)
-		sigs[level] = s
-		return s
-	}
+	// Per-level query signatures, built lazily: W = Signature(Q.t). The
+	// cache holds word-at-a-time views, so the per-entry check below reads
+	// raw aux bytes without allocating.
+	sigs := &levelSigs{scheme: x.scheme, kws: kws}
 	prune := func(isObject bool, level int, aux []byte) bool {
-		return sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(level))
+		return sigs.matches(level, aux)
 	}
-	it := x.rt.NearestNeighbors(p, prune)
-	return &ResultIter{x: x, it: it, keywords: kws}
+	return newResultIter(x, x.rt.NearestNeighbors(p, prune), kws)
+}
+
+// newResultIter wires a traversal to the store's filtered object loader:
+// the containment check of IR2TopK line 21 runs on the raw text field, so
+// false positives are rejected before the object is materialized (see
+// objstore.GetFiltered).
+func newResultIter(x *IR2Tree, it *rtree.Iter, kws []string) *ResultIter {
+	r := &ResultIter{x: x, it: it, keywords: kws}
+	r.accept = func(text []byte) bool {
+		return r.x.an.ContainsTermsBytes(text, r.keywords)
+	}
+	return r
 }
 
 // ResultIter streams the results of a distance-first query.
@@ -73,6 +77,8 @@ type ResultIter struct {
 	x        *IR2Tree
 	it       *rtree.Iter
 	keywords []string
+	sc       objstore.RowScratch
+	accept   func(text []byte) bool
 	stats    SearchStats
 }
 
@@ -90,12 +96,12 @@ func (r *ResultIter) Next() (Result, bool, error) {
 			r.stats.fillTraversal(r.it.TraversalStats())
 			return Result{}, false, nil
 		}
-		obj, err := r.x.store.Get(objstore.Ptr(ref))
+		obj, ok, err := r.x.store.GetFiltered(objstore.Ptr(ref), &r.sc, r.accept)
 		if err != nil {
 			return Result{}, false, err
 		}
 		r.stats.ObjectsLoaded++
-		if !r.x.an.ContainsTerms(obj.Text, r.keywords) {
+		if !ok {
 			r.stats.FalsePositives++
 			continue
 		}
@@ -110,6 +116,10 @@ func (r *ResultIter) Stats() SearchStats {
 	return r.stats
 }
 
+// Close releases the traversal's pooled scratch. Optional but cheap; the
+// top-k helpers call it for every query they run.
+func (r *ResultIter) Close() { r.it.Close() }
+
 // PeekBound returns a lower bound on the distance of every result the
 // iterator can still produce: the priority of the best queued entry (an
 // object's exact distance or a subtree MBR's minimum distance). ok is false
@@ -123,6 +133,7 @@ func (r *ResultIter) PeekBound() (float64, bool) {
 // containing all keywords, closest to p first (IR2TopK, Figure 8).
 func (x *IR2Tree) TopK(k int, p geo.Point, keywords []string) ([]Result, SearchStats, error) {
 	it := x.Search(p, keywords)
+	defer it.Close()
 	var results []Result
 	for len(results) < k {
 		res, ok, err := it.Next()

@@ -5,7 +5,6 @@ import (
 	"spatialkeyword/internal/irscore"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/rtree"
-	"spatialkeyword/internal/sigfile"
 )
 
 // RankedResult is one answer of a general top-k spatial keyword query.
@@ -58,26 +57,16 @@ func (x *IR2Tree) SearchRanked(p geo.Point, keywords []string, opts GeneralOptio
 
 	// Per-level, per-keyword signatures (W_i = Signature(w_i)), lazily
 	// built: a MIR²-Tree uses different signature configurations per level.
-	perLevel := make(map[int][]sigfile.Signature)
-	keywordSigs := func(level int) []sigfile.Signature {
-		if sigs, ok := perLevel[level]; ok {
-			return sigs
-		}
-		sigs := make([]sigfile.Signature, len(normalized))
-		for i, w := range normalized {
-			sigs[i] = x.scheme.wordSignature(level, w)
-		}
-		perLevel[level] = sigs
-		return sigs
-	}
+	// Word-at-a-time views keep the per-entry bound allocation-free.
+	perLevel := &levelWordSigs{scheme: x.scheme, words: normalized}
 
 	// upperIR returns the signature-derived IR upper bound of an entry:
 	// Σ idf(w_i) over the keywords whose signature the entry's covers.
 	upperIR := func(level int, aux []byte) float64 {
-		sigs := keywordSigs(level)
+		sigs := perLevel.at(level)
 		var matched float64
-		for i, ws := range sigs {
-			if sigfile.MatchesTolerant(sigfile.Signature(aux), ws) {
+		for i := range sigs {
+			if sigs[i].MatchesTolerant(aux) {
 				matched += idfs[i]
 			}
 		}
@@ -93,15 +82,34 @@ func (x *IR2Tree) SearchRanked(p geo.Point, keywords []string, opts GeneralOptio
 		}
 		return -comb.Combine(rect.MinDist(p), ub), true
 	}
-	return &RankedIter{
+	r := &RankedIter{
 		x:          x,
 		it:         x.rt.Seek(scorer),
 		p:          p,
 		normalized: normalized,
+		idfs:       idfs,
+		tf:         make([]int, len(normalized)),
 		opts:       opts,
 		comb:       comb,
 		exact:      make(map[uint64]rankedCandidate),
 	}
+	// The candidate filter runs on the raw text field before the object is
+	// materialized (see objstore.GetFiltered): count terms into the scratch
+	// — Next scores survivors off it — and, under RequireMatch, reject
+	// candidates containing no keyword without paying their materialization.
+	r.accept = func(text []byte) bool {
+		r.x.an.TermFreqsBytesInto(r.tf, text, r.normalized)
+		if !r.opts.RequireMatch {
+			return true
+		}
+		for _, n := range r.tf {
+			if n > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return r
 }
 
 // rankedCandidate remembers a loaded object re-enqueued with its exact
@@ -117,6 +125,10 @@ type RankedIter struct {
 	it         *rtree.Iter
 	p          geo.Point
 	normalized []string
+	idfs       []float64 // idf per normalized term, from QueryIDFs
+	tf         []int     // per-candidate term-frequency scratch
+	sc         objstore.RowScratch
+	accept     func(text []byte) bool
 	opts       GeneralOptions
 	comb       irscore.Combiner
 	exact      map[uint64]rankedCandidate
@@ -142,16 +154,25 @@ func (r *RankedIter) Next() (RankedResult, bool, error) {
 			r.stats.fillTraversal(r.it.TraversalStats())
 			return c.res, true, nil
 		}
-		obj, err := r.x.store.Get(objstore.Ptr(ref))
+		// GetFiltered counts the candidate's term frequencies into r.tf
+		// (via r.accept) straight off the row's scratch bytes, and under
+		// RequireMatch skips materializing pure false positives — terms
+		// never re-pass the pipeline (stemming is not idempotent), and a
+		// rejected candidate costs no allocation at all.
+		obj, ok, err := r.x.store.GetFiltered(objstore.Ptr(ref), &r.sc, r.accept)
 		if err != nil {
 			return RankedResult{}, false, err
 		}
 		r.stats.ObjectsLoaded++
+		if !ok {
+			r.stats.FalsePositives++
+			continue
+		}
 		dist := r.p.Dist(obj.Point)
-		ir := r.opts.Scorer.Score(obj.Text, r.normalized)
+		ir := irscore.ScoreFromCounts(r.tf, r.idfs)
 		if r.opts.RequireMatch && ir == 0 {
-			// The signature matched but the text contains none of the
-			// keywords: a pure false positive under AND-less semantics.
+			// Degenerate scorers can weigh a present keyword at zero; keep
+			// the paper's "Score > 0" test exact.
 			r.stats.FalsePositives++
 			continue
 		}
@@ -173,6 +194,10 @@ func (r *RankedIter) Stats() SearchStats {
 	return r.stats
 }
 
+// Close releases the traversal's pooled scratch. Optional but cheap; the
+// top-k helpers call it for every query they run.
+func (r *RankedIter) Close() { r.it.Close() }
+
 // PeekBound returns an upper bound on the score of every result the
 // iterator can still produce: the (un-negated) priority of the best queued
 // entry. ok is false when the traversal is exhausted. A parallel fan-out
@@ -189,6 +214,7 @@ func (x *IR2Tree) TopKRanked(k int, p geo.Point, keywords []string, opts General
 		return nil, SearchStats{}, nil
 	}
 	it := x.SearchRanked(p, keywords, opts)
+	defer it.Close()
 	var results []RankedResult
 	for len(results) < k {
 		res, ok, err := it.Next()

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/nodecache"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/rtree"
 	"spatialkeyword/internal/sigfile"
@@ -60,6 +61,11 @@ type Options struct {
 	// Split selects the R-Tree node-split algorithm (default: Guttman's
 	// Quadratic Split, as in the paper).
 	Split rtree.SplitAlgorithm
+
+	// CacheNodes bounds the tree's decoded-node cache (see rtree.Config):
+	// zero for the default capacity, negative to disable the packed hot
+	// path entirely.
+	CacheNodes int
 
 	// Analyzer is the text-analysis pipeline shared by indexing and
 	// querying (tokenize, optional stopwords, optional Porter stemming).
@@ -260,6 +266,7 @@ func New(dev storage.Device, store *objstore.Store, opts Options) (*IR2Tree, err
 		MaxEntries: opts.MaxEntries,
 		Scheme:     scheme,
 		Split:      opts.Split,
+		CacheNodes: opts.CacheNodes,
 	})
 	if err != nil {
 		return nil, err
@@ -278,6 +285,10 @@ func (x *IR2Tree) RTree() *rtree.Tree { return x.rt }
 
 // Store returns the object store the tree indexes.
 func (x *IR2Tree) Store() *objstore.Store { return x.store }
+
+// NodeCacheStats reports the decoded-node cache counters of the underlying
+// tree (all zero when the cache is disabled).
+func (x *IR2Tree) NodeCacheStats() nodecache.Stats { return x.rt.CacheStats() }
 
 // Len returns the number of indexed objects.
 func (x *IR2Tree) Len() int { return x.rt.Len() }

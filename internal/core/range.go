@@ -6,7 +6,6 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/objstore"
 	"spatialkeyword/internal/rtree"
-	"spatialkeyword/internal/sigfile"
 	"spatialkeyword/internal/storage"
 )
 
@@ -18,18 +17,9 @@ import (
 // object ID for determinism.
 func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, SearchStats, error) {
 	kws := x.an.Keywords(keywords)
-	sigs := make(map[int]sigfile.Signature)
-	querySig := func(level int) sigfile.Signature {
-		if s, ok := sigs[level]; ok {
-			return s
-		}
-		s := x.scheme.querySignature(level, kws)
-		sigs[level] = s
-		return s
-	}
+	sigs := &levelSigs{scheme: x.scheme, kws: kws}
 
 	var stats SearchStats
-	var out []Result
 	root, err := x.rt.Root()
 	if err != nil {
 		return nil, stats, err
@@ -37,6 +27,10 @@ func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, Search
 	if root == nil {
 		return nil, stats, nil
 	}
+	// Phase one walks the tree collecting candidate object pointers; phase
+	// two loads them in one batch, so rows sharing a block are read once
+	// instead of once per object.
+	var ptrs []objstore.Ptr
 	var walk func(n *rtree.Node) error
 	walk = func(n *rtree.Node) error {
 		stats.NodesLoaded++
@@ -45,7 +39,7 @@ func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, Search
 			if !rect.Intersects(area) {
 				continue
 			}
-			if !sigfile.MatchesTolerant(sigfile.Signature(aux), querySig(n.Level())) {
+			if !sigs.matches(n.Level(), aux) {
 				continue
 			}
 			if n.Level() > 0 {
@@ -58,27 +52,32 @@ func (x *IR2Tree) WithinArea(area geo.Rect, keywords []string) ([]Result, Search
 				}
 				continue
 			}
-			obj, err := x.store.Get(objstore.Ptr(ptr))
-			if err != nil {
-				return err
-			}
-			stats.ObjectsLoaded++
-			if !area.ContainsPoint(obj.Point) {
-				// The entry MBR intersected the area but the point itself
-				// (for degenerate point MBRs this cannot happen; kept for
-				// rectangle objects) lies outside.
-				continue
-			}
-			if !x.an.ContainsTerms(obj.Text, kws) {
-				stats.FalsePositives++
-				continue
-			}
-			out = append(out, Result{Object: obj, Dist: 0})
+			ptrs = append(ptrs, objstore.Ptr(ptr))
 		}
 		return nil
 	}
 	if err := walk(root); err != nil {
 		return nil, stats, err
+	}
+	objs, err := x.store.GetBatch(ptrs)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ObjectsLoaded = len(objs)
+	var out []Result
+	for i := range objs {
+		obj := objs[i]
+		if !area.ContainsPoint(obj.Point) {
+			// The entry MBR intersected the area but the point itself
+			// (for degenerate point MBRs this cannot happen; kept for
+			// rectangle objects) lies outside.
+			continue
+		}
+		if !x.an.ContainsTerms(obj.Text, kws) {
+			stats.FalsePositives++
+			continue
+		}
+		out = append(out, Result{Object: obj, Dist: 0})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID < out[j].Object.ID })
 	return out, stats, nil

@@ -1,0 +1,55 @@
+package core
+
+import "spatialkeyword/internal/sigfile"
+
+// levelSigs lazily caches the conjunctive query signature per tree level in
+// word-at-a-time form. The distance-first and area searches consult it once
+// per scored entry, so it replaces the old map[int]Signature closure: a
+// slice indexed by level (tree heights are tiny) holding Sig64 views that
+// match raw aux payloads without allocating.
+type levelSigs struct {
+	scheme *sigScheme
+	kws    []string
+	sigs   []sigfile.Sig64
+	have   []bool
+}
+
+func (c *levelSigs) at(level int) *sigfile.Sig64 {
+	for level >= len(c.sigs) {
+		c.sigs = append(c.sigs, sigfile.Sig64{})
+		c.have = append(c.have, false)
+	}
+	if !c.have[level] {
+		c.sigs[level] = sigfile.MakeSig64(c.scheme.querySignature(level, c.kws))
+		c.have[level] = true
+	}
+	return &c.sigs[level]
+}
+
+// matches reports whether an entry payload at the given level may cover the
+// whole query (tolerant of length mismatches, like sigfile.MatchesTolerant).
+func (c *levelSigs) matches(level int, aux []byte) bool {
+	return c.at(level).MatchesTolerant(aux)
+}
+
+// levelWordSigs is the per-keyword variant for the general ranked search:
+// each level caches one Sig64 per query keyword (W_i = Signature(w_i)).
+type levelWordSigs struct {
+	scheme *sigScheme
+	words  []string
+	sigs   [][]sigfile.Sig64
+}
+
+func (c *levelWordSigs) at(level int) []sigfile.Sig64 {
+	for level >= len(c.sigs) {
+		c.sigs = append(c.sigs, nil)
+	}
+	if c.sigs[level] == nil {
+		sigs := make([]sigfile.Sig64, len(c.words))
+		for i, w := range c.words {
+			sigs[i] = sigfile.MakeSig64(c.scheme.wordSignature(level, w))
+		}
+		c.sigs[level] = sigs
+	}
+	return c.sigs[level]
+}

@@ -90,6 +90,22 @@ func (s *Scorer) Score(text string, keywords []string) float64 {
 	return score
 }
 
+// ScoreFromCounts returns IRscore for a document whose per-term frequencies
+// are already counted: Σ TFWeight(counts[i])·idfs[i]. counts and idfs are
+// parallel to the normalized terms of QueryIDFs (see
+// textutil.Analyzer.TermFreqsInto); unlike Score, nothing is re-normalized
+// and nothing allocates, so the ranked query scores each candidate straight
+// off caller-owned scratch.
+func ScoreFromCounts(counts []int, idfs []float64) float64 {
+	var score float64
+	for i, n := range counts {
+		if n > 0 {
+			score += TFWeight(n) * idfs[i]
+		}
+	}
+	return score
+}
+
 // UpperBound returns the maximum possible IRscore of any document whose
 // query-term set is a subset of the given matched keywords: Σ idf(w), since
 // every term weight is strictly below 1. matchedIDFs are the IDF values of

@@ -1,0 +1,48 @@
+//go:build !race
+
+package objstore
+
+import (
+	"strings"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+)
+
+// TestGetFilteredRejectAllocFree gates the hot path's candidate filter: once
+// the scratch buffers are warm, loading and rejecting a false positive must
+// not allocate at all — rejected candidates dominate a selective top-k
+// query's object accesses. Skipped under -race (the detector breaks
+// AllocsPerRun's accounting).
+func TestGetFilteredRejectAllocFree(t *testing.T) {
+	s, _ := newStore(128)
+	_, p1, err := s.Append(geo.NewPoint(3, 4), "pizza cafe downtown bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := s.Append(geo.NewPoint(5, 6), strings.Repeat("pool ocean view ", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var sc RowScratch
+	reject := func([]byte) bool { return false }
+	for _, ptr := range []Ptr{p1, p2} {
+		if _, _, err := s.GetFiltered(ptr, &sc, reject); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := s.GetFiltered(p1, &sc, reject); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.GetFiltered(p2, &sc, reject); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm rejected GetFiltered allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -211,6 +211,159 @@ func (s *Store) Get(ptr Ptr) (Object, error) {
 	return obj, nil
 }
 
+// RowScratch holds the reusable buffers of GetFiltered. Once the buffers
+// reach steady-state size, row fetches through the same scratch stop
+// allocating — the point of the read hot path's candidate filter.
+type RowScratch struct {
+	block []byte
+	row   []byte
+}
+
+// GetFiltered loads the row at ptr with Get's exact device-access pattern
+// and error semantics, but materializes the Object only when accept returns
+// true for the row's raw text field. The text slice aliases the scratch and
+// must not be retained past accept's return. A top-k query's
+// false-positive filter runs here: most signature-matched candidates fail
+// the keyword check, and skipping their Object materialization (point
+// slice, field split, row copy) is what keeps the warm read path's
+// allocations per query bounded by survivors, not loads.
+func (s *Store) GetFiltered(ptr Ptr, sc *RowScratch, accept func(text []byte) bool) (Object, bool, error) {
+	if uint64(ptr) >= s.synced {
+		return Object{}, false, fmt.Errorf("%w: offset %d >= synced %d", ErrNotSynced, ptr, s.synced)
+	}
+	bs := uint64(s.dev.BlockSize())
+	if len(sc.block) != int(bs) {
+		sc.block = make([]byte, bs)
+	}
+	blockIdx := uint64(ptr) / bs
+	offsetInBlock := uint64(ptr) % bs
+	sc.row = sc.row[:0]
+	for {
+		if blockIdx >= uint64(len(s.blocks)) {
+			return Object{}, false, fmt.Errorf("%w: row at %d continues past synced data", ErrNotSynced, ptr)
+		}
+		if err := storage.ReadRunTo(s.dev, s.blocks[blockIdx], 1, sc.block); err != nil {
+			return Object{}, false, fmt.Errorf("objstore: get %d: %w", ptr, err)
+		}
+		chunk := sc.block[offsetInBlock:]
+		if i := indexByte(chunk, '\n'); i >= 0 {
+			sc.row = append(sc.row, chunk[:i]...)
+			break
+		}
+		sc.row = append(sc.row, chunk...)
+		blockIdx++
+		offsetInBlock = 0
+	}
+	if text, ok := rowText(sc.row); ok {
+		if !accept(text) {
+			return Object{}, false, nil
+		}
+	}
+	// Survivor — or a malformed row, which decodeRow diagnoses properly.
+	obj, err := decodeRow(sc.row)
+	if err != nil {
+		return Object{}, false, fmt.Errorf("row at %d: %w", ptr, err)
+	}
+	return obj, true, nil
+}
+
+// rowText locates the text field of a serialized row without allocating:
+// skip the id and dimension fields, then dim coordinate fields. The text
+// itself contains no tabs (sanitize strips them on append), so it runs to
+// the end of the row. ok is false for rows that do not parse, which are
+// left for decodeRow to diagnose.
+func rowText(row []byte) ([]byte, bool) {
+	i := indexByte(row, '\t') // id
+	if i < 0 {
+		return nil, false
+	}
+	rest := row[i+1:]
+	j := indexByte(rest, '\t') // dimension
+	if j < 1 {
+		return nil, false
+	}
+	dim := 0
+	for _, c := range rest[:j] {
+		if c < '0' || c > '9' {
+			return nil, false
+		}
+		dim = dim*10 + int(c-'0')
+		if dim > 64 {
+			return nil, false
+		}
+	}
+	rest = rest[j+1:]
+	for d := 0; d < dim; d++ {
+		k := indexByte(rest, '\t')
+		if k < 0 {
+			return nil, false
+		}
+		rest = rest[k+1:]
+	}
+	if indexByte(rest, '\t') >= 0 {
+		return nil, false
+	}
+	return rest, true
+}
+
+// GetBatch loads the objects at ptrs, in order, sharing fetched blocks
+// between consecutive rows that live in the same block. A Restaurants-sized
+// block holds dozens of rows, so a range query that batches its leaf hits
+// through here pays one read per block instead of one per object. Error
+// semantics match Get; on error the partial results are discarded.
+func (s *Store) GetBatch(ptrs []Ptr) ([]Object, error) {
+	out := make([]Object, 0, len(ptrs))
+	bs := uint64(s.dev.BlockSize())
+	var (
+		cached    []byte
+		cachedIdx uint64
+		have      bool
+		row       []byte
+	)
+	readBlock := func(idx uint64) ([]byte, error) {
+		if have && idx == cachedIdx {
+			return cached, nil
+		}
+		if idx >= uint64(len(s.blocks)) {
+			return nil, fmt.Errorf("%w: block %d past synced data", ErrNotSynced, idx)
+		}
+		data, err := s.dev.Read(s.blocks[idx])
+		if err != nil {
+			return nil, err
+		}
+		cached, cachedIdx, have = data, idx, true
+		return data, nil
+	}
+	for _, ptr := range ptrs {
+		if uint64(ptr) >= s.synced {
+			return nil, fmt.Errorf("%w: offset %d >= synced %d", ErrNotSynced, ptr, s.synced)
+		}
+		blockIdx := uint64(ptr) / bs
+		offsetInBlock := uint64(ptr) % bs
+		row = row[:0]
+		for {
+			data, err := readBlock(blockIdx)
+			if err != nil {
+				return nil, fmt.Errorf("objstore: get %d: %w", ptr, err)
+			}
+			chunk := data[offsetInBlock:]
+			if i := indexByte(chunk, '\n'); i >= 0 {
+				row = append(row, chunk[:i]...)
+				break
+			}
+			row = append(row, chunk...)
+			blockIdx++
+			offsetInBlock = 0
+		}
+		obj, err := decodeRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("row at %d: %w", ptr, err)
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}
+
 // GetByID loads object id via the in-memory pointer directory.
 func (s *Store) GetByID(id ID) (Object, error) {
 	if uint64(id) >= s.count {

@@ -332,3 +332,143 @@ func TestSizeAccounting(t *testing.T) {
 		t.Errorf("AvgBlocksPerObject = %g", avg)
 	}
 }
+
+// newFilteredFixture builds a synced store over a mix of single- and
+// multi-block rows plus an empty-text row.
+func newFilteredFixture(t *testing.T) (*Store, *storage.Disk, []Ptr) {
+	t.Helper()
+	s, d := newStore(128)
+	texts := []string{
+		"pizza cafe downtown",
+		strings.Repeat("pool ocean view suite wifi ", 20), // spans blocks
+		"",
+		"CAFE Pizza pizza",
+	}
+	var ptrs []Ptr
+	for i, text := range texts {
+		_, ptr, err := s.Append(geo.NewPoint(float64(i), float64(-i)), text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return s, d, ptrs
+}
+
+// TestGetFilteredMatchesGet is the differential oracle for the filtered
+// loader: with an accept-everything filter, every row must come back
+// identical to Get's object AND with identical device accounting — the
+// filtered path exists to cut allocations, never I/O.
+func TestGetFilteredMatchesGet(t *testing.T) {
+	s, d, ptrs := newFilteredFixture(t)
+	var sc RowScratch
+	for i, ptr := range ptrs {
+		d.ResetStats()
+		want, err := s.Get(ptr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStats := d.Stats()
+		d.ResetStats()
+		var seen string
+		got, ok, err := s.GetFiltered(ptr, &sc, func(text []byte) bool {
+			seen = string(text)
+			return true
+		})
+		if err != nil || !ok {
+			t.Fatalf("row %d: GetFiltered ok=%v err=%v", i, ok, err)
+		}
+		if gotStats := d.Stats(); gotStats != wantStats {
+			t.Errorf("row %d: device stats differ: Get %+v, GetFiltered %+v", i, wantStats, gotStats)
+		}
+		if got.ID != want.ID || !got.Point.Equal(want.Point) || got.Text != want.Text {
+			t.Errorf("row %d: GetFiltered %+v, Get %+v", i, got, want)
+		}
+		if seen != want.Text {
+			t.Errorf("row %d: accept saw %q, text is %q", i, seen, want.Text)
+		}
+	}
+}
+
+// TestGetFilteredReject checks a rejected candidate is skipped without an
+// object and that the returned text still reaches the filter on reuse of
+// the same scratch (no cross-row contamination).
+func TestGetFilteredReject(t *testing.T) {
+	s, d, ptrs := newFilteredFixture(t)
+	var sc RowScratch
+	d.ResetStats()
+	obj, ok, err := s.GetFiltered(ptrs[0], &sc, func([]byte) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || obj.Text != "" {
+		t.Fatalf("rejected candidate materialized: ok=%v obj=%+v", ok, obj)
+	}
+	rejStats := d.Stats()
+	d.ResetStats()
+	if _, err := s.Get(ptrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if getStats := d.Stats(); getStats != rejStats {
+		t.Errorf("reject path stats %+v differ from Get's %+v", rejStats, getStats)
+	}
+	// Reusing the scratch across rows of different lengths stays correct.
+	for pass := 0; pass < 2; pass++ {
+		for i, ptr := range ptrs {
+			want, err := s.Get(ptr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.GetFiltered(ptr, &sc, func(text []byte) bool {
+				return len(text) == len(want.Text)
+			})
+			if err != nil || !ok {
+				t.Fatalf("pass %d row %d: ok=%v err=%v", pass, i, ok, err)
+			}
+			if got.Text != want.Text {
+				t.Errorf("pass %d row %d: text %q, want %q", pass, i, got.Text, want.Text)
+			}
+		}
+	}
+}
+
+// TestGetFilteredErrors mirrors Get's error cases.
+func TestGetFilteredErrors(t *testing.T) {
+	s, _ := newStore(128)
+	if _, _, err := s.Append(geo.NewPoint(1, 2), "unsynced"); err != nil {
+		t.Fatal(err)
+	}
+	var sc RowScratch
+	if _, _, err := s.GetFiltered(0, &sc, func([]byte) bool { return true }); !errors.Is(err, ErrNotSynced) {
+		t.Errorf("unsynced read: err = %v", err)
+	}
+}
+
+// TestRowText pins the zero-alloc text locator against encodeRow's layout,
+// including rows it must refuse to shortcut.
+func TestRowText(t *testing.T) {
+	good := encodeRow(7, geo.NewPoint(1.5, -2.25), "wifi pool")
+	text, ok := rowText(good[:len(good)-1])
+	if !ok || string(text) != "wifi pool" {
+		t.Fatalf("rowText = %q, %v", text, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"7",
+		"7\t",
+		"7\tx\t1\t2\ttext",
+		"7\t9999999999\ttext",
+		"7\t2\t1.0\ttext", // fewer coords than dim
+	} {
+		if _, ok := rowText([]byte(bad)); ok {
+			t.Errorf("rowText accepted %q", bad)
+		}
+	}
+	// A row with tabs beyond the declared fields is left to decodeRow.
+	if _, ok := rowText([]byte("7\t1\t1.0\ttext\twith\ttabs")); ok {
+		t.Error("rowText accepted a row with stray tabs")
+	}
+}

@@ -1,0 +1,216 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/storage"
+)
+
+// forEachNodeID walks the tree and calls fn with every node's block ID.
+func forEachNodeID(t *testing.T, tree *Tree, fn func(id storage.BlockID)) {
+	t.Helper()
+	root, err := tree.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nil {
+		return
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		fn(n.ID())
+		if n.Level() == 0 {
+			return
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			ptr, _, _ := n.Entry(i)
+			child, err := tree.LoadNode(storage.BlockID(ptr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			walk(child)
+		}
+	}
+	walk(root)
+}
+
+// TestPackedMatchesLoadNode is the decode differential oracle: for every node
+// of a grown tree, the packed view must agree with loadNode's pointer-rich
+// decode field for field, and the pinned image must equal the persisted
+// encoding byte for byte.
+func TestPackedMatchesLoadNode(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme AuxScheme
+		maxE   int
+	}{
+		{"plain", nil, 3},
+		{"aux4", orScheme{n: 4}, 3},
+		{"multiblock", bigScheme{orScheme{n: 2048}}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			disk := storage.NewDisk(4096)
+			tree, err := New(disk, Config{Dim: 2, MaxEntries: tc.maxE, Scheme: tc.scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 150; i++ {
+				p := geo.NewPoint(rng.Float64()*100, rng.Float64()*100)
+				var aux []byte
+				if tc.scheme != nil {
+					aux = make([]byte, tc.scheme.EntryAuxLen(0))
+					copy(aux, refMask(uint64(i)))
+				}
+				if err := tree.Insert(uint64(i), geo.PointRect(p), aux); err != nil {
+					t.Fatal(err)
+				}
+			}
+			nodes := 0
+			lo := make(geo.Point, 2)
+			hi := make(geo.Point, 2)
+			forEachNodeID(t, tree, func(id storage.BlockID) {
+				nodes++
+				n, err := tree.LoadNode(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Twice: first call decodes cold, second serves the cache hit;
+				// both views must agree with the legacy decode.
+				for pass := 0; pass < 2; pass++ {
+					pn, err := tree.LoadPacked(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pn.ID() != n.ID() || pn.Level() != n.Level() || pn.NumEntries() != n.NumEntries() {
+						t.Fatalf("node %d pass %d: packed header (%d,%d,%d), legacy (%d,%d,%d)",
+							id, pass, pn.ID(), pn.Level(), pn.NumEntries(), n.ID(), n.Level(), n.NumEntries())
+					}
+					for i := 0; i < n.NumEntries(); i++ {
+						ptr, rect, aux := n.Entry(i)
+						if got := pn.EntryPtr(i); got != ptr {
+							t.Fatalf("node %d entry %d: packed ptr %d, legacy %d", id, i, got, ptr)
+						}
+						prect := pn.EntryRectInto(i, lo, hi)
+						if !prect.Equal(rect) {
+							t.Fatalf("node %d entry %d: packed rect %v, legacy %v", id, i, prect, rect)
+						}
+						if !bytes.Equal(pn.EntryAux(i), aux) {
+							t.Fatalf("node %d entry %d: packed aux %x, legacy %x", id, i, pn.EntryAux(i), aux)
+						}
+					}
+					// Byte-for-byte round trip against the persisted encoding:
+					// the pinned image is exactly the prefix storeNode wrote.
+					img := pn.Bytes()
+					raw, err := disk.ReadRun(id, tree.blocksForLevel(pn.Level()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(img, raw[:len(img)]) {
+						t.Fatalf("node %d pass %d: pinned image diverges from device bytes", id, pass)
+					}
+				}
+			})
+			if nodes != tree.NumNodes() {
+				t.Fatalf("walked %d nodes, tree reports %d", nodes, tree.NumNodes())
+			}
+		})
+	}
+}
+
+// TestPackedVerifyReparsesAfterMissedInvalidation forces the stale-cache
+// case the verify-on-hit design defends against: mutate the device image
+// behind the cache's back and check the next hit reparses instead of serving
+// the pinned entries.
+func TestPackedVerifyReparsesAfterMissedInvalidation(t *testing.T) {
+	disk := storage.NewDisk(4096)
+	tree, err := New(disk, Config{Dim: 2, MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tree.Insert(uint64(i+1), geo.PointRect(geo.NewPoint(float64(i), float64(i))), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := tree.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.LoadPacked(root.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite entry 0's pointer directly on the device, bypassing storeNode
+	// (and therefore the invalidation hook).
+	raw, err := disk.Read(root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[nodeHeaderSize] = 0x7f
+	if err := disk.Write(root.ID(), raw); err != nil {
+		t.Fatal(err)
+	}
+	pn, err := tree.LoadPacked(root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pn.EntryPtr(0); got != 0x7f {
+		t.Fatalf("hit served stale pointer %d after device mutation, want reparse to 0x7f", got)
+	}
+}
+
+// TestCacheInvalidatedOnMutation checks the normal invalidation path: after
+// an insert rewrites nodes, a packed load sees the new entries.
+func TestCacheInvalidatedOnMutation(t *testing.T) {
+	tree := newTestTree(t, 8)
+	for i := 0; i < 5; i++ {
+		if err := tree.Insert(uint64(i+1), geo.PointRect(hotels[i]), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := tree.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := tree.LoadPacked(root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.NumEntries() != 5 {
+		t.Fatalf("packed root has %d entries, want 5", before.NumEntries())
+	}
+	if err := tree.Insert(6, geo.PointRect(hotels[5]), nil); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tree.LoadPacked(root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.NumEntries() != 6 {
+		t.Fatalf("packed root has %d entries after insert, want 6", after.NumEntries())
+	}
+	st := tree.CacheStats()
+	if st.Invalidations == 0 {
+		t.Fatalf("no cache invalidations recorded across a mutation: %+v", st)
+	}
+}
+
+// TestSetHotPathRequiresCache checks the hot path cannot be enabled on a
+// cache-less tree.
+func TestSetHotPathRequiresCache(t *testing.T) {
+	disk := storage.NewDisk(4096)
+	tree, err := New(disk, Config{Dim: 2, MaxEntries: 4, CacheNodes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.HotPath() {
+		t.Fatal("cache-less tree starts with hot path on")
+	}
+	tree.SetHotPath(true)
+	if tree.HotPath() {
+		t.Fatal("SetHotPath(true) enabled the hot path without a cache")
+	}
+}

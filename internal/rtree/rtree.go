@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/nodecache"
 	"spatialkeyword/internal/storage"
 )
 
@@ -89,6 +90,10 @@ type Config struct {
 	Split SplitAlgorithm
 	// Scheme maintains entry payloads. Nil means a plain R-Tree.
 	Scheme AuxScheme
+	// CacheNodes bounds the decoded-node cache behind the packed read hot
+	// path. Zero means nodecache.DefaultCapacity; a negative value disables
+	// the cache (and with it the packed traversal).
+	CacheNodes int
 }
 
 // entry is one slot of a node: a pointer (object reference in leaves, child
@@ -149,6 +154,11 @@ type Tree struct {
 	height int // number of levels; 0 = empty tree
 	size   int // number of object entries
 	nodes  int // number of nodes
+	hot    bool
+
+	cache       *nodecache.Cache[*PackedNode]
+	scratchPool sync.Pool // *scratchBuf: raw block images for loadPacked
+	iterPool    sync.Pool // *iterScratch: priority queues + rect corners
 }
 
 // New creates an empty tree on dev. It returns an error for invalid
@@ -181,14 +191,21 @@ func New(dev storage.Device, cfg Config) (*Tree, error) {
 	if minE < 1 {
 		minE = 1
 	}
-	return &Tree{
+	t := &Tree{
 		dev:    dev,
 		dim:    cfg.Dim,
 		maxE:   maxE,
 		minE:   minE,
 		scheme: scheme,
 		split:  cfg.Split,
-	}, nil
+	}
+	if cfg.CacheNodes >= 0 {
+		t.cache = nodecache.New[*PackedNode](cfg.CacheNodes)
+		t.hot = true
+	}
+	t.scratchPool.New = func() interface{} { return new(scratchBuf) }
+	t.iterPool.New = func() interface{} { return new(iterScratch) }
+	return t, nil
 }
 
 // baseEntrySize is the serialized entry size excluding the payload:
@@ -314,8 +331,13 @@ func (t *Tree) loadNode(id storage.BlockID) (*Node, error) {
 	return n, nil
 }
 
-// storeNode encodes and writes a node to its block run.
+// storeNode encodes and writes a node to its block run. Every node writer
+// funnels through here, so it is also where the decoded-node cache learns
+// that a pinned image is out of date.
 func (t *Tree) storeNode(n *Node) error {
+	if t.cache != nil {
+		t.cache.Invalidate(n.id)
+	}
 	nblocks := t.blocksForLevel(n.level)
 	es := t.entrySize(n.level)
 	auxLen := t.scheme.EntryAuxLen(n.level)
@@ -359,6 +381,9 @@ func (t *Tree) allocNode(level int) *Node {
 
 // freeNode releases a node's blocks.
 func (t *Tree) freeNode(n *Node) {
+	if t.cache != nil {
+		t.cache.Invalidate(n.id)
+	}
 	nblocks := t.blocksForLevel(n.level)
 	for i := 0; i < nblocks; i++ {
 		t.dev.Free(n.id + storage.BlockID(i))

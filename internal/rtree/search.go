@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -19,6 +18,10 @@ import (
 //
 // Lower scores are dequeued first, so a scorer implementing the paper's
 // general ranking (higher f is better) should return a negated score.
+//
+// Scorers must not retain rect or aux past the call: on the packed hot path
+// the rectangle's corner points are reused for the next entry and the
+// payload aliases a pinned node image.
 type EntryScorer func(isObject bool, level int, rect geo.Rect, aux []byte) (score float64, keep bool)
 
 // DistanceScorer returns the scorer of the incremental nearest-neighbor
@@ -45,10 +48,15 @@ type queueItem struct {
 	seq      uint64 // insertion order; breaks score ties deterministically
 }
 
+// itemHeap is a binary min-heap of queue items. It is managed by the push
+// and pop methods below rather than container/heap: boxing a queueItem into
+// an interface{} on every enqueue is exactly the kind of steady-state
+// allocation the hot path exists to remove, and Less is a strict total
+// order (seq breaks every tie), so the pop sequence is identical to
+// container/heap's.
 type itemHeap []queueItem
 
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
+func (h itemHeap) less(i, j int) bool {
 	if h[i].score != h[j].score {
 		return h[i].score < h[j].score
 	}
@@ -59,14 +67,45 @@ func (h itemHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(queueItem)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *itemHeap) push(x queueItem) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *itemHeap) pop() queueItem {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // TraceKind classifies a traversal trace event.
@@ -134,6 +173,10 @@ type TraceEvent struct {
 // lower bound: score(node entry) <= score of anything inside it.
 //
 // An Iter must not be advanced concurrently with tree mutations.
+//
+// Iterators draw their priority queue and rectangle scratch from a per-tree
+// pool; call Close when done with an iterator to return them. Skipping
+// Close is safe (the scratch is garbage collected) but forfeits the reuse.
 type Iter struct {
 	t      *Tree
 	scorer EntryScorer
@@ -141,6 +184,17 @@ type Iter struct {
 	seq    uint64
 	stats  TraversalStats
 	trace  func(TraceEvent)
+	packed bool
+	scr    *iterScratch
+}
+
+// iterScratch is the pooled per-traversal state: the queue's backing array
+// and the corner points the packed path decodes entry MBRs into. One pair
+// of points serves every entry the traversal scores, because scorers do not
+// retain the rectangle (see EntryScorer).
+type iterScratch struct {
+	queue  []queueItem
+	lo, hi geo.Point
 }
 
 // TraversalStats are the work counters of one traversal — the per-event
@@ -179,12 +233,32 @@ func (t *Tree) Seek(scorer EntryScorer) *Iter {
 	it := &Iter{t: t, scorer: scorer}
 	t.mu.RLock()
 	root := t.root
+	it.packed = t.hot
 	t.mu.RUnlock()
+	scr := t.iterPool.Get().(*iterScratch)
+	if len(scr.lo) != t.dim {
+		scr.lo = make(geo.Point, t.dim)
+		scr.hi = make(geo.Point, t.dim)
+	}
+	it.scr = scr
+	it.queue = scr.queue[:0]
 	if root != storage.NilBlock {
-		it.queue = itemHeap{{node: root, score: math.Inf(-1)}}
+		it.queue = append(it.queue, queueItem{node: root, score: math.Inf(-1)})
 		it.seq = 1
 	}
 	return it
+}
+
+// Close returns the iterator's pooled scratch to the tree. Safe to call
+// more than once; the iterator must not be advanced afterwards.
+func (it *Iter) Close() {
+	if it.scr == nil {
+		return
+	}
+	it.scr.queue = it.queue[:0]
+	it.t.iterPool.Put(it.scr)
+	it.scr = nil
+	it.queue = nil
 }
 
 // NearestNeighbors starts the incremental nearest-neighbor traversal from
@@ -198,13 +272,19 @@ func (t *Tree) NearestNeighbors(p geo.Point, prune func(isObject bool, level int
 // traversal is exhausted.
 func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 	for len(it.queue) > 0 {
-		item := heap.Pop(&it.queue).(queueItem)
+		item := it.queue.pop()
 		if item.isObject {
 			it.stats.ObjectsEmitted++
 			if it.trace != nil {
 				it.trace(TraceEvent{Kind: TraceEmit, Child: item.ref, Score: item.score})
 			}
 			return item.ref, item.score, true, nil
+		}
+		if it.packed {
+			if err := it.expandPacked(item.node, item.score); err != nil {
+				return 0, 0, false, err
+			}
+			continue
 		}
 		n, err := it.t.LoadNode(item.node)
 		if err != nil {
@@ -217,33 +297,59 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 		isObject := n.level == 0
 		for i := range n.entries {
 			e := &n.entries[i]
-			score, keep := it.scorer(isObject, n.level, e.rect, e.aux)
-			if !keep {
-				it.stats.EntriesPruned++
-				if it.trace != nil {
-					it.trace(TraceEvent{Kind: TracePrune, Node: n.id, Child: e.ptr, Level: n.level})
-				}
-				continue
-			}
-			qi := queueItem{isObject: isObject, score: score, seq: it.seq}
-			it.seq++
-			if isObject {
-				it.stats.ObjectsEnqueued++
-				qi.ref = e.ptr
-				if it.trace != nil {
-					it.trace(TraceEvent{Kind: TraceEnqueueObject, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
-				}
-			} else {
-				it.stats.NodesEnqueued++
-				qi.node = storage.BlockID(e.ptr)
-				if it.trace != nil {
-					it.trace(TraceEvent{Kind: TraceEnqueueNode, Node: n.id, Child: e.ptr, Level: n.level, Score: score})
-				}
-			}
-			heap.Push(&it.queue, qi)
+			it.enqueueEntry(isObject, n.level, n.id, e.ptr, e.rect, e.aux)
 		}
 	}
 	return 0, 0, false, nil
+}
+
+// expandPacked is Next's node-expansion step on the packed hot path: the
+// node comes from the decoded-node cache and its entries are scored straight
+// off the pinned image, reusing the iterator's corner-point scratch.
+func (it *Iter) expandPacked(id storage.BlockID, score float64) error {
+	pn, err := it.t.LoadPacked(id)
+	if err != nil {
+		return fmt.Errorf("rtree: search: %w", err)
+	}
+	it.stats.NodesLoaded++
+	if it.trace != nil {
+		it.trace(TraceEvent{Kind: TraceExpand, Node: pn.id, Level: pn.level, Score: score})
+	}
+	isObject := pn.level == 0
+	for i := 0; i < pn.count; i++ {
+		rect := pn.EntryRectInto(i, it.scr.lo, it.scr.hi)
+		it.enqueueEntry(isObject, pn.level, pn.id, pn.EntryPtr(i), rect, pn.EntryAux(i))
+	}
+	return nil
+}
+
+// enqueueEntry scores one entry and pushes it on the queue (or prunes it),
+// with identical bookkeeping on both traversal paths.
+func (it *Iter) enqueueEntry(isObject bool, level int, nodeID storage.BlockID, ptr uint64, rect geo.Rect, aux []byte) {
+	score, keep := it.scorer(isObject, level, rect, aux)
+	if !keep {
+		it.stats.EntriesPruned++
+		if it.trace != nil {
+			it.trace(TraceEvent{Kind: TracePrune, Node: nodeID, Child: ptr, Level: level})
+		}
+		return
+	}
+	qi := queueItem{isObject: isObject, score: score, seq: it.seq}
+	it.seq++
+	if isObject {
+		it.stats.ObjectsEnqueued++
+		qi.ref = ptr
+		if it.trace != nil {
+			it.trace(TraceEvent{Kind: TraceEnqueueObject, Node: nodeID, Child: ptr, Level: level, Score: score})
+		}
+	} else {
+		it.stats.NodesEnqueued++
+		qi.node = storage.BlockID(ptr)
+		if it.trace != nil {
+			it.trace(TraceEvent{Kind: TraceEnqueueNode, Node: nodeID, Child: ptr, Level: level, Score: score})
+		}
+	}
+	it.queue.push(qi)
 }
 
 // Push re-enqueues an object with a caller-computed score. The general IR²
@@ -251,7 +357,7 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 // when the queue may still contain something better ("U.Enqueue(T, Score)
 // — to be considered later").
 func (it *Iter) Push(ref uint64, score float64) {
-	heap.Push(&it.queue, queueItem{isObject: true, ref: ref, score: score, seq: it.seq})
+	it.queue.push(queueItem{isObject: true, ref: ref, score: score, seq: it.seq})
 	it.seq++
 	it.stats.ObjectsEnqueued++
 }

@@ -818,6 +818,23 @@ func (s *ShardedEngine) Stats() spatialkeyword.Stats {
 	return out
 }
 
+// NodeCacheStats sums the per-shard decoded-node cache counters. Shards
+// never share a cache, so the sum is exact.
+func (s *ShardedEngine) NodeCacheStats() spatialkeyword.NodeCacheStats {
+	var out spatialkeyword.NodeCacheStats
+	for _, sh := range s.shards {
+		if sh.eng == nil {
+			continue
+		}
+		st := sh.eng.NodeCacheStats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Invalidations += st.Invalidations
+	}
+	return out
+}
+
 // MeterShardIO snapshots every shard's disk counters; the returned stop
 // function reports each shard's block accesses since the snapshot, in shard
 // order. Shards are independent devices, so a fan-out query's modeled disk

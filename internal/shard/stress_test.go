@@ -3,8 +3,10 @@ package shard
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"spatialkeyword"
 	"spatialkeyword/internal/geo"
@@ -214,5 +216,172 @@ func TestShardedConcurrentStress(t *testing.T) {
 				t.Fatalf("quiesced WithinArea[%d] = id %d, want %d", j, gotW[j].Object.ID, wantW[j].Object.ID)
 			}
 		}
+	}
+}
+
+// checkNoGoroutineLeak fails the test if it ends with more goroutines than
+// it started with (after a grace period for runtime bookkeeping).
+func checkNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// idKey flattens a result list into a comparable string of object IDs.
+func idKey[T any](res []T, id func(T) uint64) string {
+	ids := make([]uint64, len(res))
+	for i, r := range res {
+		ids[i] = id(r)
+	}
+	return fmt.Sprint(ids)
+}
+
+// TestConcurrentWarmQueries hammers the warm read hot path — the shared
+// decoded-node cache, the pooled traversal scratch, and the per-iterator row
+// scratch — from many goroutines at once, against both a single Engine and a
+// ShardedEngine, checking every answer against a single-threaded oracle
+// computed up front. Run under -race this is the data-race gate for the
+// packed node cache; the goroutine-leak check covers the sharded fan-out's
+// worker lifecycle. Unlike TestShardedConcurrentStress there are no writers:
+// the point is that a purely warm, hit-dominated workload stays correct and
+// race-free under contention.
+func TestConcurrentWarmQueries(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{SignatureBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := newTestEngine(t, 4)
+
+	words := []string{"pizza", "cafe", "bar", "sushi", "deli", "pub", "grill", "bakery", "pool", "wifi"}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		pt := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		text := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		if _, err := eng.Add(pt, text); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Add(pt, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type stressQuery struct {
+		point    []float64
+		keywords []string
+	}
+	queries := make([]stressQuery, 16)
+	for i := range queries {
+		queries[i] = stressQuery{
+			point:    []float64{rng.Float64() * 100, rng.Float64() * 100},
+			keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+	}
+	topkID := func(r spatialkeyword.Result) uint64 { return r.Object.ID }
+	rankedID := func(r spatialkeyword.RankedResult) uint64 { return r.Object.ID }
+
+	// Single-threaded oracle answers; these first runs also warm the node
+	// caches, so the concurrent phase exercises the hit path.
+	engTopK := make([]string, len(queries))
+	engRanked := make([]string, len(queries))
+	shTopK := make([]string, len(queries))
+	shRanked := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := eng.TopK(5, q.point, q.keywords...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engTopK[i] = idKey(res, topkID)
+		rres, err := eng.TopKRanked(5, q.point, q.keywords...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engRanked[i] = idKey(rres, rankedID)
+		sres, err := sh.TopK(5, q.point, q.keywords...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shTopK[i] = idKey(sres, topkID)
+		srres, err := sh.TopKRanked(5, q.point, q.keywords...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shRanked[i] = idKey(srres, rankedID)
+	}
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i, q := range queries {
+					res, err := eng.TopK(5, q.point, q.keywords...)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := idKey(res, topkID); got != engTopK[i] {
+						errc <- fmt.Errorf("worker %d query %d: engine topk %s, oracle %s", w, i, got, engTopK[i])
+						return
+					}
+					rres, err := eng.TopKRanked(5, q.point, q.keywords...)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := idKey(rres, rankedID); got != engRanked[i] {
+						errc <- fmt.Errorf("worker %d query %d: engine ranked %s, oracle %s", w, i, got, engRanked[i])
+						return
+					}
+					sres, err := sh.TopK(5, q.point, q.keywords...)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := idKey(sres, topkID); got != shTopK[i] {
+						errc <- fmt.Errorf("worker %d query %d: sharded topk %s, oracle %s", w, i, got, shTopK[i])
+						return
+					}
+					srres, err := sh.TopKRanked(5, q.point, q.keywords...)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := idKey(srres, rankedID); got != shRanked[i] {
+						errc <- fmt.Errorf("worker %d query %d: sharded ranked %s, oracle %s", w, i, got, shRanked[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The cache actually carried the load: warm queries must be hitting.
+	if st := eng.NodeCacheStats(); st.Hits == 0 {
+		t.Error("engine node cache saw no hits under the warm workload")
+	}
+	if st := sh.NodeCacheStats(); st.Hits == 0 {
+		t.Error("sharded node cache saw no hits under the warm workload")
 	}
 }

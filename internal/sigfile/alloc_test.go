@@ -1,0 +1,48 @@
+//go:build !race
+
+// Allocation-regression gates. The race detector instruments allocations and
+// inflates AllocsPerRun counts, so this file is excluded from -race runs; the
+// plain `go test ./...` tier-1 pass enforces the budgets.
+
+package sigfile
+
+import "testing"
+
+func TestMatchesAllocFree(t *testing.T) {
+	cfg := Config{LengthBytes: 189, BitsPerWord: 4}
+	s := cfg.DocSignature([]string{"internet", "pool", "spa", "parking"})
+	q := cfg.DocSignature([]string{"pool"})
+	var sink bool
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = Matches(s, q)
+		sink = MatchesTolerant(s, q) || sink
+	}); n != 0 {
+		t.Fatalf("Matches/MatchesTolerant allocate %.1f/op, want 0", n)
+	}
+	_ = sink
+}
+
+func TestSig64MatchAllocFree(t *testing.T) {
+	cfg := Config{LengthBytes: 189, BitsPerWord: 4}
+	s := cfg.DocSignature([]string{"internet", "pool", "spa", "parking"})
+	v := MakeSig64(cfg.DocSignature([]string{"pool", "spa"}))
+	raw := []byte(s)
+	var sink bool
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = v.MatchesTolerant(raw)
+	}); n != 0 {
+		t.Fatalf("Sig64.MatchesTolerant allocates %.1f/op, want 0", n)
+	}
+	_ = sink
+}
+
+func TestSuperimposeAllocFree(t *testing.T) {
+	cfg := Config{LengthBytes: 64, BitsPerWord: 4}
+	dst := cfg.DocSignature([]string{"alpha"})
+	src := cfg.DocSignature([]string{"beta"})
+	if n := testing.AllocsPerRun(1000, func() {
+		Superimpose(dst, src)
+	}); n != 0 {
+		t.Fatalf("Superimpose allocates %.1f/op, want 0", n)
+	}
+}

@@ -109,9 +109,7 @@ func Superimpose(dst, src Signature) {
 		//skvet:ignore nopanic documented invariant: mixed signature lengths are a caller logic error
 		panic(fmt.Sprintf("sigfile: superimpose length mismatch %d vs %d", len(dst), len(src)))
 	}
-	for i := range src {
-		dst[i] |= src[i]
-	}
+	superimposeWords(dst, src)
 }
 
 // ErrLengthMismatch is returned by the checked signature operations when two
@@ -127,9 +125,7 @@ func SuperimposeChecked(dst, src Signature) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(dst), len(src))
 	}
-	for i := range src {
-		dst[i] |= src[i]
-	}
+	superimposeWords(dst, src)
 	return nil
 }
 
@@ -142,12 +138,7 @@ func MatchesTolerant(s, q Signature) bool {
 	if len(s) != len(q) {
 		return true
 	}
-	for i := range q {
-		if s[i]&q[i] != q[i] {
-			return false
-		}
-	}
-	return true
+	return matchesWords(s, q)
 }
 
 // Union returns a new signature that superimposes a and b.
@@ -167,12 +158,7 @@ func Matches(s, q Signature) bool {
 		//skvet:ignore nopanic documented invariant: mixed signature lengths are a caller logic error
 		panic(fmt.Sprintf("sigfile: match length mismatch %d vs %d", len(s), len(q)))
 	}
-	for i := range q {
-		if s[i]&q[i] != q[i] {
-			return false
-		}
-	}
-	return true
+	return matchesWords(s, q)
 }
 
 // Equal reports whether two signatures are bit-identical.

@@ -1,0 +1,148 @@
+// Word-at-a-time signature kernels. The byte representation of Signature is
+// the on-disk format and cannot change, but the hot operations — the AND-match
+// of IR2NearestNeighbor and the superimposition that builds node signatures —
+// need not walk it a byte at a time. Go guarantees binary.LittleEndian.Uint64
+// compiles to a single unaligned load on the platforms we care about, so the
+// kernels below process eight bytes per step and fall back to byte-wise code
+// only on the tail (len mod 8 bytes).
+//
+// The byte-wise originals survive as unexported reference implementations;
+// the differential tests and FuzzSig64Equivalence hold the two forms equal on
+// every length class mod 8.
+
+package sigfile
+
+import "encoding/binary"
+
+// matchesWords reports whether every set bit of q is set in s, assuming
+// len(s) == len(q). Eight bytes per step, byte-wise tail.
+func matchesWords(s, q []byte) bool {
+	n := len(q)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		sw := binary.LittleEndian.Uint64(s[i:])
+		qw := binary.LittleEndian.Uint64(q[i:])
+		if sw&qw != qw {
+			return false
+		}
+	}
+	for ; i < n; i++ {
+		if s[i]&q[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// superimposeWords ORs src into dst in place, assuming equal lengths.
+func superimposeWords(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(dst[i:]) | binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], w)
+	}
+	for ; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// matchesBytewise is the original byte-at-a-time match, kept as the oracle
+// for the differential and fuzz tests.
+func matchesBytewise(s, q []byte) bool {
+	for i := range q {
+		if s[i]&q[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// superimposeBytewise is the original byte-at-a-time superimposition oracle.
+func superimposeBytewise(dst, src []byte) {
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+// Sig64 is a query signature pre-decoded into uint64 words: the full 8-byte
+// little-endian words plus a zero-padded tail word for the last len mod 8
+// bytes. Building one costs a single allocation at query setup; matching it
+// against a raw aux payload straight off a disk block costs none. This is
+// the representation the distance-first traversal holds for the lifetime of
+// a query — the byte form is decoded once instead of re-walked per node.
+type Sig64 struct {
+	n    int      // length of the original signature in bytes
+	full []uint64 // complete 8-byte words, little-endian
+	tail uint64   // last n%8 bytes, little-endian, zero-padded high
+}
+
+// MakeSig64 decodes q into its word form. The result does not alias q.
+func MakeSig64(q Signature) Sig64 {
+	n := len(q)
+	v := Sig64{n: n}
+	nf := n / 8
+	if nf > 0 {
+		v.full = make([]uint64, nf)
+		for i := range v.full {
+			v.full[i] = binary.LittleEndian.Uint64(q[i*8:])
+		}
+	}
+	for i := nf * 8; i < n; i++ {
+		v.tail |= uint64(q[i]) << (8 * (i - nf*8))
+	}
+	return v
+}
+
+// Len returns the length of the original signature in bytes.
+func (v Sig64) Len() int { return v.n }
+
+// IsZero reports whether no bit is set in the query.
+func (v Sig64) IsZero() bool {
+	for _, w := range v.full {
+		if w != 0 {
+			return false
+		}
+	}
+	return v.tail == 0
+}
+
+// Bytes reconstructs the byte-form signature. For tests and diagnostics;
+// allocates.
+func (v Sig64) Bytes() Signature {
+	s := make(Signature, v.n)
+	for i, w := range v.full {
+		binary.LittleEndian.PutUint64(s[i*8:], w)
+	}
+	for i := len(v.full) * 8; i < v.n; i++ {
+		s[i] = byte(v.tail >> (8 * (i - len(v.full)*8)))
+	}
+	return s
+}
+
+// MatchesTolerant reports whether a document or subtree whose signature is
+// the raw byte slice s may contain everything the query describes. Like the
+// byte-form MatchesTolerant, a length mismatch means the decoded signature
+// cannot be trusted, and the only sound answer is "may match". s may alias
+// a disk-block image; it is never retained. Zero allocations.
+func (v Sig64) MatchesTolerant(s []byte) bool {
+	if len(s) != v.n {
+		return true
+	}
+	for i, qw := range v.full {
+		sw := binary.LittleEndian.Uint64(s[i*8:])
+		if sw&qw != qw {
+			return false
+		}
+	}
+	if v.tail != 0 {
+		var sw uint64
+		for i := len(v.full) * 8; i < v.n; i++ {
+			sw |= uint64(s[i]) << (8 * (i - len(v.full)*8))
+		}
+		if sw&v.tail != v.tail {
+			return false
+		}
+	}
+	return true
+}

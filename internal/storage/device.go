@@ -35,6 +35,32 @@ var (
 	_ Device = (*CachedDisk)(nil)
 )
 
+// RunReaderInto is the optional fast-read extension of Device: reading a run
+// of blocks into a caller-provided buffer, so steady-state readers need not
+// allocate per node. *Disk implements it; wrapped devices (checksums, fault
+// injection, buffer-cache ablations) fall back to ReadRun plus a copy.
+type RunReaderInto interface {
+	// ReadRunInto reads n consecutive blocks starting at id into dst,
+	// with accounting identical to ReadRun.
+	ReadRunInto(id BlockID, n int, dst []byte) error
+}
+
+var _ RunReaderInto = (*Disk)(nil)
+
+// ReadRunTo reads n blocks from dev into dst, using ReadRunInto when the
+// device supports it and falling back to an allocating ReadRun otherwise.
+func ReadRunTo(dev Device, id BlockID, n int, dst []byte) error {
+	if r, ok := dev.(RunReaderInto); ok {
+		return r.ReadRunInto(id, n, dst)
+	}
+	buf, err := dev.ReadRun(id, n)
+	if err != nil {
+		return err
+	}
+	copy(dst, buf)
+	return nil
+}
+
 // Meter measures the I/O performed by a bracketed operation on a Device.
 // Typical use:
 //

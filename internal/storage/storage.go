@@ -283,6 +283,39 @@ func (d *Disk) ReadRun(id BlockID, n int) ([]byte, error) {
 	return out, nil
 }
 
+// ReadRunInto reads n consecutive blocks starting at id into dst, which must
+// hold at least n blocks' worth of bytes. Accounting and fault injection are
+// identical to ReadRun — per block, in order — the only difference is that
+// the caller owns the buffer, so a warm read path can reuse one scratch
+// buffer across queries instead of allocating per node. With n = 1 it is the
+// allocation-free equivalent of Read.
+func (d *Disk) ReadRunInto(id BlockID, n int, dst []byte) error {
+	if n <= 0 {
+		return fmt.Errorf("storage: invalid run length %d", n)
+	}
+	if len(dst) < n*d.blockSize {
+		return fmt.Errorf("storage: short buffer %d for %d-block run", len(dst), n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		b := id + BlockID(i)
+		if d.fault != nil {
+			if err := d.fault(OpRead, b); err != nil {
+				return err
+			}
+		}
+		data, ok := d.blocks[b]
+		if !ok {
+			return fmt.Errorf("%w: read %d", ErrBadBlock, b)
+		}
+		d.account(b, OpRead)
+		region := dst[i*d.blockSize : (i+1)*d.blockSize]
+		clear(region[copy(region, data):])
+	}
+	return nil
+}
+
 // Write stores data into the block, counting one write access. Writing fewer
 // than blockSize bytes zero-fills the remainder; writing more is an error.
 func (d *Disk) Write(id BlockID, data []byte) error {

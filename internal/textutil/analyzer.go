@@ -70,6 +70,13 @@ func (a *Analyzer) Unique(text string) []string {
 	return uniq
 }
 
+// plain reports whether the pipeline is plain tokenization (no stopwords,
+// no stemming) — the configurations whose scans can skip token
+// materialization entirely.
+func (a *Analyzer) plain() bool {
+	return a == nil || (a.Stopwords == nil && !a.Stemming)
+}
+
 // TermFreqs returns the pipeline term-frequency map of a document.
 func (a *Analyzer) TermFreqs(text string) map[string]int {
 	tokens := a.Tokens(text)
@@ -126,10 +133,14 @@ func (a *Analyzer) ContainsAll(text string, keywords []string) bool {
 }
 
 // ContainsTerms reports whether the document contains every given
-// already-normalized pipeline term.
+// already-normalized pipeline term. Allocation-free on the plain pipeline
+// (the per-candidate false-positive filter of every top-k query runs here).
 func (a *Analyzer) ContainsTerms(text string, terms []string) bool {
 	if len(terms) == 0 {
 		return true
+	}
+	if a.plain() && len(terms) < 64 {
+		return containsTermsScan(text, terms)
 	}
 	set := make(map[string]struct{})
 	for _, tok := range a.Tokens(text) {
@@ -141,4 +152,19 @@ func (a *Analyzer) ContainsTerms(text string, terms []string) bool {
 		}
 	}
 	return true
+}
+
+// TermFreqsInto fills counts[i] with the pipeline term frequency of terms[i]
+// in text. Terms must already be normalized through this pipeline; counts
+// must have at least len(terms) elements. Allocation-free on the plain
+// pipeline — the ranked query's per-candidate tf-idf scoring runs here.
+func (a *Analyzer) TermFreqsInto(counts []int, text string, terms []string) {
+	if a.plain() {
+		CountTermsInto(counts, text, terms)
+		return
+	}
+	tf := a.TermFreqs(text)
+	for i, term := range terms {
+		counts[i] = tf[term]
+	}
 }

@@ -1,0 +1,101 @@
+package textutil
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file holds the allocation-free scanning kernels of the read hot
+// path: counting and membership-testing already-normalized query terms
+// against a document without materializing its tokens. Tokenize builds a
+// string per token — fine for indexing, but a top-k query's false-positive
+// filter and tf counting run per loaded candidate, where per-token
+// allocation dominates the profile.
+
+// tokenFoldEq reports whether the raw token equals the (already lower-case)
+// term after per-rune lower-casing — the same normalization Tokenize
+// applies, without building the lowered string.
+func tokenFoldEq(tok, term string) bool {
+	ti := 0
+	for _, r := range tok {
+		if ti >= len(term) {
+			return false
+		}
+		tr, sz := utf8.DecodeRuneInString(term[ti:])
+		if unicode.ToLower(r) != tr {
+			return false
+		}
+		ti += sz
+	}
+	return ti == len(term)
+}
+
+// countTok bumps the count of every term the token matches.
+func countTok(counts []int, tok string, terms []string) {
+	for i, term := range terms {
+		if tokenFoldEq(tok, term) {
+			counts[i]++
+		}
+	}
+}
+
+// CountTermsInto sets counts[i] to the number of occurrences of terms[i] in
+// text under plain tokenization, without allocating. Terms must already be
+// normalized (lower-case single tokens); counts must have at least
+// len(terms) elements.
+func CountTermsInto(counts []int, text string, terms []string) {
+	for i := range terms {
+		counts[i] = 0
+	}
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			countTok(counts, text[start:i], terms)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		countTok(counts, text[start:], terms)
+	}
+}
+
+// containsTermsScan reports whether every term occurs in text under plain
+// tokenization, scanning the document once without allocating. Requires
+// 0 < len(terms) < 64 (the found-set is a bitmask).
+func containsTermsScan(text string, terms []string) bool {
+	all := uint64(1)<<len(terms) - 1
+	var found uint64
+	match := func(tok string) bool {
+		for i, term := range terms {
+			if found&(1<<i) == 0 && tokenFoldEq(tok, term) {
+				found |= 1 << i
+			}
+		}
+		return found == all
+	}
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			if match(text[start:i]) {
+				return true
+			}
+			start = -1
+		}
+	}
+	if start >= 0 {
+		return match(text[start:])
+	}
+	return found == all
+}

@@ -1,0 +1,30 @@
+//go:build !race
+
+package textutil
+
+import "testing"
+
+//go:noinline
+func sinkBool(b bool) {}
+
+// TestContainsTermsAllocFree gates the plain-pipeline membership scan: the
+// per-candidate false-positive filter of every top-k query must not
+// allocate. Skipped under -race (the detector breaks AllocsPerRun).
+func TestContainsTermsAllocFree(t *testing.T) {
+	var a *Analyzer
+	doc := "wireless Internet, pool; ocean view suite"
+	terms := []string{"internet", "pool"}
+	allocs := testing.AllocsPerRun(100, func() {
+		sinkBool(a.ContainsTerms(doc, terms))
+	})
+	if allocs != 0 {
+		t.Errorf("plain ContainsTerms allocates %.1f objects/op, want 0", allocs)
+	}
+	counts := make([]int, len(terms))
+	allocs = testing.AllocsPerRun(100, func() {
+		a.TermFreqsInto(counts, doc, terms)
+	})
+	if allocs != 0 {
+		t.Errorf("plain TermFreqsInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,120 @@
+package textutil
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// Byte-slice twins of the scan kernels in scan.go. The candidate filter of
+// the read hot path runs over rows still sitting in I/O scratch buffers;
+// converting each to a string before scanning would reintroduce exactly the
+// per-candidate allocation the kernels exist to remove. Equivalence with
+// the string kernels is pinned by tests.
+
+// tokenFoldEqBytes is tokenFoldEq for a raw byte token.
+func tokenFoldEqBytes(tok []byte, term string) bool {
+	ti := 0
+	for i := 0; i < len(tok); {
+		r, sz := utf8.DecodeRune(tok[i:])
+		i += sz
+		if ti >= len(term) {
+			return false
+		}
+		tr, tsz := utf8.DecodeRuneInString(term[ti:])
+		if unicode.ToLower(r) != tr {
+			return false
+		}
+		ti += tsz
+	}
+	return ti == len(term)
+}
+
+// countTokBytes bumps the count of every term the token matches.
+func countTokBytes(counts []int, tok []byte, terms []string) {
+	for i, term := range terms {
+		if tokenFoldEqBytes(tok, term) {
+			counts[i]++
+		}
+	}
+}
+
+// CountTermsBytesInto is CountTermsInto for a document in a byte buffer.
+func CountTermsBytesInto(counts []int, text []byte, terms []string) {
+	for i := range terms {
+		counts[i] = 0
+	}
+	start := -1
+	for i := 0; i < len(text); {
+		r, sz := utf8.DecodeRune(text[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			countTokBytes(counts, text[start:i], terms)
+			start = -1
+		}
+		i += sz
+	}
+	if start >= 0 {
+		countTokBytes(counts, text[start:], terms)
+	}
+}
+
+// containsTermsScanBytes is containsTermsScan for a document in a byte
+// buffer. Requires 0 < len(terms) < 64.
+func containsTermsScanBytes(text []byte, terms []string) bool {
+	all := uint64(1)<<len(terms) - 1
+	var found uint64
+	match := func(tok []byte) bool {
+		for i, term := range terms {
+			if found&(1<<i) == 0 && tokenFoldEqBytes(tok, term) {
+				found |= 1 << i
+			}
+		}
+		return found == all
+	}
+	start := -1
+	for i := 0; i < len(text); {
+		r, sz := utf8.DecodeRune(text[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			if match(text[start:i]) {
+				return true
+			}
+			start = -1
+		}
+		i += sz
+	}
+	if start >= 0 {
+		return match(text[start:])
+	}
+	return found == all
+}
+
+// ContainsTermsBytes is ContainsTerms for a document still in an I/O
+// scratch buffer; text must not be retained. Allocation-free on the plain
+// pipeline; other pipelines fall back to a string conversion.
+func (a *Analyzer) ContainsTermsBytes(text []byte, terms []string) bool {
+	if len(terms) == 0 {
+		return true
+	}
+	if a.plain() && len(terms) < 64 {
+		return containsTermsScanBytes(text, terms)
+	}
+	return a.ContainsTerms(string(text), terms)
+}
+
+// TermFreqsBytesInto is TermFreqsInto for a document still in an I/O
+// scratch buffer; text must not be retained. Allocation-free on the plain
+// pipeline; other pipelines fall back to a string conversion.
+func (a *Analyzer) TermFreqsBytesInto(counts []int, text []byte, terms []string) {
+	if a.plain() {
+		CountTermsBytesInto(counts, text, terms)
+		return
+	}
+	a.TermFreqsInto(counts, string(text), terms)
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// Stemming applies Porter stemming so query keywords match every
 	// inflection of indexed words ("fishing" matches "fish", "fished", ...).
 	Stemming bool
+	// NodeCacheSize bounds the engine's decoded-node cache: hot index nodes
+	// are kept decoded in a packed in-memory layout so warm queries skip
+	// per-entry parsing and allocation. Cache hits still pay the full
+	// modeled disk I/O (and re-verify the node image against the device), so
+	// disk accounting is identical with and without the cache. Zero means
+	// 1024 nodes; negative disables the cache and the packed read path.
+	NodeCacheSize int
 	// Checksums frames every disk block with a CRC32-C trailer, verified on
 	// read, so silent corruption (bit rot, torn writes) surfaces as a typed
 	// error instead of being deserialized into a wrong tree. Costs four
@@ -140,6 +147,14 @@ type Stats struct {
 	TreeHeight int
 	// Vocabulary is the number of distinct words ever indexed.
 	Vocabulary int
+}
+
+// NodeCacheStats reports the decoded-node cache's effectiveness. Hits serve
+// a warm query's node expansion without decoding (though the modeled disk
+// I/O is still charged in full); invalidations count nodes dropped because
+// the mutation path rewrote or freed them.
+type NodeCacheStats struct {
+	Hits, Misses, Evictions, Invalidations uint64
 }
 
 // ErrDeleted is returned when operating on a deleted object.
@@ -251,6 +266,7 @@ func (e *Engine) coreOptions() core.Options {
 		VocabSize:         vocabCap,
 		Dim:               e.dim,
 		Analyzer:          e.analyzer(),
+		CacheNodes:        cfg.NodeCacheSize,
 	}
 }
 
@@ -655,6 +671,18 @@ func (e *Engine) SetWALObserver(onAppend func(), onFsync func(time.Duration)) {
 	e.walOnAppend = onAppend
 	e.walOnFsync = onFsync
 	e.walApp.SetFsyncObserver(onFsync)
+}
+
+// NodeCacheStats reports the decoded-node cache counters accumulated since
+// the engine was created (all zero when Config.NodeCacheSize is negative).
+func (e *Engine) NodeCacheStats() NodeCacheStats {
+	st := e.tree.NodeCacheStats()
+	return NodeCacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+	}
 }
 
 // Stats reports the engine's contents and footprint.
