@@ -2,12 +2,14 @@
 // (internal/analysis) that machine-check the correctness invariants the
 // engine's earlier PRs established by convention — storage error
 // provenance, no I/O under shard/core mutexes, deterministic modeled
-// disk time, no panics in library code, and canonical obs metric
-// registration.
+// disk time, no panics in library code, canonical obs metric
+// registration, zero-allocation //skvet:hotpath functions (compiler
+// escape/inlining diagnostics), an acyclic whole-program lock-order
+// graph, and provable goroutine termination paths.
 //
 // Usage:
 //
-//	skvet [-json] [-passes erroprov,nopanic] [-list] [packages...]
+//	skvet [-json] [-passes erroprov,nopanic] [-list] [-ignores] [packages...]
 //
 // Package patterns are directories relative to the working directory,
 // with ./... meaning the whole subtree (testdata and hidden directories
@@ -18,7 +20,9 @@
 //
 // or, with -json, as a JSON array of {pass, file, line, col, message}
 // objects for machine consumption. Suppress an individual finding with a
-// //skvet:ignore <pass> comment on the same line or the line above.
+// //skvet:ignore <pass> comment on the same line or the line above;
+// -ignores prints an audit of every such directive with its pass list
+// and justification.
 package main
 
 import (
@@ -64,6 +68,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default all)")
 	list := fs.Bool("list", false, "list the available passes and exit")
+	ignores := fs.Bool("ignores", false, "audit: list every skvet:ignore directive with its passes and reason")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -128,6 +133,11 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 
 	prog := &analysis.Program{Fset: fset, Pkgs: pkgs}
+
+	if *ignores {
+		return listIgnores(prog, dir, *jsonOut, stdout, stderr)
+	}
+
 	diags := analysis.Run(prog, passes)
 
 	if *jsonOut {
@@ -155,6 +165,53 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// jsonIgnore is the machine-readable directive shape for -ignores.
+type jsonIgnore struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Passes []string `json:"passes"`
+	Reason string   `json:"reason"`
+}
+
+// listIgnores prints the skvet:ignore audit: every directive in the
+// analyzed packages, with the passes it names and its justification.
+// Directives with no reason are part of the listing — the audit exists so
+// they stand out. Exits 0; malformed directives are the suite's job to
+// flag, not the audit's.
+func listIgnores(prog *analysis.Program, dir string, jsonOut bool, stdout, stderr io.Writer) int {
+	dirs := analysis.Directives(prog)
+	if jsonOut {
+		out := make([]jsonIgnore, 0, len(dirs))
+		for _, d := range dirs {
+			out = append(out, jsonIgnore{
+				File:   relativeTo(dir, d.Pos.Filename),
+				Line:   d.Pos.Line,
+				Passes: d.Passes,
+				Reason: d.Reason,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "skvet:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, d := range dirs {
+		passList := strings.Join(d.Passes, ",")
+		if passList == "" {
+			passList = "(missing pass list)"
+		}
+		reason := d.Reason
+		if reason == "" {
+			reason = "(no reason given)"
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s — %s\n", relativeTo(dir, d.Pos.Filename), d.Pos.Line, passList, reason)
 	}
 	return 0
 }

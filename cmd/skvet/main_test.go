@@ -113,10 +113,55 @@ func TestListPasses(t *testing.T) {
 	if code := run([]string{"-list"}, t.TempDir(), &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"erroprov", "lockio", "determinism", "nopanic", "obsreg"} {
+	for _, name := range []string{"erroprov", "lockio", "determinism", "nopanic", "obsreg", "hotalloc", "lockorder", "goroleak"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing pass %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestIgnoresAudit exercises the -ignores listing: every directive in the
+// analyzed packages appears with its pass list and reason, in both text
+// and JSON form, and the audit itself always exits 0.
+func TestIgnoresAudit(t *testing.T) {
+	dir := writeTempModule(t)
+	path := filepath.Join(dir, "lib", "lib.go")
+	src := `package lib
+
+// Boom always panics.
+func Boom() {
+	//skvet:ignore nopanic documented invariant for the audit test
+	panic("boom")
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-ignores", "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-ignores exited %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "nopanic") || !strings.Contains(out, "documented invariant for the audit test") {
+		t.Errorf("-ignores output missing the directive:\n%s", out)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-ignores", "-json", "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("-ignores -json exited %d\nstderr: %s", code, stderr.String())
+	}
+	var entries []jsonIgnore
+	if err := json.Unmarshal(stdout.Bytes(), &entries); err != nil {
+		t.Fatalf("-ignores -json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.File != filepath.Join("lib", "lib.go") || len(e.Passes) != 1 || e.Passes[0] != "nopanic" ||
+		e.Reason != "documented invariant for the audit test" {
+		t.Errorf("unexpected directive: %+v", e)
 	}
 }
 

@@ -12,6 +12,10 @@
 //	             modeled disk-time (cost model / bench) paths
 //	nopanic      no panic in library packages (cmd/ and tests may)
 //	obsreg       one obs metric family, one meaning, canonical label order
+//	hotalloc     //skvet:hotpath functions stay free of heap escapes and
+//	             non-inlined leaf calls (go build -gcflags=-m=2 gate)
+//	lockorder    the whole-program lock-acquisition graph stays acyclic
+//	goroleak     every go statement has a provable termination path
 //
 // Each pass walks typechecked packages (see Loader) and reports
 // file:line:col diagnostics. A finding can be suppressed with an ignore
@@ -81,6 +85,9 @@ func AllPasses() []Pass {
 		determinism{},
 		noPanic{},
 		obsReg{},
+		hotAlloc{},
+		lockOrder{},
+		goroLeak{},
 	}
 }
 

@@ -41,8 +41,8 @@ func TestAllPassesWellFormed(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the 5 documented passes, got %d", len(seen))
+	if len(seen) != 8 {
+		t.Errorf("expected the 8 documented passes, got %d", len(seen))
 	}
 }
 
@@ -88,6 +88,41 @@ func TestLoaderMemoizes(t *testing.T) {
 	}
 	if a != b {
 		t.Error("Load should memoize packages per loader")
+	}
+}
+
+// TestDirectivesListing checks the -ignores audit data source: every
+// directive in the ignore fixture comes back parsed, in position order,
+// including malformed ones (the audit shows them; the suite flags them).
+func TestDirectivesListing(t *testing.T) {
+	prog := loadFixtures(t, "ignore")
+	dirs := Directives(prog)
+	if len(dirs) < 6 {
+		t.Fatalf("got %d directives, want at least 6: %+v", len(dirs), dirs)
+	}
+	for i := 1; i < len(dirs); i++ {
+		a, b := dirs[i-1].Pos, dirs[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("directives out of order: %s before %s", a, b)
+		}
+	}
+	var sawV2, sawEmpty bool
+	for _, d := range dirs {
+		if len(d.Passes) == 3 && d.Passes[0] == "hotalloc" && d.Passes[1] == "lockorder" && d.Passes[2] == "goroleak" {
+			sawV2 = true
+			if d.Reason != "suppresses nothing here, but parses" {
+				t.Errorf("v2 directive reason = %q", d.Reason)
+			}
+		}
+		if len(d.Passes) == 0 {
+			sawEmpty = true
+		}
+	}
+	if !sawV2 {
+		t.Error("missing the hotalloc,lockorder,goroleak directive")
+	}
+	if !sawEmpty {
+		t.Error("missing the malformed (no pass list) directive")
 	}
 }
 

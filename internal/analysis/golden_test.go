@@ -79,6 +79,8 @@ func TestLockIOGolden(t *testing.T)      { testGolden(t, "lockio", []Pass{lockIO
 func TestDeterminismGolden(t *testing.T) { testGolden(t, "determinism", []Pass{determinism{}}) }
 func TestNoPanicGolden(t *testing.T)     { testGolden(t, "nopanic", []Pass{noPanic{}}) }
 func TestObsRegGolden(t *testing.T)      { testGolden(t, "obsreg", []Pass{obsReg{}}) }
+func TestLockOrderGolden(t *testing.T)   { testGolden(t, "lockorder", []Pass{lockOrder{}}) }
+func TestGoroLeakGolden(t *testing.T)    { testGolden(t, "goroleak", []Pass{goroLeak{}}) }
 
 // TestIgnoreGolden exercises the suppression directive: same-line and
 // line-above ignores silence nopanic, unknown passes are reported.

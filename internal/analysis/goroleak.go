@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroLeak requires every `go` statement to have a provable termination
+// path. The repo's always-on subsystems — fence subscription fan-out,
+// repl's long-poll tail loops, the sharded fan-out workers, skserve's
+// server goroutine — all follow one of a small set of structured
+// shutdown idioms, and this pass makes the idioms mandatory: a goroutine
+// with none of them outlives its spawner silently, which is how servers
+// accumulate leaked tails until the next OOM.
+//
+// A spawned body is accepted when it exhibits at least one of:
+//
+//   - WaitGroup join: the body calls Done() on a sync.WaitGroup
+//     (typically deferred), so some joiner observes its exit.
+//   - Context cancellation: the body calls Done() or Err() on a
+//     context.Context, giving it a cancellation signal to select on.
+//   - Done-channel receive: the body receives from a `chan struct{}` —
+//     the signal-channel convention — so closing the channel releases it.
+//   - Range over a channel: `for range ch` terminates when the producer
+//     closes ch.
+//   - Loop-free body: with no for/range statement anywhere in the body,
+//     the goroutine terminates as soon as its calls return (the
+//     `go func() { errc <- srv.ListenAndServe() }()` idiom).
+//
+// The spawned function is resolved statically: a function literal, a
+// named function or method declared in the analyzed program, or a local
+// variable assigned a function literal in the enclosing body. A `go`
+// statement whose target cannot be resolved is itself a finding — an
+// unreviewable goroutine is treated like an unprovable one. (Termination
+// here means "has a shutdown path", not a totality proof: a body that
+// selects on ctx.Done() but ignores it would still pass. The pass
+// enforces the idiom, tests enforce the behavior.)
+type goroLeak struct{}
+
+func (goroLeak) Name() string { return "goroleak" }
+
+func (goroLeak) Doc() string {
+	return "every go statement needs a provable termination path: WaitGroup join, context cancellation, done-channel receive, range-over-channel, or a loop-free body"
+}
+
+func (goroLeak) Run(prog *Program) []Diagnostic {
+	declIdx := buildFuncDeclIndex(prog)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					diags = append(diags, checkGoStmt(prog, pkg, fd, g, declIdx)...)
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// checkGoStmt resolves the spawned body and verifies a termination path.
+func checkGoStmt(prog *Program, pkg *Package, enclosing *ast.FuncDecl, g *ast.GoStmt, declIdx map[*types.Func]funcDeclRef) []Diagnostic {
+	pos := prog.Fset.Position(g.Pos())
+	body, bodyPkg := resolveSpawnedBody(pkg, enclosing, g.Call, declIdx)
+	if body == nil {
+		return []Diagnostic{{
+			Pass: "goroleak", Pos: pos,
+			Message: "go statement spawns a dynamically-resolved function; termination cannot be proven — spawn a function literal or a named function with a shutdown path",
+		}}
+	}
+	if reason := terminationPath(bodyPkg, body); reason != "" {
+		return nil
+	}
+	return []Diagnostic{{
+		Pass: "goroleak", Pos: pos,
+		Message: "goroutine has no provable termination path: add a WaitGroup join, a context.Done/Err check, a chan struct{} done-channel receive, or keep the body loop-free",
+	}}
+}
+
+// resolveSpawnedBody finds the body the go statement runs: a literal, a
+// declared function/method, or a local variable holding a literal.
+func resolveSpawnedBody(pkg *Package, enclosing *ast.FuncDecl, call *ast.CallExpr, declIdx map[*types.Func]funcDeclRef) (*ast.BlockStmt, *Package) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, pkg
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if ref, declared := declIdx[fn]; declared {
+				return ref.decl.Body, ref.pkg
+			}
+			return nil, nil
+		}
+		// A local function value: accept the common `name := func(...)`
+		// / `var name = func(...)` / `name = func(...)` forms within the
+		// enclosing declaration.
+		if v, ok := pkg.Info.Uses[fun].(*types.Var); ok {
+			if lit := localFuncLit(pkg, enclosing, v); lit != nil {
+				return lit.Body, pkg
+			}
+		}
+		return nil, nil
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if ref, declared := declIdx[fn]; declared {
+				return ref.decl.Body, ref.pkg
+			}
+		}
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// localFuncLit scans the enclosing function for the single assignment of
+// a function literal to v. Multiple assignments (a rebindable function
+// variable) resolve to nil — that is a dynamic call.
+func localFuncLit(pkg *Package, enclosing *ast.FuncDecl, v *types.Var) *ast.FuncLit {
+	var lit *ast.FuncLit
+	count := 0
+	record := func(target *ast.Ident, rhs ast.Expr) {
+		if pkg.Info.Defs[target] != v && pkg.Info.Uses[target] != v {
+			return
+		}
+		count++
+		if fl, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+			lit = fl
+		} else {
+			lit = nil
+		}
+	}
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return lit
+}
+
+// terminationPath reports the first shutdown idiom found in the body, or
+// "" when none is present.
+func terminationPath(pkg *Package, body *ast.BlockStmt) string {
+	hasLoop := false
+	idiom := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if idiom != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					idiom = "range over channel"
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if isStructDoneChan(pkg, n.X) {
+					idiom = "done-channel receive"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := terminationCall(pkg.Info, n); ok {
+				idiom = name
+				return false
+			}
+		}
+		return true
+	})
+	if idiom != "" {
+		return idiom
+	}
+	if !hasLoop {
+		return "loop-free body"
+	}
+	return ""
+}
+
+// isStructDoneChan reports whether expr is a channel of struct{} — the
+// signal-channel convention for shutdown.
+func isStructDoneChan(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// terminationCall recognizes Done() on sync.WaitGroup and Done()/Err() on
+// context.Context.
+func terminationCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Done" && name != "Err" {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" && name == "Done":
+		return "WaitGroup join", true
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return "context cancellation", true
+	}
+	return "", false
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestParseM2SampleFixture parses a pinned -m=2 transcript (with flow
+// continuations, doubled escape lines, irrelevant families, and lines an
+// imaginary future compiler might add) and checks exactly the facts the
+// hotalloc pass needs come out — nothing more, nothing lost.
+func TestParseM2SampleFixture(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "hotalloc", "m2_sample.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.FromSlash("/work/repo")
+	facts := parseM2Output(string(raw), base)
+
+	type want struct {
+		kind   m2Kind
+		file   string
+		line   int
+		what   string
+		reason string
+	}
+	wants := []want{
+		{m2Escape, "internal/objstore/objstore.go", 236, "make([]byte, bs)", "flow: {heap} = &{storage for make([]byte, bs)}:"},
+		{m2Escape, "internal/objstore/objstore.go", 240, "row", ""},
+		{m2InlineCall, "internal/rtree/packed.go", 88, "PackedNode.EntryCount", ""},
+		{m2InlineCall, "internal/rtree/packed.go", 91, "bo.LittleEndian.Uint64", ""},
+		{m2CannotInline, "internal/rtree/packed.go", 52, "(*Tree).bulkLoadLeaves", "function too complex: cost 187 exceeds budget 80"},
+	}
+	if len(facts) != len(wants) {
+		for _, f := range facts {
+			t.Logf("fact: kind=%d pos=%s what=%q reason=%q", f.Kind, f.Pos, f.What, f.Reason)
+		}
+		t.Fatalf("got %d facts, want %d", len(facts), len(wants))
+	}
+	for i, w := range wants {
+		f := facts[i]
+		wantFile := filepath.Join(base, filepath.FromSlash(w.file))
+		if f.Kind != w.kind || f.Pos.Filename != wantFile || f.Pos.Line != w.line || f.What != w.what || f.Reason != w.reason {
+			t.Errorf("fact %d: got kind=%d pos=%s what=%q reason=%q, want kind=%d file=%s line=%d what=%q reason=%q",
+				i, f.Kind, f.Pos, f.What, f.Reason, w.kind, wantFile, w.line, w.what, w.reason)
+		}
+	}
+}
+
+// TestParseM2AbsolutePaths keeps already-absolute compiler paths intact.
+func TestParseM2AbsolutePaths(t *testing.T) {
+	abs := filepath.FromSlash("/abs/pkg/file.go")
+	facts := parseM2Output(abs+":10:5: x escapes to heap", filepath.FromSlash("/elsewhere"))
+	if len(facts) != 1 || facts[0].Pos.Filename != abs {
+		t.Fatalf("got %+v, want one fact at %s", facts, abs)
+	}
+}
+
+// TestParseM2Tolerance feeds garbage and near-miss lines: the parser must
+// return nothing rather than err or misparse.
+func TestParseM2Tolerance(t *testing.T) {
+	input := strings.Join([]string{
+		"",
+		"# pkg/header",
+		"go: finding module for package x",
+		"not a diagnostic at all",
+		"file.txt:3:1: escapes to heap",      // not a .go file
+		"file.go:notanumber:1: x escapes",    // bad line number
+		"file.go:10:2 missing message colon", // malformed tail
+	}, "\n")
+	if facts := parseM2Output(input, "."); len(facts) != 0 {
+		t.Fatalf("tolerant parse returned facts: %+v", facts)
+	}
+}
+
+// loadHotFixture loads the standalone fixturehot module (it has its own
+// go.mod, so the pass's `go build -gcflags=-m=2` runs against it alone).
+func loadHotFixture(t *testing.T) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := NewLoader(fset)
+	root, err := filepath.Abs(filepath.Join("testdata", "hotalloc", "escape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddModule("fixturehot", root)
+
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		names, err := buildableGoFiles(path)
+		if err != nil || len(names) == 0 {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := "fixturehot"
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(importPath)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("loading fixturehot: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages in fixturehot")
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return &Program{Fset: fset, Pkgs: pkgs}
+}
+
+// TestHotAllocGolden runs the full pass — including the real `go build
+// -gcflags=-m=2` — over the fixture module and matches its want
+// annotations: the intentional escape, the moved-to-heap local, the
+// non-inlined leaf call, and the main-package misuse must all be
+// reported; the cold error return, the ignored warm-up allocation, the
+// inlined leaf, and the clean kernel must stay silent.
+func TestHotAllocGolden(t *testing.T) {
+	prog := loadHotFixture(t)
+	diags := Run(prog, []Pass{hotAlloc{}})
+	for _, err := range CheckExpectations(prog.Fset, prog.Pkgs, diags) {
+		t.Error(err)
+	}
+}

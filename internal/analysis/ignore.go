@@ -3,11 +3,21 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // ignorePrefix is the directive marker: //skvet:ignore pass1,pass2 reason.
 const ignorePrefix = "skvet:ignore"
+
+// IgnoreDirective is one parsed //skvet:ignore comment: where it is, which
+// passes it names, and the free-text justification that follows the pass
+// list. Passes is empty for a malformed directive (missing list).
+type IgnoreDirective struct {
+	Pos    token.Position
+	Passes []string
+	Reason string
+}
 
 // ignoreIndex records, per file and line, which passes are suppressed. A
 // directive suppresses findings on its own line and on the line directly
@@ -28,13 +38,27 @@ func (idx ignoreIndex) suppressed(pass string, pos token.Position) bool {
 	return false
 }
 
-// buildIgnoreIndex scans every comment in the program for skvet:ignore
-// directives. Malformed directives (no pass list, or a pass name the
-// suite does not know) come back as diagnostics under the pseudo-pass
-// "skvet" so stale suppressions are visible.
-func buildIgnoreIndex(prog *Program, known map[string]bool) (ignoreIndex, []Diagnostic) {
-	idx := make(ignoreIndex)
-	var diags []Diagnostic
+// Directives returns every skvet:ignore directive in the program, sorted
+// by position — the data behind `skvet -ignores`, so exceptions can be
+// audited in one listing instead of grepped file by file.
+func Directives(prog *Program) []IgnoreDirective {
+	var out []IgnoreDirective
+	scanIgnoreDirectives(prog, func(d IgnoreDirective) {
+		out = append(out, d)
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// scanIgnoreDirectives walks every comment in the program and yields each
+// ignore directive, parsed into position, pass list, and reason.
+func scanIgnoreDirectives(prog *Program, yield func(IgnoreDirective)) {
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -46,43 +70,63 @@ func buildIgnoreIndex(prog *Program, known map[string]bool) (ignoreIndex, []Diag
 					if !strings.HasPrefix(text, ignorePrefix) {
 						continue
 					}
-					pos := prog.Fset.Position(c.Pos())
 					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					rest = strings.ReplaceAll(rest, "\t", " ")
 					if i := strings.Index(rest, "//"); i >= 0 {
 						rest = rest[:i] // nested comment, e.g. fixture want markers
 					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
-						diags = append(diags, Diagnostic{
-							Pass: "skvet", Pos: pos,
-							Message: "skvet:ignore needs a comma-separated pass list (e.g. //skvet:ignore nopanic reason)",
-						})
-						continue
+					d := IgnoreDirective{Pos: prog.Fset.Position(c.Pos())}
+					if list, reason, ok := strings.Cut(rest, " "); ok {
+						d.Reason = strings.TrimSpace(reason)
+						rest = list
 					}
-					for _, name := range strings.Split(fields[0], ",") {
-						name = strings.TrimSpace(name)
-						if name != "all" && !known[name] {
-							diags = append(diags, Diagnostic{
-								Pass: "skvet", Pos: pos,
-								Message: fmt.Sprintf("skvet:ignore names unknown pass %q", name),
-							})
-							continue
+					if rest != "" {
+						for _, name := range strings.Split(rest, ",") {
+							d.Passes = append(d.Passes, strings.TrimSpace(name))
 						}
-						lines, ok := idx[pos.Filename]
-						if !ok {
-							lines = make(map[int]map[string]bool)
-							idx[pos.Filename] = lines
-						}
-						set, ok := lines[pos.Line]
-						if !ok {
-							set = make(map[string]bool)
-							lines[pos.Line] = set
-						}
-						set[name] = true
 					}
+					yield(d)
 				}
 			}
 		}
 	}
+}
+
+// buildIgnoreIndex scans the program for skvet:ignore directives and
+// builds the suppression index. Malformed directives (no pass list, or a
+// pass name the suite does not know) come back as diagnostics under the
+// pseudo-pass "skvet" so stale suppressions are visible.
+func buildIgnoreIndex(prog *Program, known map[string]bool) (ignoreIndex, []Diagnostic) {
+	idx := make(ignoreIndex)
+	var diags []Diagnostic
+	scanIgnoreDirectives(prog, func(d IgnoreDirective) {
+		if len(d.Passes) == 0 {
+			diags = append(diags, Diagnostic{
+				Pass: "skvet", Pos: d.Pos,
+				Message: "skvet:ignore needs a comma-separated pass list (e.g. //skvet:ignore nopanic reason)",
+			})
+			return
+		}
+		for _, name := range d.Passes {
+			if name != "all" && !known[name] {
+				diags = append(diags, Diagnostic{
+					Pass: "skvet", Pos: d.Pos,
+					Message: fmt.Sprintf("skvet:ignore names unknown pass %q", name),
+				})
+				continue
+			}
+			lines, ok := idx[d.Pos.Filename]
+			if !ok {
+				lines = make(map[int]map[string]bool)
+				idx[d.Pos.Filename] = lines
+			}
+			set, ok := lines[d.Pos.Line]
+			if !ok {
+				set = make(map[string]bool)
+				lines[d.Pos.Line] = set
+			}
+			set[name] = true
+		}
+	})
 	return idx, diags
 }

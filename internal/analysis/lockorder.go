@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrder lifts lockio's per-function, defer-aware lock-region tracker
+// into a whole-program lock-acquisition graph. The codebase now runs four
+// always-on concurrent subsystems (WAL group commit, repl log tailing,
+// fence fan-out, nodecache invalidation) plus the engine/shard read
+// paths, and their only deadlock protection so far was convention.
+//
+// Model: every sync.Mutex/RWMutex is identified by where it lives — the
+// named struct type and field ("rtree.Tree.mu") or the package-level
+// variable holding it. Function-local mutexes are skipped: a cycle needs
+// two code paths that can both reach the same two locks, and a local
+// mutex is reachable from exactly one. For each function body (and each
+// function literal, which runs in its own goroutine/defer context) the
+// pass replays lockio's source-order scan: acquiring M while holding L
+// adds the edge L→M; calling a statically-resolved module function g
+// while holding L adds L→M for every lock M that g (transitively)
+// acquires, with the call chain recorded for the report. Deferred unlocks
+// keep a lock held to the end of the body; `go` statements add no edges
+// (the spawner does not block on the goroutine's locks) and goroutine
+// bodies are scanned as their own top-level contexts.
+//
+// A cycle in the graph is a potential deadlock: two goroutines entering
+// the cycle from different points can each hold one lock and wait for the
+// other. Every acquisition edge that lies on a cycle is reported at its
+// site, with one shortest cycle path spelled out. Self-edges (L→L) are
+// not reported: the same field on two different instances (two shards'
+// mutexes, a parent and child node) is legal and common; the instance-
+// level re-entrancy bug is out of scope for a type-level graph.
+//
+// Limits, by design: calls through interfaces and function values are
+// invisible, and lock identity is per type+field, not per instance —
+// both documented over-approximations in the "invariants as checked
+// queries" style. The pass errs quiet, lockio-style, rather than flooding
+// with instance-level false positives.
+type lockOrder struct{}
+
+func (lockOrder) Name() string { return "lockorder" }
+
+func (lockOrder) Doc() string {
+	return "the whole-program lock-acquisition graph over engine/shard/wal/fence/nodecache/repl mutexes must stay acyclic (potential deadlock otherwise)"
+}
+
+// lockEdge is one acquisition ordering: "to" was acquired while "from"
+// was held, at pos. via names the call chain when the acquisition is
+// inside a callee rather than the scanned body itself.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	via      string
+}
+
+func (lockOrder) Run(prog *Program) []Diagnostic {
+	declIdx := buildFuncDeclIndex(prog)
+	summaries := lockSummaries(prog, declIdx)
+
+	var edges []lockEdge
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, fb := range funcBodies(f) {
+				edges = append(edges, scanLockOrder(prog, pkg, fb, summaries)...)
+			}
+		}
+	}
+
+	// Adjacency over canonical lock keys, keeping every edge site.
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+
+	var diags []Diagnostic
+	reported := make(map[string]bool) // dedupe identical (pos, from, to)
+	for _, e := range edges {
+		path := lockPath(adj, e.to, e.from)
+		if path == nil {
+			continue // edge not on any cycle
+		}
+		key := fmt.Sprintf("%s|%s|%s", posKey(e.pos), e.from, e.to)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		cycle := append([]string{e.from}, path...)
+		msg := fmt.Sprintf("acquiring %s while holding %s", e.to, e.from)
+		if e.via != "" {
+			msg += " (via call to " + e.via + ")"
+		}
+		msg += " closes a lock-order cycle: " + strings.Join(cycle, " -> ")
+		diags = append(diags, Diagnostic{Pass: "lockorder", Pos: e.pos, Message: msg})
+	}
+	return diags
+}
+
+// lockPath returns a shortest path from -> to in the edge graph (BFS), or
+// nil when unreachable. The path includes both endpoints.
+func lockPath(adj map[string]map[string]bool, from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var nexts []string
+		for n := range adj[cur] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if _, seen := prev[n]; seen {
+				continue
+			}
+			prev[n] = cur
+			if n == to {
+				var path []string
+				for at := to; at != ""; at = prev[at] {
+					path = append(path, at)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// canonicalMutexKey names a mutex by where it lives: "pkg.Type.field" for
+// a struct field, "pkg.var" for a package-level variable. Function-local
+// mutexes return ok=false and are excluded from the graph.
+func canonicalMutexKey(pkg *Package, mutexExpr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(mutexExpr).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := pkg.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		t := tv.Type
+		for {
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		obj := named.Obj()
+		pkgName := ""
+		if obj.Pkg() != nil {
+			pkgName = obj.Pkg().Name() + "."
+		}
+		return pkgName + obj.Name() + "." + e.Sel.Name, true
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		// Package-level variable: its scope is the package scope.
+		if v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		return v.Pkg().Name() + "." + v.Name(), true
+	}
+	return "", false
+}
+
+// lockMutexOp classifies a call as acquiring (+1) or releasing (-1) a
+// canonical mutex. Locks on local mutexes return ok=false.
+func lockMutexOp(pkg *Package, call *ast.CallExpr) (key string, delta int, ok bool) {
+	_, delta, isOp := mutexOp(pkg.Info, call)
+	if !isOp {
+		return "", 0, false
+	}
+	sel := call.Fun.(*ast.SelectorExpr) // mutexOp guarantees the shape
+	k, canon := canonicalMutexKey(pkg, sel.X)
+	if !canon {
+		return "", 0, false
+	}
+	return k, delta, true
+}
+
+// lockSummaries computes, for every declared function, the set of
+// canonical locks it may acquire directly or through the statically-
+// resolved functions it calls. Nested function literals and `go`
+// statements are excluded: a literal runs in a context the caller does
+// not block on (and is scanned as its own body), and a spawned goroutine
+// never orders its locks after the spawner's.
+func lockSummaries(prog *Program, declIdx map[*types.Func]funcDeclRef) map[*types.Func]map[string]string {
+	direct := make(map[*types.Func]map[string]string) // fn -> lock -> via chain ("" = direct)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, ref := range declIdx {
+		locks := make(map[string]string)
+		var callees []*types.Func
+		ast.Inspect(ref.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if key, delta, ok := lockMutexOp(ref.pkg, n); ok && delta > 0 {
+					if _, have := locks[key]; !have {
+						locks[key] = ""
+					}
+					return true
+				}
+				if callee := calleeFunc(ref.pkg.Info, n); callee != nil {
+					if _, declared := declIdx[callee]; declared {
+						callees = append(callees, callee)
+					}
+				}
+			}
+			return true
+		})
+		direct[fn] = locks
+		calls[fn] = callees
+	}
+
+	// Propagate to a fixpoint; via records the first callee hop so the
+	// report can say which call introduced the acquisition.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for _, callee := range callees {
+				for lock := range direct[callee] {
+					if _, have := direct[fn][lock]; !have {
+						direct[fn][lock] = callee.Name()
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// scanLockOrder replays one body in source order, tracking held canonical
+// locks, and emits ordering edges for direct acquisitions and for calls
+// into lock-acquiring functions.
+func scanLockOrder(prog *Program, pkg *Package, fb funcBody, summaries map[*types.Func]map[string]string) []lockEdge {
+	var edges []lockEdge
+	held := make(map[string]int)
+
+	heldKeys := func() []string {
+		var keys []string
+		for k, n := range held {
+			if n > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned as its own body by funcBodies
+		case *ast.GoStmt:
+			return false // the spawner does not block on the goroutine
+		case *ast.DeferStmt:
+			if _, delta, ok := lockMutexOp(pkg, n.Call); ok && delta < 0 {
+				return false // deferred unlock: lock held to end of body
+			}
+			return true
+		case *ast.CallExpr:
+			if key, delta, ok := lockMutexOp(pkg, n); ok {
+				if delta > 0 {
+					for _, h := range heldKeys() {
+						if h != key {
+							edges = append(edges, lockEdge{from: h, to: key, pos: prog.Fset.Position(n.Pos())})
+						}
+					}
+					held[key]++
+				} else if held[key] > 0 {
+					held[key]--
+				}
+				return true
+			}
+			if len(heldKeys()) == 0 {
+				return true
+			}
+			if callee := calleeFunc(pkg.Info, n); callee != nil {
+				if acq, ok := summaries[callee]; ok && len(acq) > 0 {
+					var locks []string
+					for l := range acq {
+						locks = append(locks, l)
+					}
+					sort.Strings(locks)
+					for _, h := range heldKeys() {
+						for _, l := range locks {
+							if l == h {
+								continue
+							}
+							via := callee.Name()
+							if hop := acq[l]; hop != "" && hop != via {
+								via += " -> " + hop
+							}
+							edges = append(edges, lockEdge{
+								from: h, to: l,
+								pos: prog.Fset.Position(n.Pos()),
+								via: via,
+							})
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fb.body, walk)
+	return edges
+}

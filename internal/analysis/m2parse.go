@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Parsing of `go build -gcflags=-m=2` diagnostics.
+//
+// The compiler's -m output is not a stable API, so the parser is
+// deliberately tolerant: it recognizes the three diagnostic families the
+// hotalloc pass needs — escape decisions, inlining decisions at call
+// sites, and per-function inlinability — and silently skips everything
+// else (devirtualization notes, bounds-check elision, flow traces from a
+// future compiler, package headers). An unknown line can never be an
+// error; at worst the pass loses one fact and the golden fixtures catch a
+// real regression in coverage.
+//
+// With -m=2 an escape decision is printed twice — once with a trailing
+// colon followed by indented `flow:`/`from ...` trace lines, once bare —
+// and both carry the same position. The parser folds the pair into one
+// fact and keeps the first trace line as the machine-readable reason.
+
+// m2Kind classifies one compiler fact.
+type m2Kind int
+
+const (
+	// m2Escape is a heap-escape decision: "<value> escapes to heap" or
+	// "moved to heap: <name>".
+	m2Escape m2Kind = iota
+	// m2InlineCall marks a call site the compiler inlined: "inlining
+	// call to <fn>".
+	m2InlineCall
+	// m2CannotInline marks a function the compiler refuses to inline:
+	// "cannot inline <fn>: <reason>".
+	m2CannotInline
+)
+
+// m2Fact is one parsed compiler diagnostic.
+type m2Fact struct {
+	Kind   m2Kind
+	Pos    token.Position
+	What   string // escaping value, inlined callee, or non-inlinable function
+	Reason string // escape-flow summary or the compiler's inlining refusal
+}
+
+// parseM2Output extracts facts from raw `go build -gcflags=-m=2` output.
+// Relative file names resolve against baseDir (the directory the build ran
+// in, i.e. the module root).
+func parseM2Output(out string, baseDir string) []m2Fact {
+	var facts []m2Fact
+	// Dedupe the doubled escape lines: key is position + value.
+	seen := make(map[string]int) // -> index into facts
+	for _, line := range strings.Split(out, "\n") {
+		pos, msg, ok := splitM2Line(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(pos.Filename) {
+			pos.Filename = filepath.Join(baseDir, pos.Filename)
+		}
+		if strings.HasPrefix(msg, " ") {
+			// Indented continuation: the first flow line becomes the
+			// reason of the escape fact it annotates.
+			key := posKey(pos)
+			if i, ok := seen[key+"\x00escape"]; ok && facts[i].Reason == "" {
+				facts[i].Reason = strings.TrimSpace(msg)
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(msg, "moved to heap: "):
+			what := strings.TrimPrefix(msg, "moved to heap: ")
+			addM2Fact(&facts, seen, m2Fact{Kind: m2Escape, Pos: pos, What: what}, posKey(pos)+"\x00escape")
+		case strings.HasSuffix(msg, " escapes to heap"), strings.HasSuffix(msg, " escapes to heap:"):
+			what := strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+			addM2Fact(&facts, seen, m2Fact{Kind: m2Escape, Pos: pos, What: what}, posKey(pos)+"\x00escape")
+		case strings.HasPrefix(msg, "inlining call to "):
+			what := strings.TrimPrefix(msg, "inlining call to ")
+			addM2Fact(&facts, seen, m2Fact{Kind: m2InlineCall, Pos: pos, What: what}, posKey(pos)+"\x00inline\x00"+what)
+		case strings.HasPrefix(msg, "cannot inline "):
+			rest := strings.TrimPrefix(msg, "cannot inline ")
+			what, reason := rest, ""
+			if i := strings.Index(rest, ": "); i >= 0 {
+				what, reason = rest[:i], rest[i+2:]
+			}
+			addM2Fact(&facts, seen, m2Fact{Kind: m2CannotInline, Pos: pos, What: what, Reason: reason}, posKey(pos)+"\x00noinline")
+		}
+		// Every other diagnostic family ("can inline", "devirtualizing",
+		// "leaking param", "does not escape", bounds-check notes, and
+		// whatever a newer compiler adds) is irrelevant here and skipped.
+	}
+	return facts
+}
+
+// addM2Fact appends f unless an identical-keyed fact exists (the doubled
+// -m=2 escape lines), keeping the first occurrence's reason.
+func addM2Fact(facts *[]m2Fact, seen map[string]int, f m2Fact, key string) {
+	if _, dup := seen[key]; dup {
+		return
+	}
+	seen[key] = len(*facts)
+	*facts = append(*facts, f)
+}
+
+func posKey(pos token.Position) string {
+	return pos.Filename + ":" + strconv.Itoa(pos.Line) + ":" + strconv.Itoa(pos.Column)
+}
+
+// splitM2Line splits "file.go:line:col: message" into a position and the
+// message (leading indentation preserved, so continuations are
+// recognizable). Lines that do not look like compiler diagnostics —
+// "# package" headers, go tool chatter, empty lines — return ok=false.
+func splitM2Line(line string) (token.Position, string, bool) {
+	if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "go: ") {
+		return token.Position{}, "", false
+	}
+	// Find ".go:" to anchor the position; message text can contain
+	// colons, but the file name ends at the first ".go:".
+	anchor := strings.Index(line, ".go:")
+	if anchor < 0 {
+		return token.Position{}, "", false
+	}
+	file := line[:anchor+3]
+	rest := line[anchor+4:]
+	lineNo, rest, ok := cutInt(rest)
+	if !ok {
+		return token.Position{}, "", false
+	}
+	colNo, rest, ok := cutInt(rest)
+	if !ok {
+		return token.Position{}, "", false
+	}
+	msg, found := strings.CutPrefix(rest, " ")
+	if !found {
+		return token.Position{}, "", false
+	}
+	return token.Position{Filename: file, Line: lineNo, Column: colNo}, msg, true
+}
+
+// cutInt parses a leading "<digits>:" from s.
+func cutInt(s string) (int, string, bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, "", false
+	}
+	return n, s[i+1:], true
+}

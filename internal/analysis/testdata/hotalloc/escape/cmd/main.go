@@ -1,0 +1,16 @@
+// Command main holds a misplaced annotation: hotpath markers in main
+// packages are not gated (go build would emit a binary) and are reported.
+package main
+
+import "fixturehot/hot"
+
+// hottest is annotated in a main package.
+//
+//skvet:hotpath
+func hottest(x uint64) uint64 { // want `//skvet:hotpath on hottest: main packages are not gated`
+	return hot.Hash(x)
+}
+
+func main() {
+	_ = hottest(1)
+}

@@ -1,0 +1,3 @@
+module fixturehot
+
+go 1.22

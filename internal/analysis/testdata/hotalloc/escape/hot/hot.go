@@ -1,0 +1,66 @@
+// Package hot is the hotalloc golden fixture: annotated functions with an
+// intentional heap escape, a moved-to-heap variable, a non-inlined leaf
+// call, a cold error return (exempt), a suppressed escape, and a clean
+// kernel.
+package hot
+
+import "fmt"
+
+// Scratch owns a reusable buffer.
+type Scratch struct {
+	buf []byte
+}
+
+// Grow intentionally allocates per call: the make escapes through the
+// return value.
+//
+//skvet:hotpath
+func Grow(n int) []byte {
+	buf := make([]byte, n) // want `heap escape in hotpath function Grow: make\(\[\]byte, n\) escapes to heap`
+	return buf
+}
+
+// Boxed intentionally returns the address of a local: v is moved to the
+// heap.
+//
+//skvet:hotpath
+func Boxed() *int {
+	v := 42 // want `heap escape in hotpath function Boxed: v escapes to heap`
+	return &v
+}
+
+// ColdError boxes an error value, but only on the error return: the
+// escape is exempt because a taken error return has left the hot path.
+//
+//skvet:hotpath
+func ColdError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hot: negative length %d", n)
+	}
+	return n * 2, nil
+}
+
+// Warmup grows a caller-owned scratch buffer; the allocation is a
+// deliberate one-time warm-up and is suppressed with an ignore directive.
+//
+//skvet:hotpath
+func Warmup(sc *Scratch, n int) {
+	if cap(sc.buf) < n {
+		//skvet:ignore hotalloc one-time scratch growth, amortized across calls
+		sc.buf = make([]byte, n)
+	}
+	sc.buf = sc.buf[:n]
+}
+
+// Clean is a pure byte kernel: no escapes, no calls, nothing to report.
+//
+//skvet:hotpath
+func Clean(s []byte) int {
+	n := 0
+	for _, b := range s {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package hot
+
+// mix is a call-free leaf that deliberately outgrows the inlining budget,
+// so the call below stays a real call.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 32
+	x ^= x << 13
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 7
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 17
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	x ^= x << 5
+	x *= 0x2545f4914f6cdd1d
+	x ^= x >> 12
+	x *= 0x369dea0f31a53f85
+	x ^= x >> 27
+	x *= 0x27d4eb2f165667c5
+	x ^= x >> 33
+	x ^= x << 21
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 11
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 23
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 3
+	return x
+}
+
+// small is a tiny leaf the compiler always inlines: no finding.
+func small(x uint64) uint64 {
+	return x*0x9e3779b97f4a7c15 + 1
+}
+
+// Hash is annotated and calls both leaves: the inlined one is fine, the
+// oversized one is a finding.
+//
+//skvet:hotpath
+func Hash(x uint64) uint64 {
+	x = small(x)
+	return mix(x) // want `call to leaf function mix is not inlined in hotpath function Hash`
+}

@@ -1,0 +1,136 @@
+// Package lib exercises the goroleak pass: every accepted shutdown idiom
+// has a clean example, and the leaky/dynamic shapes are flagged.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+type Hub struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// LeakyLoop spawns a goroutine that loops forever with no shutdown
+// signal: nothing ever observes or releases it.
+func LeakyLoop(events chan int) {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+			<-events
+		}
+	}()
+}
+
+// pump loops forever too; spawning a named leaky function is just as bad.
+func pump(events chan int) {
+	for {
+		<-events
+	}
+}
+
+func SpawnPump(events chan int) {
+	go pump(events) // want `goroutine has no provable termination path`
+}
+
+// Dynamic spawns a caller-supplied function value: unresolvable, so
+// unreviewable, so flagged.
+func Dynamic(f func()) {
+	go f() // want `dynamically-resolved function; termination cannot be proven`
+}
+
+// WaitGroupJoin is clean: the body signals its exit through wg.Done.
+func WaitGroupJoin(h *Hub, events chan int) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for range events {
+		}
+	}()
+}
+
+// ContextAware is clean: the loop selects on ctx.Done().
+func ContextAware(ctx context.Context, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-events:
+			}
+		}
+	}()
+}
+
+// DoneChannel is clean: receiving from a chan struct{} is the
+// signal-channel convention.
+func DoneChannel(h *Hub, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-h.done:
+				return
+			case <-events:
+			}
+		}
+	}()
+}
+
+// RangeOverChannel is clean: the loop ends when the producer closes the
+// channel.
+func RangeOverChannel(events chan int) {
+	go func() {
+		for range events {
+		}
+	}()
+}
+
+// StraightLine is clean: a loop-free body terminates when its calls do —
+// the `go func() { errc <- f() }()` idiom.
+func StraightLine(errc chan error, f func() error) {
+	go func() { errc <- f() }()
+}
+
+// LocalLiteral is clean: a local variable assigned exactly one function
+// literal resolves statically, and the literal ranges over a channel.
+func LocalLiteral(events chan int) {
+	drain := func() {
+		for range events {
+		}
+	}
+	go drain()
+}
+
+// run is a named body with both a WaitGroup join and a done-channel
+// select; Method spawns it as a method-style named function.
+func run(h *Hub) {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		}
+	}
+}
+
+func Method(h *Hub) {
+	h.wg.Add(1)
+	go run(h)
+}
+
+// Rebound assigns the spawned variable twice: it could hold either
+// literal at spawn time, so resolution refuses and the spawn is flagged.
+func Rebound(events chan int, leaky bool) {
+	body := func() {
+		for range events {
+		}
+	}
+	if leaky {
+		body = func() {
+			for {
+				<-events
+			}
+		}
+	}
+	go body() // want `dynamically-resolved function; termination cannot be proven`
+}

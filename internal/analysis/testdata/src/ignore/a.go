@@ -24,5 +24,15 @@ func notSuppressed() {
 //skvet:ignore nosuchpass // want `skvet:ignore names unknown pass "nosuchpass"`
 func unknownPass() {}
 
+// The v2 pass names are known: directives naming them parse cleanly.
+//
+//skvet:ignore hotalloc,lockorder,goroleak suppresses nothing here, but parses
+func v2PassNames() {}
+
+// A typo in a v2 pass name must not rot silently.
+//
+//skvet:ignore hotallocs stale directive // want `skvet:ignore names unknown pass "hotallocs"`
+func stalePassName() {}
+
 //skvet:ignore // want `skvet:ignore needs a comma-separated pass list`
 func missingList() {}

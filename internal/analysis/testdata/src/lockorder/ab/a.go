@@ -1,0 +1,70 @@
+// Package ab exercises the lockorder pass with a direct two-lock cycle:
+// one function acquires A then B, another acquires B then A. Each closing
+// acquisition is reported at its site.
+package ab
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// AB locks a.mu then b.mu — one direction of the cycle.
+func AB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring ab\.B\.mu while holding ab\.A\.mu closes a lock-order cycle: ab\.A\.mu -> ab\.B\.mu -> ab\.A\.mu`
+	b.mu.Unlock()
+}
+
+// BA locks b.mu then a.mu — the reverse direction.
+func BA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `acquiring ab\.A\.mu while holding ab\.B\.mu closes a lock-order cycle: ab\.B\.mu -> ab\.A\.mu -> ab\.B\.mu`
+	a.mu.Unlock()
+}
+
+// ReleasedFirst drops a.mu before taking b.mu: no ordering edge, even
+// though both locks appear in one body.
+func ReleasedFirst() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// TwoInstances nests the same field on two different values. Lock
+// identity is per type+field, so this is a self-edge — deliberately not
+// reported (parent/child and multi-shard locking is legal).
+func TwoInstances(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Spawner holds a.mu while a goroutine takes b.mu. The spawner does not
+// block on the goroutine, so no edge — and the goroutine body is loop-free
+// so goroleak is satisfied too.
+func Spawner(done chan struct{}) {
+	a.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+		done <- struct{}{}
+	}()
+	a.mu.Unlock()
+}
+
+// localOnly uses a function-local mutex: locals are excluded from the
+// graph (a cycle needs two paths reaching the same two locks).
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,46 @@
+// Package wal exercises the interprocedural half of lockorder: the cycle
+// only appears once callee lock summaries are propagated — neither
+// function acquires both locks directly.
+package wal
+
+import "sync"
+
+type W struct{ mu sync.RWMutex }
+type F struct{ mu sync.Mutex }
+
+var w W
+var f F
+
+func lockF() {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func lockW() {
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// WThenF holds w.mu across a call that acquires f.mu.
+func WThenF() {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	lockF() // want `acquiring wal\.F\.mu while holding wal\.W\.mu \(via call to lockF\) closes a lock-order cycle`
+}
+
+// FThenW holds f.mu across a two-hop chain that acquires w.mu.
+func FThenW() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	indirectW() // want `acquiring wal\.W\.mu while holding wal\.F\.mu \(via call to indirectW -> lockW\) closes a lock-order cycle`
+}
+
+func indirectW() {
+	lockW()
+}
+
+// NotHeld calls the lock-acquiring helpers with nothing held: no edges.
+func NotHeld() {
+	lockF()
+	lockW()
+}

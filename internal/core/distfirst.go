@@ -86,6 +86,8 @@ type ResultIter struct {
 // distance. ok is false when the index is exhausted. Candidates whose
 // signatures matched spuriously are loaded, detected (the containment check
 // of IR2TopK line 21), counted in Stats().FalsePositives, and skipped.
+//
+//skvet:hotpath
 func (r *ResultIter) Next() (Result, bool, error) {
 	for {
 		ref, dist, ok, err := r.it.Next()

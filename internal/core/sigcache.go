@@ -28,6 +28,8 @@ func (c *levelSigs) at(level int) *sigfile.Sig64 {
 
 // matches reports whether an entry payload at the given level may cover the
 // whole query (tolerant of length mismatches, like sigfile.MatchesTolerant).
+//
+//skvet:hotpath
 func (c *levelSigs) matches(level int, aux []byte) bool {
 	return c.at(level).MatchesTolerant(aux)
 }

@@ -227,12 +227,15 @@ type RowScratch struct {
 // the keyword check, and skipping their Object materialization (point
 // slice, field split, row copy) is what keeps the warm read path's
 // allocations per query bounded by survivors, not loads.
+//
+//skvet:hotpath
 func (s *Store) GetFiltered(ptr Ptr, sc *RowScratch, accept func(text []byte) bool) (Object, bool, error) {
 	if uint64(ptr) >= s.synced {
 		return Object{}, false, fmt.Errorf("%w: offset %d >= synced %d", ErrNotSynced, ptr, s.synced)
 	}
 	bs := uint64(s.dev.BlockSize())
 	if len(sc.block) != int(bs) {
+		//skvet:ignore hotalloc one-time scratch warm-up, amortized across a query's loads
 		sc.block = make([]byte, bs)
 	}
 	blockIdx := uint64(ptr) / bs
@@ -272,6 +275,8 @@ func (s *Store) GetFiltered(ptr Ptr, sc *RowScratch, accept func(text []byte) bo
 // itself contains no tabs (sanitize strips them on append), so it runs to
 // the end of the row. ok is false for rows that do not parse, which are
 // left for decodeRow to diagnose.
+//
+//skvet:hotpath
 func rowText(row []byte) ([]byte, bool) {
 	i := indexByte(row, '\t') // id
 	if i < 0 {

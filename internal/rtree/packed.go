@@ -68,6 +68,8 @@ func (p *PackedNode) entryOff(i int) int { return nodeHeaderSize + i*p.es }
 
 // EntryPtr returns entry i's pointer: an object reference in leaves, a
 // child node block in interior nodes.
+//
+//skvet:hotpath
 func (p *PackedNode) EntryPtr(i int) uint64 {
 	return binary.LittleEndian.Uint64(p.buf[p.entryOff(i):])
 }
@@ -76,6 +78,8 @@ func (p *PackedNode) EntryPtr(i int) uint64 {
 // points (each of length dim) and returns a Rect built from them. The
 // caller owns the backing arrays, so a traversal can reuse one pair of
 // points for every entry it scores.
+//
+//skvet:hotpath
 func (p *PackedNode) EntryRectInto(i int, lo, hi geo.Point) geo.Rect {
 	off := p.entryOff(i) + 8
 	for d := 0; d < p.dim; d++ {
@@ -91,6 +95,8 @@ func (p *PackedNode) EntryRectInto(i int, lo, hi geo.Point) geo.Rect {
 
 // EntryAux returns entry i's payload, aliasing the pinned image. Callers
 // must treat it as read-only and not retain it.
+//
+//skvet:hotpath
 func (p *PackedNode) EntryAux(i int) []byte {
 	if p.auxLen == 0 {
 		return nil

@@ -270,6 +270,8 @@ func (t *Tree) NearestNeighbors(p geo.Point, prune func(isObject bool, level int
 
 // Next returns the next object in score order. ok is false when the
 // traversal is exhausted.
+//
+//skvet:hotpath
 func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 	for len(it.queue) > 0 {
 		item := it.queue.pop()
@@ -306,6 +308,8 @@ func (it *Iter) Next() (ref uint64, score float64, ok bool, err error) {
 // expandPacked is Next's node-expansion step on the packed hot path: the
 // node comes from the decoded-node cache and its entries are scored straight
 // off the pinned image, reusing the iterator's corner-point scratch.
+//
+//skvet:hotpath
 func (it *Iter) expandPacked(id storage.BlockID, score float64) error {
 	pn, err := it.t.LoadPacked(id)
 	if err != nil {
@@ -325,6 +329,8 @@ func (it *Iter) expandPacked(id storage.BlockID, score float64) error {
 
 // enqueueEntry scores one entry and pushes it on the queue (or prunes it),
 // with identical bookkeeping on both traversal paths.
+//
+//skvet:hotpath
 func (it *Iter) enqueueEntry(isObject bool, level int, nodeID storage.BlockID, ptr uint64, rect geo.Rect, aux []byte) {
 	score, keep := it.scorer(isObject, level, rect, aux)
 	if !keep {
@@ -365,6 +371,8 @@ func (it *Iter) Push(ref uint64, score float64) {
 // PeekScore returns the score of the best queued element, or ok = false for
 // an empty queue. The general IR² algorithm compares a candidate's exact
 // score against it ("if Score >= Upper(U.top())").
+//
+//skvet:hotpath
 func (it *Iter) PeekScore() (float64, bool) {
 	if len(it.queue) == 0 {
 		return 0, false

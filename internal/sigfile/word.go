@@ -16,6 +16,8 @@ import "encoding/binary"
 
 // matchesWords reports whether every set bit of q is set in s, assuming
 // len(s) == len(q). Eight bytes per step, byte-wise tail.
+//
+//skvet:hotpath
 func matchesWords(s, q []byte) bool {
 	n := len(q)
 	i := 0
@@ -35,6 +37,8 @@ func matchesWords(s, q []byte) bool {
 }
 
 // superimposeWords ORs src into dst in place, assuming equal lengths.
+//
+//skvet:hotpath
 func superimposeWords(dst, src []byte) {
 	n := len(src)
 	i := 0
@@ -125,6 +129,8 @@ func (v Sig64) Bytes() Signature {
 // byte-form MatchesTolerant, a length mismatch means the decoded signature
 // cannot be trusted, and the only sound answer is "may match". s may alias
 // a disk-block image; it is never retained. Zero allocations.
+//
+//skvet:hotpath
 func (v Sig64) MatchesTolerant(s []byte) bool {
 	if len(s) != v.n {
 		return true

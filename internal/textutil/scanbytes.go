@@ -12,6 +12,8 @@ import (
 // the string kernels is pinned by tests.
 
 // tokenFoldEqBytes is tokenFoldEq for a raw byte token.
+//
+//skvet:hotpath
 func tokenFoldEqBytes(tok []byte, term string) bool {
 	ti := 0
 	for i := 0; i < len(tok); {
@@ -30,6 +32,8 @@ func tokenFoldEqBytes(tok []byte, term string) bool {
 }
 
 // countTokBytes bumps the count of every term the token matches.
+//
+//skvet:hotpath
 func countTokBytes(counts []int, tok []byte, terms []string) {
 	for i, term := range terms {
 		if tokenFoldEqBytes(tok, term) {
@@ -39,6 +43,8 @@ func countTokBytes(counts []int, tok []byte, terms []string) {
 }
 
 // CountTermsBytesInto is CountTermsInto for a document in a byte buffer.
+//
+//skvet:hotpath
 func CountTermsBytesInto(counts []int, text []byte, terms []string) {
 	for i := range terms {
 		counts[i] = 0
@@ -63,6 +69,8 @@ func CountTermsBytesInto(counts []int, text []byte, terms []string) {
 
 // containsTermsScanBytes is containsTermsScan for a document in a byte
 // buffer. Requires 0 < len(terms) < 64.
+//
+//skvet:hotpath
 func containsTermsScanBytes(text []byte, terms []string) bool {
 	all := uint64(1)<<len(terms) - 1
 	var found uint64
@@ -98,6 +106,8 @@ func containsTermsScanBytes(text []byte, terms []string) bool {
 // ContainsTermsBytes is ContainsTerms for a document still in an I/O
 // scratch buffer; text must not be retained. Allocation-free on the plain
 // pipeline; other pipelines fall back to a string conversion.
+//
+//skvet:hotpath
 func (a *Analyzer) ContainsTermsBytes(text []byte, terms []string) bool {
 	if len(terms) == 0 {
 		return true

@@ -1,14 +1,22 @@
 #!/bin/sh
 # coverage.sh [floor]
 # Runs the internal packages with coverage and fails if total statement
-# coverage is below the floor (percent, default 70). Writes coverage.out
-# in the working directory.
+# coverage is below the floor (percent, default 70). The profile is
+# written outside the tree (set COVERPROFILE to keep it somewhere
+# specific) so a stale coverage.out can never land at the repo root
+# again.
 set -eu
 
 floor="${1:-70}"
 
-go test -coverprofile=coverage.out ./internal/...
-total="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+profile="${COVERPROFILE:-}"
+if [ -z "$profile" ]; then
+	profile="$(mktemp "${TMPDIR:-/tmp}/skcover.XXXXXX")"
+	trap 'rm -f "$profile"' EXIT
+fi
+
+go test -coverprofile="$profile" ./internal/...
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
 echo "total internal coverage: ${total}% (floor ${floor}%)"
 awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
 	echo "coverage ${total}% is below the ${floor}% floor" >&2
