@@ -9,10 +9,10 @@
 //	-dataset     hotels | restaurants | both (default both)
 //	-experiment  all | table1 | vary-k | vary-keywords | vary-siglen |
 //	             selectivity | table2 | maintenance | ingest | repl |
-//	             fence-churn | hotpath | ablate-cache | ablate-capacity |
-//	             ablate-build | ablate-split | parallel (default all;
-//	             "all" covers the paper experiments; ingest, repl,
-//	             fence-churn, hotpath, the ablations, and the
+//	             fence-churn | hotpath | skql | ablate-cache |
+//	             ablate-capacity | ablate-build | ablate-split | parallel
+//	             (default all; "all" covers the paper experiments; ingest,
+//	             repl, fence-churn, hotpath, skql, the ablations, and the
 //	             sharded-throughput experiment run only when named; a
 //	             comma-separated list runs several, e.g.
 //	             -experiment vary-k,ingest,fence-churn)
@@ -298,6 +298,20 @@ func run(cfg config) error {
 		for _, p := range plans(cfg) {
 			base := bench.BuildConfig{Spec: p.spec, SigBytes: p.sigBytes, MaxEntries: cfg.capacity}
 			t, err := bench.HotPath(base, p.fixedK, p.fixedWords, cfg.queries, cfg.seed, cm)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// SKQL planner routing (E-X11): rare vs common keyword workloads under
+	// the cost-based planner and each forced physical path.
+	if named("skql") {
+		for _, p := range plans(cfg) {
+			t, err := bench.SKQL(p.spec, p.sigBytes, p.fixedK, cfg.queries, cfg.seed, cm)
 			if err != nil {
 				return err
 			}

@@ -15,18 +15,25 @@
 //	-ranked    use the general ranked query instead of distance-first
 //	-trace     print the traversal trace (paper Example 1/3 style)
 //	-i         interactive mode: read "lat lon k keyword..." lines from stdin
+//	-ql        SKQL mode: the arguments form one declarative statement
+//	           (quote it), planned by the cost-based router; with -i, read
+//	           one statement per stdin line instead. EXPLAIN / EXPLAIN
+//	           ANALYZE print the plan with estimated vs actual block reads.
 //
 // Examples:
 //
 //	go run ./cmd/skquery -generate restaurants -point 5000,5000 -k 3 pizza
 //	go run ./cmd/skload -dataset hotels -scale 0.005 -out /tmp/h.tsv
 //	go run ./cmd/skquery -input /tmp/h.tsv -i
+//	go run ./cmd/skquery -generate restaurants -ql \
+//	  'EXPLAIN ANALYZE SELECT TOP 3 NEAR (5000, 5000) MATCH pizza AND NOT vegan'
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,6 +42,7 @@ import (
 	"spatialkeyword"
 	"spatialkeyword/internal/dataset"
 	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/skql"
 	"spatialkeyword/internal/storage"
 )
 
@@ -49,15 +57,16 @@ func main() {
 		ranked      = flag.Bool("ranked", false, "general ranked query")
 		trace       = flag.Bool("trace", false, "print the index traversal trace (distance-first only)")
 		interactive = flag.Bool("i", false, "interactive mode")
+		ql          = flag.Bool("ql", false, "SKQL mode: arguments (or each -i line) form one declarative statement")
 	)
 	flag.Parse()
-	if err := run(*input, *generate, *scale, *sig, *point, *k, *ranked, *trace, *interactive, flag.Args()); err != nil {
+	if err := run(*input, *generate, *scale, *sig, *point, *k, *ranked, *trace, *interactive, *ql, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "skquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, generate string, scale float64, sig int, pointStr string, k int, ranked, trace, interactive bool, keywords []string) error {
+func run(input, generate string, scale float64, sig int, pointStr string, k int, ranked, trace, interactive, ql bool, keywords []string) error {
 	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{SignatureBytes: sig})
 	if err != nil {
 		return err
@@ -78,6 +87,16 @@ func run(input, generate string, scale float64, sig int, pointStr string, k int,
 	}
 	fmt.Printf("indexed %d objects in %v\n", loaded, time.Since(start).Round(time.Millisecond))
 
+	if ql {
+		cat := skql.NewCatalog(eng)
+		if interactive {
+			return replSKQL(cat)
+		}
+		if len(keywords) == 0 {
+			return fmt.Errorf("-ql needs a statement, e.g. 'SELECT TOP 5 NEAR (0, 0) MATCH pizza'")
+		}
+		return runSKQL(os.Stdout, cat, strings.Join(keywords, " "))
+	}
 	if interactive {
 		return repl(eng, ranked)
 	}
@@ -209,6 +228,66 @@ func snippet(s string) string {
 		return s[:69] + "..."
 	}
 	return s
+}
+
+// runSKQL executes one SKQL statement and prints the answer (and, for
+// EXPLAIN forms, the plan report).
+func runSKQL(w io.Writer, cat *skql.Catalog, src string) error {
+	q, err := skql.Parse(src)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rs, err := cat.Run(q)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	for _, line := range rs.Explain {
+		fmt.Fprintln(w, line)
+	}
+	if q.Explain && !q.Analyze {
+		return nil // plan only, nothing executed
+	}
+	if len(rs.Explain) > 0 {
+		fmt.Fprintln(w)
+	}
+	switch rs.Proj {
+	case skql.ProjCount:
+		fmt.Fprintf(w, "count: %d (%v)\n", rs.Count, elapsed)
+	case skql.ProjRanked:
+		fmt.Fprintf(w, "%d ranked results in %v:\n", len(rs.Ranked), elapsed)
+		for i, r := range rs.Ranked {
+			fmt.Fprintf(w, "%2d. score=%.4f dist=%.1f ir=%.3f  #%d %s\n",
+				i+1, r.Score, r.Dist, r.IRScore, r.Object.ID, snippet(r.Object.Text))
+		}
+	default:
+		fmt.Fprintf(w, "%d results in %v:\n", len(rs.Results), elapsed)
+		for i, r := range rs.Results {
+			fmt.Fprintf(w, "%2d. dist=%.1f  #%d %s\n", i+1, r.Dist, r.Object.ID, snippet(r.Object.Text))
+		}
+	}
+	return nil
+}
+
+// replSKQL reads one SKQL statement per line.
+func replSKQL(cat *skql.Catalog) error {
+	fmt.Println(`enter SKQL statements, e.g. SELECT TOP 5 NEAR (0, 0) MATCH pizza   (ctrl-D to exit)`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("skql> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := runSKQL(os.Stdout, cat, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
 }
 
 func repl(eng *spatialkeyword.Engine, ranked bool) error {

@@ -3,9 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"spatialkeyword"
+	"spatialkeyword/internal/skql"
 )
 
 func TestParsePoint(t *testing.T) {
@@ -108,5 +110,43 @@ func TestSnippet(t *testing.T) {
 	}
 	if got := snippet(string(long)); len(got) != 72 || got[69:] != "..." {
 		t.Errorf("snippet length = %d, tail %q", len(got), got[69:])
+	}
+}
+
+func TestRunSKQL(t *testing.T) {
+	eng, err := spatialkeyword.NewEngine(spatialkeyword.Config{SignatureBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"pizza pasta wine", "pizza vegan salad", "sushi ramen"}
+	for i, text := range texts {
+		if _, err := eng.Add([]float64{float64(i), float64(i)}, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := skql.NewCatalog(eng)
+
+	var buf strings.Builder
+	if err := runSKQL(&buf, cat, `SELECT TOP 2 NEAR (0, 0) MATCH pizza AND NOT vegan`); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 results in") || !strings.Contains(out, "#0 pizza pasta wine") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := runSKQL(&buf, cat, `EXPLAIN ANALYZE SELECT COUNT WITHIN rect(0, 0, 5, 5) MATCH pizza`); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"est:    blocks=", "actual: blocks=", "count: 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := runSKQL(&buf, cat, `SELECT garbage`); err == nil {
+		t.Fatal("expected parse error")
 	}
 }

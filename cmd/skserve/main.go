@@ -44,6 +44,10 @@
 //	                         → distance-first top-k (AND semantics)
 //	GET    /ranked?lat=..&lon=..&k=5&q=internet,pool
 //	                         → general ranked top-k (soft semantics)
+//	POST   /query            {"query":"SELECT TOP 5 NEAR (25.77, -80.19) MATCH cafe AND wifi"}
+//	                         or the structured JSON query form → cost-routed
+//	                         SKQL execution; EXPLAIN / EXPLAIN ANALYZE return
+//	                         the plan (with estimated vs actual block reads)
 //	GET    /stats            → engine, per-shard, and request statistics
 //	GET    /metrics          → Prometheus text exposition (query latency
 //	                           histograms, traversal counters, per-shard I/O)
@@ -432,10 +436,15 @@ type server struct {
 	ncache                             nodeCacheReporter
 	ncacheHits, ncacheMisses           *obs.Gauge
 	ncacheEvictions, ncacheInvalidates *obs.Gauge
+
+	// SKQL front-end (optional backend extension): catalog plus the
+	// sk_skql_* metrics family. Non-nil when the backend exposes the
+	// full read surface.
+	skql *skqlServer
 }
 
 // endpoints names every route for the request counter family.
-var endpoints = []string{"add", "get", "delete", "search", "ranked", "stats", "metrics", "vars", "healthz", "save",
+var endpoints = []string{"add", "get", "delete", "search", "ranked", "query", "stats", "metrics", "vars", "healthz", "save",
 	"fence-add", "fence-list", "fence-get", "fence-delete", "fence-events"}
 
 func newServer(eng engine, durable bool, opts serverOptions) *server {
@@ -512,6 +521,7 @@ func newServer(eng engine, durable bool, opts serverOptions) *server {
 		}
 	}
 	s.attachFences()
+	s.attachSKQL()
 	return s
 }
 
@@ -567,6 +577,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /objects/{id}", counted("delete", s.handleDelete))
 	mux.HandleFunc("GET /search", counted("search", s.handleSearch))
 	mux.HandleFunc("GET /ranked", counted("ranked", s.handleRanked))
+	if s.skql != nil {
+		mux.HandleFunc("POST /query", counted("query", s.handleQuery))
+	}
 	mux.HandleFunc("GET /stats", counted("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", counted("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/vars", counted("vars", s.handleVars))

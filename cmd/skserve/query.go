@@ -1,0 +1,196 @@
+// POST /query: the SKQL declarative front-end over HTTP. The body is
+// either {"query": "SELECT ..."} carrying SKQL text or the structured
+// JSON query form itself (a "select" key marks it). Plans are built by
+// internal/skql's cost-based router over the same backend the rest of
+// the API serves, so replicas answer queries (with read-your-writes
+// honored in ryw mode) and EXPLAIN ANALYZE reports real block reads.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/obs"
+	"spatialkeyword/internal/skql"
+)
+
+// maxQueryBody bounds the request body; SKQL statements are small.
+const maxQueryBody = 1 << 20
+
+// skqlServer is the per-server SKQL state: the catalog over the
+// backend plus the sk_skql_* metrics family.
+type skqlServer struct {
+	cat   *skql.Catalog
+	parse *obs.Histogram // sk_skql_parse_seconds
+	plan  *obs.Histogram // sk_skql_plan_seconds
+	exec  *obs.Histogram // sk_skql_exec_seconds
+	plans map[skql.Path]*obs.Counter
+	errs  *obs.Counter
+}
+
+// attachSKQL mounts the SKQL catalog when the backend exposes the full
+// read surface (all three backends do: lockedEngine below, the sharded
+// engine, and the replication follower).
+func (s *server) attachSKQL() {
+	t, ok := s.eng.(skql.Target)
+	if !ok {
+		return
+	}
+	q := &skqlServer{
+		cat: skql.NewCatalog(t),
+		parse: s.reg.Histogram("sk_skql_parse_seconds",
+			"SKQL statement parse latency.", obs.LatencyBuckets()),
+		plan: s.reg.Histogram("sk_skql_plan_seconds",
+			"SKQL logical-to-physical planning latency.", obs.LatencyBuckets()),
+		exec: s.reg.Histogram("sk_skql_exec_seconds",
+			"SKQL plan execution latency.", obs.LatencyBuckets()),
+		plans: make(map[skql.Path]*obs.Counter),
+		errs: s.reg.Counter("sk_skql_errors_total",
+			"SKQL statements rejected at parse, plan, or execution time."),
+	}
+	for _, p := range []skql.Path{skql.PathIR2, skql.PathIIO, skql.PathRTree, skql.PathRanked} {
+		q.plans[p] = s.reg.Counter("sk_skql_plans_total",
+			"Physical operators planned, by access path.", obs.L("path", p.String()))
+	}
+	s.skql = q
+}
+
+// queryResponse is the POST /query payload.
+type queryResponse struct {
+	// Query is the canonical form of the parsed statement.
+	Query string `json:"query"`
+	// Results holds TOP and ALL answers, Ranked the RANKED answers.
+	Results []spatialkeyword.Result       `json:"results,omitempty"`
+	Ranked  []spatialkeyword.RankedResult `json:"ranked,omitempty"`
+	// Count is the number of answers (the whole answer for COUNT).
+	Count int `json:"count"`
+	// Explain carries the EXPLAIN / EXPLAIN ANALYZE report lines.
+	Explain []string `json:"explain,omitempty"`
+}
+
+// parseQueryBody accepts the two statement encodings.
+func parseQueryBody(body []byte) (*skql.Query, error) {
+	var wrapper struct {
+		Query string `json:"query"`
+	}
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty body")
+	}
+	if err := json.Unmarshal(trimmed, &wrapper); err == nil && wrapper.Query != "" {
+		return skql.Parse(wrapper.Query)
+	}
+	return skql.ParseJSON(trimmed)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sq := s.skql
+
+	start := time.Now()
+	q, err := parseQueryBody(body)
+	sq.parse.Observe(time.Since(start).Seconds())
+	if err != nil {
+		sq.errs.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.awaitReadPosition(w, r) {
+		return
+	}
+
+	start = time.Now()
+	plan, err := sq.cat.BuildPlan(q)
+	sq.plan.Observe(time.Since(start).Seconds())
+	if err != nil {
+		sq.errs.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	for i := range plan.Ops {
+		if ctr := sq.plans[plan.Ops[i].Path]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+
+	start = time.Now()
+	rs, err := sq.cat.RunPlan(plan)
+	sq.exec.Observe(time.Since(start).Seconds())
+	if err != nil {
+		sq.errs.Inc()
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:   q.String(),
+		Results: rs.Results,
+		Ranked:  rs.Ranked,
+		Count:   rs.Count,
+		Explain: rs.Explain,
+	})
+}
+
+// The skql.Target read surface on the lock-wrapped engine: queries
+// take the read lock like every other read path.
+
+func (l *lockedEngine) TopKArea(k int, lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.TopKArea(k, lo, hi, keywords...)
+}
+
+func (l *lockedEngine) WithinArea(lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.WithinArea(lo, hi, keywords...)
+}
+
+func (l *lockedEngine) NumObjects() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.NumObjects()
+}
+
+// Scan holds the read lock for the whole pass; the sidecar index build
+// is the only caller and runs rarely (on growth).
+func (l *lockedEngine) Scan(fn func(spatialkeyword.Object) error) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Scan(fn)
+}
+
+func (l *lockedEngine) IsDeleted(id uint64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.IsDeleted(id)
+}
+
+func (l *lockedEngine) Corpus() spatialkeyword.CorpusStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Corpus()
+}
+
+func (l *lockedEngine) MeterIO() func() (random, sequential uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.MeterIO()
+}
+
+// Flush indexes buffered adds under the write lock (it mutates the
+// tree); the planner calls it at plan time so deferred indexing I/O
+// stays out of the per-operator meters.
+func (l *lockedEngine) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Flush()
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postQuery(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestQueryEndpointText(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+
+	resp := postQuery(t, ts.URL, `{"query": "SELECT TOP 2 NEAR (25.4, -80.1) MATCH internet AND pool"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[queryResponse](t, resp)
+	if out.Query != `SELECT TOP 2 NEAR (25.4, -80.1) MATCH "internet" AND "pool"` {
+		t.Fatalf("canonical query = %q", out.Query)
+	}
+	if out.Count != 2 || len(out.Results) != 2 {
+		t.Fatalf("count=%d results=%d", out.Count, len(out.Results))
+	}
+	// Both matches carry internet AND pool; the nearer one is B.
+	if out.Results[0].Object.ID != 1 || out.Results[1].Object.ID != 2 {
+		t.Fatalf("result IDs = %d, %d", out.Results[0].Object.ID, out.Results[1].Object.ID)
+	}
+}
+
+func TestQueryEndpointJSONForm(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+
+	resp := postQuery(t, ts.URL, `{"select":"count","within":[-90,-180,90,0],"match":{"term":"internet"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[queryResponse](t, resp)
+	// Hotels A (25.4,-80.1), B (47.3,-122.2), G (-33.2,-70.4) all have
+	// longitude < 0, so all three are inside the rect.
+	if out.Count != 3 {
+		t.Fatalf("count = %d, want 3", out.Count)
+	}
+}
+
+func TestQueryEndpointExplainAnalyze(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+
+	resp := postQuery(t, ts.URL, `{"query": "EXPLAIN ANALYZE SELECT TOP 1 NEAR (25.4, -80.1) MATCH internet"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[queryResponse](t, resp)
+	if len(out.Results) != 1 {
+		t.Fatalf("EXPLAIN ANALYZE should also answer, got %d results", len(out.Results))
+	}
+	joined := strings.Join(out.Explain, "\n")
+	for _, want := range []string{"plan: top 1", "est:    blocks=", "actual: blocks="} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestQueryEndpointSharded(t *testing.T) {
+	_, ts := newShardedTestServer(t, "", 3)
+	seedHotels(t, ts)
+
+	resp := postQuery(t, ts.URL, `{"query": "SELECT TOP 3 NEAR (25.4, -80.1) MATCH internet"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[queryResponse](t, resp)
+	if out.Count != 3 {
+		t.Fatalf("count = %d, want 3", out.Count)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+
+	cases := []struct {
+		body    string
+		wantSub string
+	}{
+		{`{"query": "SELECT nonsense"}`, "expected TOP"},
+		{`{"select":"top","near":[1,2]}`, "k must be"},
+		{`{"query": "SELECT RANKED 5 NEAR (1, 1) MATCH a USING iio"}`, "drop USING"},
+		{``, "empty body"},
+	}
+	for _, tc := range cases {
+		resp := postQuery(t, ts.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", tc.body, resp.StatusCode)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(msg), tc.wantSub) {
+			t.Fatalf("body %q: error %q, want substring %q", tc.body, msg, tc.wantSub)
+		}
+	}
+}
+
+// TestQueryEndpointReplica checks the SKQL front-end serves reads from
+// a replication follower, the same answers the leader gives.
+func TestQueryEndpointReplica(t *testing.T) {
+	_, leaderTS := newLeaderTestServer(t, t.TempDir())
+	seedHotels(t, leaderTS)
+	srv, replicaTS := newReplicaTestServer(t, t.TempDir(), leaderTS.URL, "eventual")
+	tok := srv.leaderToken(t, leaderTS)
+	if err := srv.follower.WaitFor(tok, 10e9); err != nil {
+		t.Fatalf("replica catch-up: %v", err)
+	}
+
+	body := `{"query": "SELECT TOP 2 NEAR (25.4, -80.1) MATCH internet AND pool"}`
+	want := decode[queryResponse](t, postQuery(t, leaderTS.URL, body))
+	got := decode[queryResponse](t, postQuery(t, replicaTS.URL, body))
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("replica %d results, leader %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if got.Results[i].Object.ID != want.Results[i].Object.ID || got.Results[i].Dist != want.Results[i].Dist {
+			t.Fatalf("result %d: replica %+v, leader %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
+func TestQueryMetricsExported(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	seedHotels(t, ts)
+	postQuery(t, ts.URL, `{"query": "SELECT TOP 2 NEAR (25.4, -80.1) MATCH internet"}`).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"sk_skql_parse_seconds", "sk_skql_plan_seconds", "sk_skql_exec_seconds",
+		`sk_skql_plans_total{path=`,
+		`sk_http_requests_total{endpoint="query"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

@@ -11,10 +11,11 @@ import (
 // time is a pure function of seeded block-access counts and the cost
 // model, exact across hosts. The benchmark-regression gate (PR 2)
 // compares it against a committed baseline, so any wall-clock or
-// unseeded-randomness leak into internal/storage's cost model or
-// internal/bench turns an exact comparison into a flaky one, and map
-// iteration order leaking into emitted output breaks byte-for-byte
-// reproducibility of reports.
+// unseeded-randomness leak into internal/storage's cost model,
+// internal/bench, or internal/skql (whose planner estimates and
+// EXPLAIN reports must replay exactly) turns an exact comparison into
+// a flaky one, and map iteration order leaking into emitted output
+// breaks byte-for-byte reproducibility of reports.
 //
 // Forbidden in those packages (outside tests):
 //
@@ -42,7 +43,7 @@ func (determinism) Run(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		if !pathHasSegments(pkg.Path, "internal/storage") && !pathHasSegments(pkg.Path, "internal/bench") &&
-			!pathHasSegments(pkg.Path, "internal/nodecache") {
+			!pathHasSegments(pkg.Path, "internal/nodecache") && !pathHasSegments(pkg.Path, "internal/skql") {
 			continue
 		}
 		for _, f := range pkg.Files {

@@ -1,0 +1,56 @@
+// Package skql (fixture) holds positive and negative cases for the
+// determinism pass over the query planner: cost estimates and EXPLAIN
+// reports must be pure functions of block counts and the seed, with no
+// wall clock, global rand, or map-order-dependent output.
+package skql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive cases.
+
+func estimateWithClock(blocks float64) time.Duration {
+	start := time.Now() // want `time\.Now reads the host wall clock`
+	_ = blocks
+	return time.Since(start) // want `time\.Since reads the host wall clock`
+}
+
+func samplePlan(paths []string) string {
+	return paths[rand.Intn(len(paths))] // want `global rand\.Intn uses the process-wide unseeded source`
+}
+
+func renderDocFreqs(df map[string]int) {
+	for term, n := range df { // want `map iteration order is randomized per run`
+		fmt.Printf("df[%s]=%d\n", term, n)
+	}
+}
+
+// Negative cases.
+
+func modeledTime(blocks float64, randomAccess time.Duration) time.Duration {
+	return time.Duration(blocks) * randomAccess
+}
+
+func seededWorkload(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+func renderSorted(df map[string]int) {
+	terms := make([]string, 0, len(df))
+	for t := range df { // aggregation only: keys collected then sorted
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		fmt.Printf("df[%s]=%d\n", t, df[t])
+	}
+}

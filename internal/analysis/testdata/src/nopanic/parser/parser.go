@@ -1,0 +1,31 @@
+// Package parser (fixture) holds parser-shaped cases for the nopanic
+// pass: a recursive-descent parser must surface syntax errors as typed
+// errors with positions, never tear down the caller.
+package parser
+
+import "fmt"
+
+// SyntaxError is the typed error a well-behaved parser returns.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("pos %d: %s", e.Pos, e.Msg) }
+
+// Positive case.
+
+func expectPanic(tokens []string, i int, want string) {
+	if i >= len(tokens) || tokens[i] != want {
+		panic("unexpected token") // want `panic in library code`
+	}
+}
+
+// Negative case: the same check as a typed error.
+
+func expect(tokens []string, i int, want string) error {
+	if i >= len(tokens) || tokens[i] != want {
+		return &SyntaxError{Pos: i, Msg: "expected " + want}
+	}
+	return nil
+}

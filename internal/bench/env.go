@@ -42,6 +42,9 @@ const (
 	MethodFenceWAL
 	MethodHotLegacy
 	MethodHotPacked
+	MethodSKQLPlanner
+	MethodSKQLIR2
+	MethodSKQLIIO
 )
 
 // AllMethods lists the methods in the paper's presentation order.
@@ -72,6 +75,12 @@ func (m Method) String() string {
 		return "Legacy"
 	case MethodHotPacked:
 		return "Packed"
+	case MethodSKQLPlanner:
+		return "Planner"
+	case MethodSKQLIR2:
+		return "ForceIR2"
+	case MethodSKQLIIO:
+		return "ForceIIO"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

@@ -6,9 +6,12 @@
 // excel." Rather than commit to one access path, the planner estimates the
 // block cost of answering a given distance-first top-k query with the
 // Inverted Index Only algorithm versus the IR²-Tree and runs the cheaper
-// plan. Both estimates come from statistics that are free at plan time:
-// keyword document frequencies (stored in the inverted index's dictionary)
-// and corpus-level constants.
+// plan.
+//
+// The estimates come from internal/skql's cost model — the one cost model
+// in the repository; this package is a thin shim that feeds it the
+// low-level structures (tree, inverted index, object store) directly where
+// skql plans over whole engines.
 package planner
 
 import (
@@ -19,6 +22,7 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/invindex"
 	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/skql"
 	"spatialkeyword/internal/textutil"
 )
 
@@ -71,65 +75,36 @@ func New(tree *core.IR2Tree, inv *invindex.Index, store *objstore.Store) *Planne
 	return &Planner{Tree: tree, Inv: inv, Store: store}
 }
 
-// Explain estimates both plans for a query without running either.
-func (p *Planner) Explain(k int, keywords []string) Plan {
-	kws := textutil.NormalizeAll(keywords)
-	n := p.Store.NumObjects()
-	perBlock := p.PostingsPerBlock
-	if perBlock <= 0 {
-		perBlock = 2048
-	}
+// inputs assembles the shared cost model's inputs from the planner's
+// structures.
+func (p *Planner) inputs() skql.CostInputs {
 	objBlocks := p.BlocksPerObject
 	if objBlocks <= 0 {
 		objBlocks = math.Max(1, p.Store.AvgBlocksPerObject())
 	}
-
-	minDF := n
-	selectivity := 1.0
-	var postingBlocks float64
-	for _, w := range kws {
-		df := p.Inv.DocFreq(w)
-		if df < minDF {
-			minDF = df
-		}
-		if n > 0 {
-			selectivity *= float64(df) / float64(n)
-		}
-		postingBlocks += math.Ceil(float64(df) / float64(perBlock))
+	return skql.CostInputs{
+		NumObjects:       p.Store.NumObjects(),
+		DocFreq:          p.Inv.DocFreq,
+		PostingsPerBlock: p.PostingsPerBlock,
+		BlocksPerObject:  objBlocks,
+		TreeFanout:       p.Tree.RTree().MaxEntries(),
+		TreeHeight:       p.Tree.RTree().Height(),
 	}
-	if len(kws) == 0 {
-		minDF = n
-		selectivity = 1
-	}
-	expected := selectivity * float64(n)
+}
 
-	// IIO reads every keyword's posting list and loads every object of the
-	// intersection, bounded above by the rarest list.
-	expectedCandidates := math.Min(expected, float64(minDF))
-	costIIO := postingBlocks + expectedCandidates*objBlocks
-
-	// The IR²-Tree walks objects in distance order until k pass the
-	// conjunctive filter: about k/selectivity candidate loads (capped at
-	// the corpus), plus roughly one node read per leaf's worth of
-	// candidates. Signature false positives inflate the candidate count; a
-	// flat factor absorbs them.
-	var scanned float64
-	if selectivity > 0 {
-		scanned = math.Min(float64(k)/selectivity, float64(n))
-	} else {
-		scanned = float64(n) // nothing matches: worst case, full traversal
-	}
-	fanout := float64(p.Tree.RTree().MaxEntries())
-	nodeReads := scanned/math.Max(1, fanout) + float64(p.Tree.RTree().Height())
-	costIR2 := scanned*objBlocks*1.2 + nodeReads
-
+// Explain estimates both plans for a query without running either.
+func (p *Planner) Explain(k int, keywords []string) Plan {
+	kws := textutil.NormalizeAll(keywords)
+	in := p.inputs()
+	iio := in.EstimateIIO(kws, 1)
+	ir2 := in.EstimateIR2(k, kws, 1)
 	plan := Plan{
-		MinDF:           minDF,
-		ExpectedMatches: expected,
-		CostIIO:         costIIO,
-		CostIR2:         costIR2,
+		MinDF:           iio.MinDF,
+		ExpectedMatches: iio.Selectivity * float64(in.NumObjects),
+		CostIIO:         iio.Blocks,
+		CostIR2:         ir2.Blocks,
 	}
-	if costIIO < costIR2 {
+	if plan.CostIIO < plan.CostIR2 {
 		plan.Choice = ChooseIIO
 	}
 	return plan

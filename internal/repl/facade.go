@@ -1,0 +1,124 @@
+package repl
+
+import (
+	"spatialkeyword"
+)
+
+// Catalog facade: the read surface internal/skql's executor and cost
+// model need, so a replicated follower can stand behind any
+// skql.Target. Every method serves from whichever local replica engine
+// is currently installed; a resync in flight yields errResyncing (or a
+// zero value for the infallible accessors), matching the other reads.
+
+// TopKArea answers the nearest-to-rectangle query from the local replica.
+func (f *Follower) TopKArea(k int, lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.TopKArea(k, lo, hi, keywords...)
+	case f.single != nil:
+		return f.single.TopKArea(k, lo, hi, keywords...)
+	}
+	return nil, errResyncing
+}
+
+// WithinArea answers the boolean range query from the local replica.
+func (f *Follower) WithinArea(lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.WithinArea(lo, hi, keywords...)
+	case f.single != nil:
+		return f.single.WithinArea(lo, hi, keywords...)
+	}
+	return nil, errResyncing
+}
+
+// NumObjects returns the replica's object-ID space size (including
+// deleted rows); zero while a resync is in flight.
+func (f *Follower) NumObjects() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.NumObjects()
+	case f.single != nil:
+		return f.single.NumObjects()
+	}
+	return 0
+}
+
+// Scan visits the replica's objects in ID order (the single engine
+// includes deleted rows, the sharded engine skips them — each mirrors
+// its engine's own Scan contract).
+func (f *Follower) Scan(fn func(spatialkeyword.Object) error) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.Scan(fn)
+	case f.single != nil:
+		return f.single.Scan(fn)
+	}
+	return errResyncing
+}
+
+// IsDeleted reports whether the object is deleted on the local replica.
+func (f *Follower) IsDeleted(id uint64) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.IsDeleted(id)
+	case f.single != nil:
+		return f.single.IsDeleted(id)
+	}
+	return false
+}
+
+// Corpus returns the replica's corpus statistics. The DocFreq closure
+// reads whichever engine was installed when Corpus was called; callers
+// should re-fetch it per query rather than caching across resyncs.
+func (f *Follower) Corpus() spatialkeyword.CorpusStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.Corpus()
+	case f.single != nil:
+		return f.single.Corpus()
+	}
+	return spatialkeyword.CorpusStats{NumDocs: 0, DocFreq: func(string) int { return 0 }}
+}
+
+// Flush pushes buffered adds through the replica's deferred indexing,
+// so a planner flushing at plan time keeps build I/O out of the
+// per-operator meters (queries would otherwise flush implicitly).
+func (f *Follower) Flush() error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.Flush()
+	case f.single != nil:
+		return f.single.Flush()
+	}
+	return errResyncing
+}
+
+// MeterIO snapshots the replica's disk counters (see Engine.MeterIO).
+// The returned stop function reads the engines captured at snapshot
+// time; metering across a resync reports only the pre-resync counters.
+func (f *Follower) MeterIO() func() (random, sequential uint64) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	switch {
+	case f.sharded != nil:
+		return f.sharded.MeterIO()
+	case f.single != nil:
+		return f.single.MeterIO()
+	}
+	return func() (uint64, uint64) { return 0, 0 }
+}

@@ -1,0 +1,192 @@
+package skql
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/invindex"
+	"spatialkeyword/internal/storage"
+	"spatialkeyword/internal/textutil"
+)
+
+// Target is the read surface a plan executes against. It is satisfied
+// by *spatialkeyword.Engine, *shard.ShardedEngine, *repl.Follower, and
+// skserve's lock-wrapped engine.
+type Target interface {
+	Get(id uint64) (spatialkeyword.Object, error)
+	TopKWithStats(k int, point []float64, keywords ...string) ([]spatialkeyword.Result, spatialkeyword.QueryStats, error)
+	TopKRanked(k int, point []float64, keywords ...string) ([]spatialkeyword.RankedResult, error)
+	TopKArea(k int, lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error)
+	WithinArea(lo, hi []float64, keywords ...string) ([]spatialkeyword.Result, error)
+	NumObjects() int
+	Scan(fn func(spatialkeyword.Object) error) error
+	IsDeleted(id uint64) bool
+	Stats() spatialkeyword.Stats
+}
+
+// corpusProvider is an optional Target extension: engine-maintained
+// corpus statistics (document frequencies for the cost model). Targets
+// without it fall back to the catalog's sidecar inverted index.
+type corpusProvider interface {
+	Corpus() spatialkeyword.CorpusStats
+}
+
+// ioMeter is an optional Target extension: disk counters for EXPLAIN
+// ANALYZE actual block reads on paths that do not report their own
+// per-query stats.
+type ioMeter interface {
+	MeterIO() func() (random, sequential uint64)
+}
+
+// flusher is an optional Target extension: engines that buffer adds
+// flush the deferred indexing on their first query. The catalog
+// flushes explicitly at plan time so that one-time build I/O lands
+// before the cost model reads the tree statistics and before any
+// operator meter starts — not inside the first operator's actuals.
+type flusher interface {
+	Flush() error
+}
+
+// flushTarget pushes any buffered adds through the target's deferred
+// indexing. A no-op for targets without a Flush or with nothing
+// pending.
+func (c *Catalog) flushTarget() error {
+	if f, ok := c.t.(flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// streamer is an optional Target extension: the single engine's
+// incremental distance-first iterators, which let the executor apply
+// residual filters without re-running widening top-k queries.
+type streamer interface {
+	Search(point []float64, keywords ...string) (*spatialkeyword.SearchIter, error)
+	SearchArea(lo, hi []float64, keywords ...string) (*spatialkeyword.SearchIter, error)
+}
+
+// rankedStreamer is streamer's scored counterpart.
+type rankedStreamer interface {
+	SearchRanked(point []float64, keywords ...string) (*spatialkeyword.RankedSearchIter, error)
+}
+
+// Catalog binds a Target to the planner: it owns the text analyzer the
+// query terms are normalized with, the cost-model constants, and a
+// lazily built sidecar inverted index that serves the IIO physical
+// path (and document frequencies for targets without a Corpus).
+//
+// A Catalog is safe for concurrent queries; the sidecar build is
+// serialized internally. The Analyzer and tuning fields must be set
+// before the first query.
+type Catalog struct {
+	// Analyzer normalizes query terms and sidecar index tokens. It
+	// must match the target engine's text configuration; nil is the
+	// plain pipeline (the default engine configuration).
+	Analyzer *textutil.Analyzer
+	// Model is the storage cost model for estimated and modeled
+	// times. The zero value means storage.DefaultCostModel().
+	Model storage.CostModel
+	// MaxBranches caps the DNF split. Zero means DefaultMaxBranches.
+	MaxBranches int
+	// PostingsPerBlock and BlocksPerObject override the cost-model
+	// layout constants (zero = defaults, see CostInputs).
+	PostingsPerBlock int
+	BlocksPerObject  float64
+
+	t Target
+
+	// The sidecar inverted index: built from a target Scan on first
+	// use, rebuilt when the target's object count changes. Deleted
+	// objects are filtered at execution time via IsDeleted, so
+	// deletions alone do not force a rebuild.
+	mu     sync.Mutex
+	inv    *invindex.Index
+	invDev *storage.Disk
+	invN   int
+}
+
+// NewCatalog returns a Catalog over the target with default settings.
+func NewCatalog(t Target) *Catalog {
+	return &Catalog{t: t}
+}
+
+// Target returns the catalog's execution target.
+func (c *Catalog) Target() Target { return c.t }
+
+// SidecarDevice returns the device backing the sidecar inverted
+// index, or nil if the index has not been built. Benchmarks meter it
+// alongside the engine's own devices.
+func (c *Catalog) SidecarDevice() storage.Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inv == nil {
+		return nil
+	}
+	return c.invDev
+}
+
+// EnsureIndex builds (or refreshes) the sidecar inverted index now
+// instead of on first IIO execution, so benchmarks can meter query
+// I/O without the one-time build cost.
+func (c *Catalog) EnsureIndex() error {
+	_, err := c.index()
+	return err
+}
+
+// index returns the sidecar inverted index, building it if the target
+// has grown since the last build.
+func (c *Catalog) index() (*invindex.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.t.NumObjects()
+	if c.inv != nil && c.invN == n {
+		return c.inv, nil
+	}
+	dev := storage.NewDisk(4096)
+	ix := invindex.New(dev)
+	err := c.t.Scan(func(o spatialkeyword.Object) error {
+		ix.Add(o.ID, c.Analyzer.Unique(o.Text))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("skql: build sidecar index: %w", err)
+	}
+	if err := ix.Build(); err != nil {
+		return nil, fmt.Errorf("skql: build sidecar index: %w", err)
+	}
+	c.inv, c.invDev, c.invN = ix, dev, n
+	return ix, nil
+}
+
+// maxBranches returns the effective DNF cap.
+func (c *Catalog) maxBranches() int {
+	if c.MaxBranches > 0 {
+		return c.MaxBranches
+	}
+	return DefaultMaxBranches
+}
+
+// costInputs assembles the cost model's inputs from plan-time-free
+// statistics: the target's corpus statistics when it maintains them,
+// else the sidecar index's dictionary (which may trigger a build).
+func (c *Catalog) costInputs() (CostInputs, error) {
+	in := CostInputs{
+		NumObjects:       c.t.NumObjects(),
+		PostingsPerBlock: c.PostingsPerBlock,
+		BlocksPerObject:  c.BlocksPerObject,
+		TreeHeight:       c.t.Stats().TreeHeight,
+		Model:            c.Model,
+	}
+	if cp, ok := c.t.(corpusProvider); ok {
+		cs := cp.Corpus()
+		in.DocFreq = cs.DocFreq
+		return in, nil
+	}
+	ix, err := c.index()
+	if err != nil {
+		return CostInputs{}, err
+	}
+	in.DocFreq = ix.DocFreq
+	return in, nil
+}

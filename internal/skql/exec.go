@@ -1,0 +1,608 @@
+package skql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spatialkeyword"
+	"spatialkeyword/internal/geo"
+	"spatialkeyword/internal/rtree"
+	"spatialkeyword/internal/storage"
+)
+
+// maxTraceLines caps how much of the engine traversal trace EXPLAIN
+// ANALYZE folds into its output per operator.
+const maxTraceLines = 40
+
+// OpActual records what one operator actually did at execution time,
+// for EXPLAIN ANALYZE's estimated-vs-actual comparison.
+type OpActual struct {
+	// Rows is how many results the operator emitted (pre-merge).
+	Rows int
+	// Candidates is how many candidates the operator examined before
+	// residual filtering (stream results pulled, widened top-k size,
+	// or posting-intersection cardinality).
+	Candidates int
+	// Stats are the engine traversal counters, when the path exposes
+	// them (zero for IIO and stat-less engine calls).
+	Stats spatialkeyword.QueryStats
+	// BlocksRandom and BlocksSequential are the actual device block
+	// accesses (engine devices plus the sidecar index).
+	BlocksRandom, BlocksSequential uint64
+	// Trace is the folded engine traversal trace (EXPLAIN ANALYZE on
+	// streaming targets only), capped at maxTraceLines.
+	Trace []string
+}
+
+// ResultSet is the answer of one executed (or explained) statement.
+type ResultSet struct {
+	// Proj echoes the statement's projection, which selects among the
+	// payload fields below.
+	Proj Proj
+	// Results holds TOP and ALL answers (ALL: Dist 0, ID order).
+	Results []spatialkeyword.Result
+	// Ranked holds RANKED answers.
+	Ranked []spatialkeyword.RankedResult
+	// Count holds the COUNT answer (also set for ALL).
+	Count int
+	// Plan is the executed (or explained) physical plan.
+	Plan *Plan
+	// Actuals has one entry per plan operator once executed.
+	Actuals []OpActual
+	// Explain is the rendered EXPLAIN / EXPLAIN ANALYZE text, one
+	// line per entry, when the statement requested it.
+	Explain []string
+}
+
+// Run plans and executes one statement. EXPLAIN (without ANALYZE)
+// only plans; EXPLAIN ANALYZE executes and reports both the results
+// and the estimated-vs-actual comparison.
+func (c *Catalog) Run(q *Query) (*ResultSet, error) {
+	p, err := c.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunPlan(p)
+}
+
+// RunPlan executes an already built plan — callers that want to time
+// planning and execution separately (or re-run a plan) use this pair
+// instead of Run.
+func (c *Catalog) RunPlan(p *Plan) (*ResultSet, error) {
+	q := p.Query
+	rs := &ResultSet{Proj: q.Proj, Plan: p}
+	if q.Explain && !q.Analyze {
+		rs.Explain = renderPlan(p, nil)
+		return rs, nil
+	}
+	if err := c.execute(p, rs); err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		rs.Explain = renderPlan(p, rs.Actuals)
+	}
+	return rs, nil
+}
+
+func (c *Catalog) execute(p *Plan, rs *ResultSet) error {
+	// RunPlan may execute a plan built before new adds were buffered;
+	// flush outside the operator meters so deferred indexing I/O never
+	// inflates an operator's actual block counts.
+	if err := c.flushTarget(); err != nil {
+		return err
+	}
+	switch p.Query.Proj {
+	case ProjRanked:
+		return c.execRanked(p, rs)
+	case ProjAll, ProjCount:
+		return c.execArea(p, rs)
+	default:
+		return c.execTop(p, rs)
+	}
+}
+
+// opMeter snapshots every relevant device counter (the target's
+// engines and the sidecar index); the returned function reports the
+// blocks accessed since.
+func (c *Catalog) opMeter() func() (random, sequential uint64) {
+	var stops []func() (uint64, uint64)
+	if m, ok := c.t.(ioMeter); ok {
+		stops = append(stops, m.MeterIO())
+	}
+	c.mu.Lock()
+	if c.invDev != nil {
+		m := storage.StartMeter(c.invDev)
+		stops = append(stops, func() (uint64, uint64) {
+			st := m.Stop()
+			return st.Random(), st.Sequential()
+		})
+	}
+	c.mu.Unlock()
+	return func() (r, s uint64) {
+		for _, f := range stops {
+			a, b := f()
+			r += a
+			s += b
+		}
+		return r, s
+	}
+}
+
+func termSet(words []string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// acceptFn builds the residual predicate for a boolean operator: the
+// term filters (Conj, Neg, Residual) plus the hard rectangle filter
+// when the projection confines results to the WITHIN rect (ALL/COUNT,
+// or TOP combining NEAR with WITHIN; TOP with WITHIN alone orders by
+// distance-to-rect and keeps outside objects, matching TopKArea).
+func (c *Catalog) acceptFn(p *Plan, op *Operator) func(o spatialkeyword.Object) bool {
+	q := p.Query
+	needRect := q.Within != nil && (q.Near != nil || q.Proj == ProjAll || q.Proj == ProjCount)
+	var rect geo.Rect
+	if needRect {
+		rect = geo.NewRect(geo.NewPoint(q.Within.Lo[:]...), geo.NewPoint(q.Within.Hi[:]...))
+	}
+	trivialTerms := len(op.Conj) == 0 && len(op.Neg) == 0 && op.Residual == nil
+	return func(o spatialkeyword.Object) bool {
+		if needRect && !rect.ContainsPoint(geo.NewPoint(o.Point...)) {
+			return false
+		}
+		if trivialTerms {
+			return true
+		}
+		set := termSet(c.Analyzer.Unique(o.Text))
+		return op.requires(func(t string) bool { return set[t] })
+	}
+}
+
+// traceCollector renders engine traversal events in the same format as
+// Engine.Explain, truncating at maxTraceLines.
+func traceCollector(lines *[]string) func(rtree.TraceEvent) {
+	return func(ev rtree.TraceEvent) {
+		if len(*lines) >= maxTraceLines {
+			if len(*lines) == maxTraceLines {
+				*lines = append(*lines, "... trace truncated")
+			}
+			return
+		}
+		switch ev.Kind {
+		case rtree.TraceExpand:
+			*lines = append(*lines, fmt.Sprintf("expand node %d (level %d, bound %.2f)", ev.Node, ev.Level, ev.Score))
+		case rtree.TraceEnqueueNode:
+			*lines = append(*lines, fmt.Sprintf("  enqueue subtree %d (dist >= %.2f)", ev.Child, ev.Score))
+		case rtree.TraceEnqueueObject:
+			*lines = append(*lines, fmt.Sprintf("  enqueue object %d (dist %.2f)", ev.Child, ev.Score))
+		case rtree.TracePrune:
+			what := "subtree"
+			if ev.Level == 0 {
+				what = "object"
+			}
+			*lines = append(*lines, fmt.Sprintf("  prune %s %d: signature mismatch", what, ev.Child))
+		case rtree.TraceEmit:
+			*lines = append(*lines, fmt.Sprintf("emit object %d (dist %.2f)", ev.Child, ev.Score))
+		}
+	}
+}
+
+// --- TOP k ---
+
+func (c *Catalog) execTop(p *Plan, rs *ResultSet) error {
+	q := p.Query
+	var all []spatialkeyword.Result
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		var out []spatialkeyword.Result
+		var act OpActual
+		var err error
+		if op.Path == PathIIO {
+			out, act, err = c.runIIOTop(p, op)
+		} else {
+			out, act, err = c.runEngineTop(p, op)
+		}
+		if err != nil {
+			return err
+		}
+		rs.Actuals = append(rs.Actuals, act)
+		all = append(all, out...)
+	}
+	if len(p.Ops) > 1 {
+		all = mergeByDistance(all, q.K)
+	} else if len(all) > q.K {
+		all = all[:q.K]
+	}
+	rs.Results = all
+	rs.Count = len(all)
+	return nil
+}
+
+// runEngineTop executes a distance-first operator against the engine:
+// incrementally on streaming targets, by widening top-k calls
+// elsewhere (sharded engines, followers, lock-wrapped engines).
+//
+// SKQL's TOP is deterministic: ties at the k-th distance break by
+// smallest object ID regardless of engine traversal order, so every
+// physical path answers byte-identically. Both strategies therefore
+// keep fetching past k accepted results until the next candidate is
+// strictly farther than the k-th, then sort by (distance, ID).
+func (c *Catalog) runEngineTop(p *Plan, op *Operator) ([]spatialkeyword.Result, OpActual, error) {
+	q := p.Query
+	var push []string
+	if op.Path == PathIR2 {
+		push = op.Conj
+	}
+	stop := c.opMeter()
+	var act OpActual
+	accept := c.acceptFn(p, op)
+	var out []spatialkeyword.Result
+
+	if st, ok := c.t.(streamer); ok {
+		var it *spatialkeyword.SearchIter
+		var err error
+		if q.Near != nil {
+			it, err = st.Search(q.Near, push...)
+		} else {
+			it, err = st.SearchArea(q.Within.Lo[:], q.Within.Hi[:], push...)
+		}
+		if err != nil {
+			return nil, act, err
+		}
+		if q.Analyze {
+			it.SetTrace(traceCollector(&act.Trace))
+		}
+		for {
+			if len(out) >= op.K {
+				// out is in non-decreasing distance order, so the
+				// last element is the current k-th distance; drain
+				// any remaining ties before stopping.
+				bound, ok := it.PeekBound()
+				if !ok || bound > out[len(out)-1].Dist {
+					break
+				}
+			}
+			r, ok, err := it.Next()
+			if err != nil {
+				return nil, act, err
+			}
+			if !ok {
+				break
+			}
+			act.Candidates++
+			if !accept(r.Object) {
+				continue
+			}
+			out = append(out, r)
+		}
+		act.Stats = it.Stats()
+	} else {
+		kk := op.K * 2
+		if kk < 16 {
+			kk = 16
+		}
+		for {
+			var rres []spatialkeyword.Result
+			var qs spatialkeyword.QueryStats
+			var err error
+			if q.Near != nil {
+				rres, qs, err = c.t.TopKWithStats(kk, q.Near, push...)
+			} else {
+				rres, err = c.t.TopKArea(kk, q.Within.Lo[:], q.Within.Hi[:], push...)
+			}
+			if err != nil {
+				return nil, act, err
+			}
+			act.Stats = qs
+			act.Candidates = len(rres)
+			out = out[:0]
+			for _, r := range rres {
+				if !accept(r.Object) {
+					continue
+				}
+				out = append(out, r)
+			}
+			// Stop when the engine is exhausted, or k results are in
+			// hand and the widened fetch already reached strictly past
+			// the k-th distance (so every unfetched object — at least
+			// as far as the last fetched one — cannot tie into the top
+			// k).
+			exhausted := len(rres) < kk
+			deepEnough := len(out) >= op.K && len(rres) > 0 &&
+				rres[len(rres)-1].Dist > out[op.K-1].Dist
+			if exhausted || deepEnough {
+				break
+			}
+			kk *= 2
+		}
+	}
+	sortByDistance(out)
+	if len(out) > op.K {
+		out = out[:op.K]
+	}
+	act.Rows = len(out)
+	act.BlocksRandom, act.BlocksSequential = stop()
+	return out, act, nil
+}
+
+// runIIOTop executes a distance-first operator on the Inverted Index
+// Only path: intersect the sidecar posting lists, load the surviving
+// objects, filter residually, sort by distance.
+func (c *Catalog) runIIOTop(p *Plan, op *Operator) ([]spatialkeyword.Result, OpActual, error) {
+	q := p.Query
+	var act OpActual
+	ix, err := c.index()
+	if err != nil {
+		return nil, act, err
+	}
+	stop := c.opMeter()
+	ids, err := ix.Intersect(op.Conj)
+	if err != nil {
+		return nil, act, err
+	}
+	act.Candidates = len(ids)
+	accept := c.acceptFn(p, op)
+
+	var near geo.Point
+	if q.Near != nil {
+		near = geo.NewPoint(q.Near...)
+	}
+	var areaRect geo.Rect
+	if q.Near == nil && q.Within != nil {
+		// TOP ... WITHIN alone orders by distance-to-rect (TopKArea).
+		areaRect = geo.NewRect(geo.NewPoint(q.Within.Lo[:]...), geo.NewPoint(q.Within.Hi[:]...))
+	}
+
+	var out []spatialkeyword.Result
+	for _, id := range ids {
+		if c.t.IsDeleted(id) {
+			continue
+		}
+		o, err := c.t.Get(id)
+		if err != nil {
+			if errors.Is(err, spatialkeyword.ErrDeleted) || errors.Is(err, spatialkeyword.ErrUnknownID) {
+				continue
+			}
+			return nil, act, err
+		}
+		if !accept(o) {
+			continue
+		}
+		var dist float64
+		pt := geo.NewPoint(o.Point...)
+		if near != nil {
+			if len(near) != len(pt) {
+				return nil, act, fmt.Errorf("skql: query point has %d dimensions, object %d has %d", len(near), o.ID, len(pt))
+			}
+			dist = near.Dist(pt)
+		} else {
+			if len(areaRect.Lo) != len(pt) {
+				return nil, act, fmt.Errorf("skql: query rect has %d dimensions, object %d has %d", len(areaRect.Lo), o.ID, len(pt))
+			}
+			dist = areaRect.MinDist(pt)
+		}
+		out = append(out, spatialkeyword.Result{Object: o, Dist: dist})
+	}
+	sortByDistance(out)
+	if len(out) > op.K {
+		out = out[:op.K]
+	}
+	act.Rows = len(out)
+	act.BlocksRandom, act.BlocksSequential = stop()
+	return out, act, nil
+}
+
+func sortByDistance(rs []spatialkeyword.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].Object.ID < rs[j].Object.ID
+	})
+}
+
+// mergeByDistance unions branch outputs: dedupe by object ID, order by
+// (distance, ID), keep k.
+func mergeByDistance(rs []spatialkeyword.Result, k int) []spatialkeyword.Result {
+	seen := make(map[uint64]bool, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if seen[r.Object.ID] {
+			continue
+		}
+		seen[r.Object.ID] = true
+		out = append(out, r)
+	}
+	sortByDistance(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// --- RANKED k ---
+
+func (c *Catalog) execRanked(p *Plan, rs *ResultSet) error {
+	q := p.Query
+	op := &p.Ops[0]
+	stop := c.opMeter()
+	var act OpActual
+
+	// Unlike boolean operators, Conj here is the scoring term set —
+	// results need not contain every term, so the residual is only the
+	// boolean tree (when present), the rect, and the score threshold.
+	var rect geo.Rect
+	useRect := q.Within != nil
+	if useRect {
+		rect = geo.NewRect(geo.NewPoint(q.Within.Lo[:]...), geo.NewPoint(q.Within.Hi[:]...))
+	}
+	accept := func(o spatialkeyword.Object, score float64) bool {
+		if useRect && !rect.ContainsPoint(geo.NewPoint(o.Point...)) {
+			return false
+		}
+		if op.Residual != nil {
+			set := termSet(c.Analyzer.Unique(o.Text))
+			if !evalExpr(op.Residual, func(t string) bool { return set[t] }) {
+				return false
+			}
+		}
+		if q.Where != nil {
+			if q.Where.Op == CmpGT && !(score > q.Where.Value) {
+				return false
+			}
+			if q.Where.Op == CmpGE && !(score >= q.Where.Value) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []spatialkeyword.RankedResult
+	if st, ok := c.t.(rankedStreamer); ok {
+		it, err := st.SearchRanked(q.Near, op.Conj...)
+		if err != nil {
+			return err
+		}
+		for len(out) < op.K {
+			r, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			act.Candidates++
+			if !accept(r.Object, r.Score) {
+				continue
+			}
+			out = append(out, r)
+		}
+		act.Stats = it.Stats()
+	} else {
+		kk := op.K * 2
+		if kk < 16 {
+			kk = 16
+		}
+		for {
+			rres, err := c.t.TopKRanked(kk, q.Near, op.Conj...)
+			if err != nil {
+				return err
+			}
+			act.Candidates = len(rres)
+			out = out[:0]
+			for _, r := range rres {
+				if !accept(r.Object, r.Score) {
+					continue
+				}
+				out = append(out, r)
+				if len(out) == op.K {
+					break
+				}
+			}
+			if len(out) >= op.K || len(rres) < kk {
+				break
+			}
+			kk *= 2
+		}
+	}
+	act.Rows = len(out)
+	act.BlocksRandom, act.BlocksSequential = stop()
+	rs.Actuals = append(rs.Actuals, act)
+	rs.Ranked = out
+	rs.Count = len(out)
+	return nil
+}
+
+// --- ALL / COUNT ---
+
+func (c *Catalog) execArea(p *Plan, rs *ResultSet) error {
+	q := p.Query
+	if len(p.Ops) == 0 { // contradictory MATCH: matches nothing
+		return nil
+	}
+	op := &p.Ops[0]
+	var out []spatialkeyword.Result
+	var act OpActual
+	var err error
+	if op.Path == PathIIO {
+		out, act, err = c.runIIOArea(p, op)
+	} else {
+		out, act, err = c.runEngineArea(p, op)
+	}
+	if err != nil {
+		return err
+	}
+	rs.Actuals = append(rs.Actuals, act)
+	rs.Count = len(out)
+	if q.Proj == ProjAll {
+		rs.Results = out
+	}
+	return nil
+}
+
+func (c *Catalog) runEngineArea(p *Plan, op *Operator) ([]spatialkeyword.Result, OpActual, error) {
+	q := p.Query
+	var push []string
+	if op.Path == PathIR2 {
+		push = op.Conj
+	}
+	stop := c.opMeter()
+	var act OpActual
+	accept := c.acceptFn(p, op)
+	rres, err := c.t.WithinArea(q.Within.Lo[:], q.Within.Hi[:], push...)
+	if err != nil {
+		return nil, act, err
+	}
+	act.Candidates = len(rres)
+	out := rres[:0]
+	for _, r := range rres {
+		if !accept(r.Object) {
+			continue
+		}
+		out = append(out, r)
+	}
+	act.Rows = len(out)
+	act.BlocksRandom, act.BlocksSequential = stop()
+	return out, act, nil
+}
+
+func (c *Catalog) runIIOArea(p *Plan, op *Operator) ([]spatialkeyword.Result, OpActual, error) {
+	var act OpActual
+	ix, err := c.index()
+	if err != nil {
+		return nil, act, err
+	}
+	stop := c.opMeter()
+	ids, err := ix.Intersect(op.Conj)
+	if err != nil {
+		return nil, act, err
+	}
+	act.Candidates = len(ids)
+	accept := c.acceptFn(p, op)
+	var out []spatialkeyword.Result
+	for _, id := range ids {
+		if c.t.IsDeleted(id) {
+			continue
+		}
+		o, err := c.t.Get(id)
+		if err != nil {
+			if errors.Is(err, spatialkeyword.ErrDeleted) || errors.Is(err, spatialkeyword.ErrUnknownID) {
+				continue
+			}
+			return nil, act, err
+		}
+		if !accept(o) {
+			continue
+		}
+		// WithinArea contract: results carry Dist 0 in ID order (the
+		// intersection is already ID-sorted).
+		out = append(out, spatialkeyword.Result{Object: o})
+	}
+	act.Rows = len(out)
+	act.BlocksRandom, act.BlocksSequential = stop()
+	return out, act, nil
+}

@@ -1,0 +1,144 @@
+package skql
+
+import (
+	"strings"
+	"testing"
+)
+
+func runExplain(t *testing.T, c *Catalog, src string) []string {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	rs, err := c.Run(q)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return rs.Explain
+}
+
+func wantLine(t *testing.T, lines []string, sub string) string {
+	t.Helper()
+	for _, l := range lines {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	t.Fatalf("no explain line contains %q in:\n%s", sub, strings.Join(lines, "\n"))
+	return ""
+}
+
+// TestExplainOnly checks plain EXPLAIN: estimates render, the query
+// does not execute, and no actuals appear.
+func TestExplainOnly(t *testing.T) {
+	c := planTestCatalog(t)
+	lines := runExplain(t, c, `EXPLAIN SELECT TOP 5 NEAR (1, 1) MATCH "rare"`)
+	wantLine(t, lines, `EXPLAIN SELECT TOP 5 NEAR (1, 1) MATCH "rare"`)
+	wantLine(t, lines, "plan: top 5, merge=distance")
+	wantLine(t, lines, "cost inputs: n=400")
+	wantLine(t, lines, "path=iio")
+	wantLine(t, lines, "est:    blocks=")
+	wantLine(t, lines, "total: est blocks=")
+	for _, l := range lines {
+		if strings.Contains(l, "actual:") {
+			t.Fatalf("plain EXPLAIN must not execute, got %q", l)
+		}
+	}
+}
+
+// countEstActual tallies per-operator estimated and actual block-read
+// lines in EXPLAIN ANALYZE output.
+func countEstActual(lines []string) (est, act int) {
+	for _, l := range lines {
+		if strings.Contains(l, "est:    blocks=") {
+			est++
+		}
+		if strings.Contains(l, "actual: blocks=") {
+			act++
+		}
+	}
+	return est, act
+}
+
+// TestExplainAnalyzeMixedFrequency is the acceptance scenario from the
+// paper's §6.B extremes in one query: a disjunction of a rare and a
+// ubiquitous keyword. The common side makes the whole predicate
+// unselective, so the planner folds the query into one tree scan (a
+// per-branch split would pay that same scan for the common branch plus
+// posting I/O on top), and EXPLAIN ANALYZE reports estimated vs actual
+// block reads for the operator it ran.
+func TestExplainAnalyzeMixedFrequency(t *testing.T) {
+	c := planTestCatalog(t)
+	src := `EXPLAIN ANALYZE SELECT TOP 5 NEAR (1, 1) MATCH "rare" OR "common"`
+	lines := runExplain(t, c, src)
+
+	wantLine(t, lines, "plan: top 5, merge=distance, single scan")
+	if est, act := countEstActual(lines); est != 1 || act != 1 {
+		t.Fatalf("want one est/actual pair, got est=%d actual=%d:\n%s",
+			est, act, strings.Join(lines, "\n"))
+	}
+	wantLine(t, lines, "rand + ")
+	wantLine(t, lines, "total: est blocks=")
+
+	// EXPLAIN ANALYZE still returns the real results alongside the plan.
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rs, err := c.Run(q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rs.Results) == 0 {
+		t.Fatalf("EXPLAIN ANALYZE returned no results")
+	}
+	plain, err := Parse(strings.TrimPrefix(src, "EXPLAIN ANALYZE "))
+	if err != nil {
+		t.Fatalf("Parse plain: %v", err)
+	}
+	prs, err := c.Run(plain)
+	if err != nil {
+		t.Fatalf("Run plain: %v", err)
+	}
+	if len(prs.Results) != len(rs.Results) {
+		t.Fatalf("ANALYZE results differ from plain run: %d vs %d", len(rs.Results), len(prs.Results))
+	}
+	for i := range prs.Results {
+		if prs.Results[i].Object.ID != rs.Results[i].Object.ID {
+			t.Fatalf("result %d: ANALYZE ID %d vs plain %d", i, rs.Results[i].Object.ID, prs.Results[i].Object.ID)
+		}
+	}
+}
+
+// TestExplainAnalyzeDNFBranches checks a disjunction of two rare
+// conjunctions splits into per-branch inverted-index operators, each
+// with its own estimated and actual block reads.
+func TestExplainAnalyzeDNFBranches(t *testing.T) {
+	c := planTestCatalog(t)
+	lines := runExplain(t, c,
+		`EXPLAIN ANALYZE SELECT TOP 5 NEAR (1, 1) MATCH ("rare" AND "half") OR ("rare" AND "common")`)
+	wantLine(t, lines, "dnf union of 2 branches")
+	wantLine(t, lines, "common conjuncts: [rare]")
+	wantLine(t, lines, "path=iio")
+	if est, act := countEstActual(lines); est != 2 || act != 2 {
+		t.Fatalf("want est/actual pairs for both operators, got est=%d actual=%d:\n%s",
+			est, act, strings.Join(lines, "\n"))
+	}
+}
+
+// TestExplainAnalyzeTraceFold checks the engine trace folds under the
+// operator that produced it.
+func TestExplainAnalyzeTraceFold(t *testing.T) {
+	c := planTestCatalog(t)
+	lines := runExplain(t, c, `EXPLAIN ANALYZE SELECT TOP 3 NEAR (1, 1) MATCH "common"`)
+	var traced int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "    | ") {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatalf("no folded engine trace lines:\n%s", strings.Join(lines, "\n"))
+	}
+}

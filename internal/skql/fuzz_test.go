@@ -1,0 +1,56 @@
+package skql
+
+import (
+	"testing"
+)
+
+// FuzzSKQLParse checks the parser's two safety properties on arbitrary
+// input: it never panics, and any query it accepts canonicalizes to a
+// fixpoint — Parse(q.String()).String() == q.String() — so the printed
+// form is itself a valid query with identical meaning.
+func FuzzSKQLParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT TOP 5 NEAR (1, 2)",
+		`SELECT TOP 10 NEAR (3.5, -7) MATCH "cafe" AND wifi OR NOT "tea"`,
+		`EXPLAIN ANALYZE SELECT RANKED 3 NEAR (2, 2) MATCH beach WHERE score >= 0.5`,
+		`SELECT ALL WITHIN rect(0, 0, 10, 10) MATCH ("a" OR b) AND NOT c USING iio`,
+		`SELECT COUNT WITHIN rect(-1.5, -2e3, 3, 4e2)`,
+		`SELECT TOP 2 NEAR (1, 1) MATCH "quoted \"escape\"" USING rtree`,
+		`select top 1000000 near (0.0001, 1e-9) match a and (b or (c and not d))`,
+		"SELECT TOP 5 NEAR (1e999, 2)",
+		`SELECT TOP 5 NEAR (1, 2) MATCH ""`,
+		"SELECT TOP 5 NEAR (1, 2) MATCH NOT NOT NOT x",
+		"SELECT TOP 5 NEAR (1, 2) MATCH (((((x)))))",
+		"SELECT\tTOP 5\nNEAR (1, 2) MATCH \"café\" AND \"日本語\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q from input %q: %v", s1, src, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("print not a fixpoint: %q -> %q (input %q)", s1, s2, src)
+		}
+		// The JSON form must round-trip the same AST.
+		data, err := q.MarshalJSON()
+		if err != nil {
+			t.Fatalf("MarshalJSON(%q): %v", s1, err)
+		}
+		q3, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("ParseJSON(MarshalJSON(%q)) = %v on %s", s1, err, data)
+		}
+		if s3 := q3.String(); s3 != s1 {
+			t.Fatalf("json round trip: %q -> %q", s1, s3)
+		}
+	})
+}

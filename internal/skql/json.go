@@ -1,0 +1,271 @@
+package skql
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonQuery is the structured-JSON equivalent of the text language.
+// Example:
+//
+//	{
+//	  "explain": "analyze",
+//	  "select": "top", "k": 10,
+//	  "near": [35.1, -97.3],
+//	  "match": {"and": [{"term": "pizza"},
+//	                    {"or": [{"term": "vegan"}, {"term": "halal"}]}]},
+//	  "where": {"score_gt": 0},
+//	  "within": [34, -98, 36, -96],
+//	  "using": "iio"
+//	}
+type jsonQuery struct {
+	Explain string     `json:"explain,omitempty"` // "", "plan", "analyze"
+	Select  string     `json:"select"`            // top | ranked | all | count
+	K       int        `json:"k,omitempty"`
+	Near    []float64  `json:"near,omitempty"` // [x, y]
+	Match   *jsonExpr  `json:"match,omitempty"`
+	Where   *jsonWhere `json:"where,omitempty"`
+	Within  []float64  `json:"within,omitempty"` // [lox, loy, hix, hiy]
+	Using   string     `json:"using,omitempty"`
+}
+
+// jsonExpr is one boolean-tree node; exactly one field may be set.
+type jsonExpr struct {
+	Term string     `json:"term,omitempty"`
+	And  []jsonExpr `json:"and,omitempty"`
+	Or   []jsonExpr `json:"or,omitempty"`
+	Not  *jsonExpr  `json:"not,omitempty"`
+}
+
+type jsonWhere struct {
+	ScoreGT *float64 `json:"score_gt,omitempty"`
+	ScoreGE *float64 `json:"score_ge,omitempty"`
+}
+
+// ParseJSON parses the structured-JSON query form into the same typed
+// AST produced by Parse. Unknown fields are rejected.
+func ParseJSON(data []byte) (*Query, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jq jsonQuery
+	if err := dec.Decode(&jq); err != nil {
+		return nil, fmt.Errorf("skql: bad json query: %w", err)
+	}
+	q := &Query{}
+	switch jq.Explain {
+	case "":
+	case "plan":
+		q.Explain = true
+	case "analyze":
+		q.Explain, q.Analyze = true, true
+	default:
+		return nil, fmt.Errorf("skql: bad json query: explain must be \"plan\" or \"analyze\", got %q", jq.Explain)
+	}
+	switch jq.Select {
+	case "top":
+		q.Proj = ProjTop
+	case "ranked":
+		q.Proj = ProjRanked
+	case "all":
+		q.Proj = ProjAll
+	case "count":
+		q.Proj = ProjCount
+	default:
+		return nil, fmt.Errorf("skql: bad json query: select must be top, ranked, all, or count, got %q", jq.Select)
+	}
+	if q.Proj == ProjTop || q.Proj == ProjRanked {
+		if jq.K < 1 || jq.K > maxK {
+			return nil, fmt.Errorf("skql: bad json query: k must be in [1, %d], got %d", maxK, jq.K)
+		}
+		q.K = jq.K
+	} else if jq.K != 0 {
+		return nil, fmt.Errorf("skql: bad json query: k is only valid with select top or ranked")
+	}
+	if jq.Near != nil {
+		if len(jq.Near) != 2 || !finiteAll(jq.Near) {
+			return nil, fmt.Errorf("skql: bad json query: near must be [x, y] with finite coordinates")
+		}
+		q.Near = []float64{jq.Near[0], jq.Near[1]}
+	}
+	if jq.Match != nil {
+		e, err := jq.Match.toExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		q.Match = e
+	}
+	if jq.Where != nil {
+		switch {
+		case jq.Where.ScoreGT != nil && jq.Where.ScoreGE == nil:
+			q.Where = &ScoreFilter{Op: CmpGT, Value: *jq.Where.ScoreGT}
+		case jq.Where.ScoreGE != nil && jq.Where.ScoreGT == nil:
+			q.Where = &ScoreFilter{Op: CmpGE, Value: *jq.Where.ScoreGE}
+		default:
+			return nil, fmt.Errorf("skql: bad json query: where must set exactly one of score_gt, score_ge")
+		}
+		if math.IsNaN(q.Where.Value) || math.IsInf(q.Where.Value, 0) {
+			return nil, fmt.Errorf("skql: bad json query: score threshold must be finite")
+		}
+	}
+	if jq.Within != nil {
+		if len(jq.Within) != 4 || !finiteAll(jq.Within) {
+			return nil, fmt.Errorf("skql: bad json query: within must be [lox, loy, hix, hiy] with finite coordinates")
+		}
+		q.Within = &Rect{
+			Lo: [2]float64{jq.Within[0], jq.Within[1]},
+			Hi: [2]float64{jq.Within[2], jq.Within[3]},
+		}
+	}
+	switch jq.Using {
+	case "", "auto":
+		q.Force = PathAuto
+	case "ir2":
+		q.Force = PathIR2
+	case "iio":
+		q.Force = PathIIO
+	case "rtree":
+		q.Force = PathRTree
+	default:
+		return nil, fmt.Errorf("skql: bad json query: unknown access path %q", jq.Using)
+	}
+	return q, nil
+}
+
+func finiteAll(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func (je *jsonExpr) toExpr(depth int) (Expr, error) {
+	if depth > maxExprDepth {
+		return nil, fmt.Errorf("skql: bad json query: match tree nested too deeply (limit %d)", maxExprDepth)
+	}
+	set := 0
+	if je.Term != "" {
+		set++
+	}
+	if len(je.And) > 0 {
+		set++
+	}
+	if len(je.Or) > 0 {
+		set++
+	}
+	if je.Not != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("skql: bad json query: match node must set exactly one of term, and, or, not")
+	}
+	switch {
+	case je.Term != "":
+		return Term{Word: je.Term}, nil
+	case je.Not != nil:
+		x, err := je.Not.toExpr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case len(je.And) > 0:
+		kids, err := toExprs(je.And, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return And{Kids: kids}, nil
+	default:
+		kids, err := toExprs(je.Or, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return Or{Kids: kids}, nil
+	}
+}
+
+func toExprs(nodes []jsonExpr, depth int) ([]Expr, error) {
+	out := make([]Expr, 0, len(nodes))
+	for i := range nodes {
+		e, err := nodes[i].toExpr(depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// MarshalJSON renders the query in the structured-JSON form, the
+// inverse of ParseJSON.
+func (q *Query) MarshalJSON() ([]byte, error) {
+	jq := jsonQuery{K: q.K}
+	if q.Explain {
+		jq.Explain = "plan"
+		if q.Analyze {
+			jq.Explain = "analyze"
+		}
+	}
+	switch q.Proj {
+	case ProjTop:
+		jq.Select = "top"
+	case ProjRanked:
+		jq.Select = "ranked"
+	case ProjAll:
+		jq.Select = "all"
+	case ProjCount:
+		jq.Select = "count"
+	}
+	if q.Near != nil {
+		jq.Near = q.Near
+	}
+	if q.Match != nil {
+		jq.Match = toJSONExpr(q.Match)
+	}
+	if q.Where != nil {
+		v := q.Where.Value
+		jq.Where = &jsonWhere{}
+		if q.Where.Op == CmpGE {
+			jq.Where.ScoreGE = &v
+		} else {
+			jq.Where.ScoreGT = &v
+		}
+	}
+	if q.Within != nil {
+		jq.Within = []float64{q.Within.Lo[0], q.Within.Lo[1], q.Within.Hi[0], q.Within.Hi[1]}
+	}
+	if q.Force != PathAuto {
+		jq.Using = q.Force.String()
+	}
+	return json.Marshal(jq)
+}
+
+func toJSONExpr(e Expr) *jsonExpr {
+	switch n := e.(type) {
+	case Term:
+		return &jsonExpr{Term: n.Word}
+	case Not:
+		return &jsonExpr{Not: toJSONExpr(n.X)}
+	case And:
+		kids := make([]jsonExpr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = *toJSONExpr(k)
+		}
+		return &jsonExpr{And: kids}
+	case Or:
+		kids := make([]jsonExpr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = *toJSONExpr(k)
+		}
+		return &jsonExpr{Or: kids}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package skql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokGT
+	tokGE
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokWord:
+		return "word"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	}
+	return "?"
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string // word spelling, unquoted string value, or number text
+	pos  int
+}
+
+// ParseError reports a lexical or syntactic error with its byte
+// offset in the query text.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("skql: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer splits query text into tokens. It never panics: malformed
+// input yields a *ParseError.
+type lexer struct {
+	src string
+	off int
+}
+
+func isWordRune(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isNumberStart(b byte) bool {
+	return b >= '0' && b <= '9' || b == '-' || b == '+' || b == '.'
+}
+
+// next returns the next token, advancing the lexer.
+func (lx *lexer) next() (token, error) {
+	for lx.off < len(lx.src) {
+		if c := lx.src[lx.off]; c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.off++
+			continue
+		}
+		break
+	}
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.off}, nil
+	}
+	start := lx.off
+	switch c := lx.src[lx.off]; {
+	case c == '(':
+		lx.off++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		lx.off++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		lx.off++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '>':
+		lx.off++
+		if lx.off < len(lx.src) && lx.src[lx.off] == '=' {
+			lx.off++
+			return token{kind: tokGE, pos: start}, nil
+		}
+		return token{kind: tokGT, pos: start}, nil
+	case c == '"':
+		return lx.lexString()
+	case isNumberStart(c):
+		return lx.lexNumber()
+	default:
+		r, size := utf8.DecodeRuneInString(lx.src[lx.off:])
+		if !isWordRune(r) {
+			return token{}, errAt(start, "unexpected character %q", r)
+		}
+		for lx.off < len(lx.src) {
+			r, size = utf8.DecodeRuneInString(lx.src[lx.off:])
+			if !isWordRune(r) {
+				break
+			}
+			lx.off += size
+		}
+		return token{kind: tokWord, text: lx.src[start:lx.off], pos: start}, nil
+	}
+}
+
+// lexString scans a double-quoted string with Go escape syntax.
+func (lx *lexer) lexString() (token, error) {
+	start := lx.off
+	lx.off++ // opening quote
+	for lx.off < len(lx.src) {
+		switch lx.src[lx.off] {
+		case '\\':
+			lx.off += 2 // skip escaped char; bounds rechecked by loop
+		case '"':
+			lx.off++
+			raw := lx.src[start:lx.off]
+			val, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, errAt(start, "bad string literal %s", raw)
+			}
+			return token{kind: tokString, text: val, pos: start}, nil
+		case '\n':
+			return token{}, errAt(start, "newline in string literal")
+		default:
+			lx.off++
+		}
+	}
+	return token{}, errAt(start, "unterminated string literal")
+}
+
+// lexNumber scans a signed decimal number with optional fraction and
+// exponent. strconv.ParseFloat is the final validity check.
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.off
+	if c := lx.src[lx.off]; c == '-' || c == '+' {
+		lx.off++
+	}
+	digits := func() int {
+		n := 0
+		for lx.off < len(lx.src) && lx.src[lx.off] >= '0' && lx.src[lx.off] <= '9' {
+			lx.off++
+			n++
+		}
+		return n
+	}
+	n := digits()
+	if lx.off < len(lx.src) && lx.src[lx.off] == '.' {
+		lx.off++
+		n += digits()
+	}
+	if n == 0 {
+		return token{}, errAt(start, "malformed number %q", lx.src[start:lx.off])
+	}
+	if lx.off < len(lx.src) && (lx.src[lx.off] == 'e' || lx.src[lx.off] == 'E') {
+		lx.off++
+		if lx.off < len(lx.src) && (lx.src[lx.off] == '-' || lx.src[lx.off] == '+') {
+			lx.off++
+		}
+		if digits() == 0 {
+			return token{}, errAt(start, "malformed exponent in %q", lx.src[start:lx.off])
+		}
+	}
+	text := lx.src[start:lx.off]
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return token{}, errAt(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, text: text, pos: start}, nil
+}
+
+// isKeyword reports whether a word token spells the given language
+// keyword, case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokWord && strings.EqualFold(t.text, kw)
+}
+
+// reservedWords are language keywords a bare word term may not shadow;
+// quoted terms are always literal.
+var reservedWords = []string{
+	"explain", "analyze", "select", "top", "ranked", "all", "count",
+	"near", "match", "and", "or", "not", "where", "score", "within",
+	"rect", "using",
+}
+
+func isReserved(word string) bool {
+	for _, kw := range reservedWords {
+		if strings.EqualFold(word, kw) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,389 @@
+package skql
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// maxK bounds TOP/RANKED k so a query cannot demand an absurd fetch.
+const maxK = 1_000_000
+
+// maxExprDepth bounds parser recursion (parenthesis and NOT nesting)
+// so adversarial input cannot overflow the stack.
+const maxExprDepth = 200
+
+// Parse parses one SKQL statement into its typed AST. It never
+// panics; malformed input yields a *ParseError.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errAt(p.tok.pos, "unexpected %s after query", p.tok.kind)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lx    lexer
+	tok   token // current lookahead
+	depth int
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// eatKeyword consumes the current token if it spells kw.
+func (p *parser) eatKeyword(kw string) (bool, error) {
+	if !p.tok.isKeyword(kw) {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	ok, err := p.eatKeyword(kw)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errAt(p.tok.pos, "expected %s, found %s", strings.ToUpper(kw), p.describe())
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errAt(p.tok.pos, "expected %s, found %s", kind, p.describe())
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// describe renders the lookahead token for error messages.
+func (p *parser) describe() string {
+	switch p.tok.kind {
+	case tokWord:
+		return strconv.Quote(p.tok.text)
+	case tokString:
+		return "string " + strconv.Quote(p.tok.text)
+	case tokNumber:
+		return "number " + p.tok.text
+	default:
+		return p.tok.kind.String()
+	}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	explain, err := p.eatKeyword("explain")
+	if err != nil {
+		return nil, err
+	}
+	if explain {
+		q.Explain = true
+		if q.Analyze, err = p.eatKeyword("analyze"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseProjection(q); err != nil {
+		return nil, err
+	}
+
+	seen := map[string]bool{}
+	for {
+		var clause string
+		switch {
+		case p.tok.isKeyword("near"):
+			clause = "NEAR"
+		case p.tok.isKeyword("match"):
+			clause = "MATCH"
+		case p.tok.isKeyword("where"):
+			clause = "WHERE"
+		case p.tok.isKeyword("within"):
+			clause = "WITHIN"
+		case p.tok.isKeyword("using"):
+			clause = "USING"
+		default:
+			return q, nil
+		}
+		if seen[clause] {
+			return nil, errAt(p.tok.pos, "duplicate %s clause", clause)
+		}
+		seen[clause] = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var perr error
+		switch clause {
+		case "NEAR":
+			perr = p.parseNear(q)
+		case "MATCH":
+			q.Match, perr = p.parseOr()
+		case "WHERE":
+			perr = p.parseWhere(q)
+		case "WITHIN":
+			perr = p.parseWithin(q)
+		case "USING":
+			perr = p.parseUsing(q)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+	}
+}
+
+func (p *parser) parseProjection(q *Query) error {
+	switch {
+	case p.tok.isKeyword("top"):
+		q.Proj = ProjTop
+	case p.tok.isKeyword("ranked"):
+		q.Proj = ProjRanked
+	case p.tok.isKeyword("all"):
+		q.Proj = ProjAll
+	case p.tok.isKeyword("count"):
+		q.Proj = ProjCount
+	default:
+		return errAt(p.tok.pos, "expected TOP, RANKED, ALL, or COUNT, found %s", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if q.Proj == ProjTop || q.Proj == ProjRanked {
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k < 1 || k > maxK {
+			return errAt(t.pos, "k must be an integer in [1, %d], got %q", maxK, t.text)
+		}
+		q.K = k
+	}
+	return nil
+}
+
+// parseFloat consumes a number token and rejects non-finite values
+// (e.g. 1e999 overflows to +Inf, which would not round-trip).
+func (p *parser) parseFloat() (float64, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, errAt(t.pos, "number %q out of range", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseNear(q *Query) error {
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	x, err := p.parseFloat()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return err
+	}
+	y, err := p.parseFloat()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	q.Near = []float64{x, y}
+	return nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	if err := p.expectKeyword("score"); err != nil {
+		return err
+	}
+	var op CmpOp
+	switch p.tok.kind {
+	case tokGT:
+		op = CmpGT
+	case tokGE:
+		op = CmpGE
+	default:
+		return errAt(p.tok.pos, "expected '>' or '>=', found %s", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	v, err := p.parseFloat()
+	if err != nil {
+		return err
+	}
+	q.Where = &ScoreFilter{Op: op, Value: v}
+	return nil
+}
+
+func (p *parser) parseWithin(q *Query) error {
+	if err := p.expectKeyword("rect"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var vals [4]float64
+	for i := range vals {
+		if i > 0 {
+			if _, err := p.expect(tokComma); err != nil {
+				return err
+			}
+		}
+		v, err := p.parseFloat()
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	q.Within = &Rect{Lo: [2]float64{vals[0], vals[1]}, Hi: [2]float64{vals[2], vals[3]}}
+	return nil
+}
+
+func (p *parser) parseUsing(q *Query) error {
+	t, err := p.expect(tokWord)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(t.text) {
+	case "auto":
+		q.Force = PathAuto
+	case "ir2":
+		q.Force = PathIR2
+	case "iio":
+		q.Force = PathIIO
+	case "rtree":
+		q.Force = PathRTree
+	default:
+		return errAt(t.pos, "unknown access path %q (want ir2, iio, rtree, or auto)", t.text)
+	}
+	return nil
+}
+
+// parseOr parses OR-chains: and-expr (OR and-expr)*.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	var kids []Expr
+	for p.tok.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if kids == nil {
+			kids = []Expr{left}
+		}
+		kids = append(kids, right)
+	}
+	if kids == nil {
+		return left, nil
+	}
+	return Or{Kids: kids}, nil
+}
+
+// parseAnd parses AND-chains: unary (AND unary)*.
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	var kids []Expr
+	for p.tok.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if kids == nil {
+			kids = []Expr{left}
+		}
+		kids = append(kids, right)
+	}
+	if kids == nil {
+		return left, nil
+	}
+	return And{Kids: kids}, nil
+}
+
+// parseUnary parses NOT prefixes and primaries.
+func (p *parser) parseUnary() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, errAt(p.tok.pos, "expression nested too deeply (limit %d)", maxExprDepth)
+	}
+	if p.tok.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokString:
+		t := p.tok
+		if t.text == "" {
+			return nil, errAt(t.pos, "empty keyword")
+		}
+		return Term{Word: t.text}, p.advance()
+	case tokWord:
+		t := p.tok
+		if isReserved(t.text) {
+			return nil, errAt(t.pos, "reserved word %q must be quoted to match as a keyword", t.text)
+		}
+		return Term{Word: t.text}, p.advance()
+	default:
+		return nil, errAt(p.tok.pos, "expected keyword or '(', found %s", p.describe())
+	}
+}

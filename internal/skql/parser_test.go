@@ -1,0 +1,180 @@
+package skql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseCanonical checks parsing and canonical printing together:
+// each input parses, prints as the expected canonical form, and that
+// form re-parses to the same string (the round-trip fixpoint).
+func TestParseCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT TOP 5 NEAR (1, 2)", `SELECT TOP 5 NEAR (1, 2)`},
+		{"select top 5 near(1,2)", `SELECT TOP 5 NEAR (1, 2)`},
+		{"SELECT TOP 10 NEAR (3.5, -7) MATCH pizza",
+			`SELECT TOP 10 NEAR (3.5, -7) MATCH "pizza"`},
+		{`SELECT TOP 10 NEAR (0, 0) MATCH "cafe" AND wifi OR "tea"`,
+			`SELECT TOP 10 NEAR (0, 0) MATCH "cafe" AND "wifi" OR "tea"`},
+		{`SELECT TOP 10 NEAR (0, 0) MATCH a AND (b OR c)`,
+			`SELECT TOP 10 NEAR (0, 0) MATCH "a" AND ("b" OR "c")`},
+		{`SELECT TOP 10 NEAR (0, 0) MATCH NOT (a OR b) AND c`,
+			`SELECT TOP 10 NEAR (0, 0) MATCH NOT ("a" OR "b") AND "c"`},
+		{`SELECT TOP 3 NEAR (0, 0) MATCH NOT NOT x`,
+			`SELECT TOP 3 NEAR (0, 0) MATCH NOT (NOT "x")`},
+		{`SELECT RANKED 7 NEAR (2, 2) MATCH beach WHERE score > 0.5`,
+			`SELECT RANKED 7 NEAR (2, 2) MATCH "beach" WHERE score > 0.5`},
+		{`SELECT RANKED 7 NEAR (2, 2) MATCH beach WHERE score >= 1`,
+			`SELECT RANKED 7 NEAR (2, 2) MATCH "beach" WHERE score >= 1`},
+		{`SELECT ALL WITHIN rect(0, 0, 10, 10) MATCH "a"`,
+			`SELECT ALL MATCH "a" WITHIN rect(0, 0, 10, 10)`},
+		{`SELECT COUNT WITHIN rect(-1.5, -2, 3, 4e2)`,
+			`SELECT COUNT WITHIN rect(-1.5, -2, 3, 400)`},
+		{`SELECT TOP 2 NEAR (1, 1) MATCH x USING iio`,
+			`SELECT TOP 2 NEAR (1, 1) MATCH "x" USING iio`},
+		{`SELECT TOP 2 NEAR (1, 1) USING auto`, `SELECT TOP 2 NEAR (1, 1)`},
+		{`EXPLAIN SELECT TOP 2 NEAR (1, 1) MATCH x`,
+			`EXPLAIN SELECT TOP 2 NEAR (1, 1) MATCH "x"`},
+		{`explain analyze select top 2 near (1, 1) match x using rtree`,
+			`EXPLAIN ANALYZE SELECT TOP 2 NEAR (1, 1) MATCH "x" USING rtree`},
+		// Reserved words are fine when quoted; escapes work.
+		{`SELECT TOP 1 NEAR (0, 0) MATCH "and" AND "select"`,
+			`SELECT TOP 1 NEAR (0, 0) MATCH "and" AND "select"`},
+		{`SELECT TOP 1 NEAR (0, 0) MATCH "café"`,
+			`SELECT TOP 1 NEAR (0, 0) MATCH "café"`},
+		// Clause order is free in input, canonical in output.
+		{`SELECT TOP 4 USING ir2 MATCH m NEAR (9, 9)`,
+			`SELECT TOP 4 NEAR (9, 9) MATCH "m" USING ir2`},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		got := q.String()
+		if got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		q2, err := Parse(got)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", got, err)
+			continue
+		}
+		if got2 := q2.String(); got2 != got {
+			t.Errorf("round trip not a fixpoint: %q -> %q", got, got2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"", "expected SELECT"},
+		{"SELECT", "expected TOP, RANKED, ALL, or COUNT"},
+		{"SELECT TOP", "expected number"},
+		{"SELECT TOP 0 NEAR (1, 2)", "k must be an integer"},
+		{"SELECT TOP -3 NEAR (1, 2)", "k must be an integer"},
+		{"SELECT TOP 2.5 NEAR (1, 2)", "k must be an integer"},
+		{"SELECT TOP 9999999999 NEAR (1, 2)", "k must be an integer"},
+		{"SELECT TOP 5 NEAR (1)", "expected ','"},
+		{"SELECT TOP 5 NEAR (1, 2) NEAR (3, 4)", "duplicate NEAR"},
+		{"SELECT TOP 5 NEAR (1e999, 2)", "malformed number"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH", "expected keyword or '('"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH and", "reserved word"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH select", "reserved word"},
+		{`SELECT TOP 5 NEAR (1, 2) MATCH ""`, "empty keyword"},
+		{`SELECT TOP 5 NEAR (1, 2) MATCH "unterminated`, "unterminated"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH (a", "expected ')'"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH a AND", "expected keyword or '('"},
+		{"SELECT TOP 5 NEAR (1, 2) WHERE score", "expected '>' or '>='"},
+		{"SELECT TOP 5 NEAR (1, 2) USING btree", "unknown access path"},
+		{"SELECT ALL WITHIN rect(1, 2, 3)", "expected ','"},
+		{"SELECT TOP 5 NEAR (1, 2) garbage", "unexpected"},
+		{"SELECT TOP 5 NEAR (1, 2) MATCH " + strings.Repeat("NOT ", 300) + "x",
+			"nested too deeply"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.in, err.Error(), c.wantSub)
+		}
+	}
+}
+
+// TestParseJSONEquivalence checks that the JSON form produces the same
+// AST (via canonical string) as the text form, and that MarshalJSON
+// round-trips through ParseJSON.
+func TestParseJSONEquivalence(t *testing.T) {
+	cases := []struct{ js, text string }{
+		{`{"select":"top","k":5,"near":[1,2]}`, "SELECT TOP 5 NEAR (1, 2)"},
+		{`{"select":"top","k":10,"near":[0,0],
+		   "match":{"and":[{"term":"cafe"},{"or":[{"term":"wifi"},{"term":"tea"}]}]}}`,
+			`SELECT TOP 10 NEAR (0, 0) MATCH "cafe" AND ("wifi" OR "tea")`},
+		{`{"explain":"analyze","select":"ranked","k":3,"near":[2,2],
+		   "match":{"term":"beach"},"where":{"score_gt":0.5}}`,
+			`EXPLAIN ANALYZE SELECT RANKED 3 NEAR (2, 2) MATCH "beach" WHERE score > 0.5`},
+		{`{"select":"count","within":[0,0,9,9],"match":{"not":{"term":"closed"}}}`,
+			`SELECT COUNT MATCH NOT "closed" WITHIN rect(0, 0, 9, 9)`},
+		{`{"select":"all","within":[0,0,9,9],"using":"iio","match":{"term":"x"}}`,
+			`SELECT ALL MATCH "x" WITHIN rect(0, 0, 9, 9) USING iio`},
+	}
+	for _, c := range cases {
+		jq, err := ParseJSON([]byte(c.js))
+		if err != nil {
+			t.Errorf("ParseJSON(%s): %v", c.js, err)
+			continue
+		}
+		tq, err := Parse(c.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.text, err)
+		}
+		if jq.String() != tq.String() {
+			t.Errorf("JSON and text disagree: %q vs %q", jq.String(), tq.String())
+		}
+		// Marshal and re-parse.
+		data, err := jq.MarshalJSON()
+		if err != nil {
+			t.Errorf("MarshalJSON: %v", err)
+			continue
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Errorf("ParseJSON(MarshalJSON()) = %v on %s", err, data)
+			continue
+		}
+		if back.String() != jq.String() {
+			t.Errorf("JSON round trip: %q -> %q", jq.String(), back.String())
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []struct{ js, wantSub string }{
+		{`{"select":"top","near":[1,2]}`, "k must be"},
+		{`{"select":"all","k":3,"within":[0,0,1,1]}`, "k is only valid"},
+		{`{"select":"nope"}`, "select must be"},
+		{`{"select":"top","k":1,"near":[1]}`, "near must be"},
+		{`{"select":"top","k":1,"near":[1,2],"bogus":true}`, "unknown field"},
+		{`{"select":"top","k":1,"near":[1,2],"match":{}}`, "exactly one"},
+		{`{"select":"top","k":1,"near":[1,2],
+		   "match":{"term":"a","and":[{"term":"b"}]}}`, "exactly one"},
+		{`{"select":"top","k":1,"near":[1,2],"where":{}}`, "exactly one of score_gt"},
+		{`{"select":"top","k":1,"near":[1,2],"using":"hash"}`, "unknown access path"},
+		{`{"select":"all","within":[0,0,1]}`, "within must be"},
+	}
+	for _, c := range cases {
+		_, err := ParseJSON([]byte(c.js))
+		if err == nil {
+			t.Errorf("ParseJSON(%s): expected error containing %q, got nil", c.js, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseJSON(%s) error = %q, want substring %q", c.js, err.Error(), c.wantSub)
+		}
+	}
+}

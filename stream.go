@@ -8,6 +8,7 @@ import (
 	"spatialkeyword/internal/geo"
 	"spatialkeyword/internal/irscore"
 	"spatialkeyword/internal/objstore"
+	"spatialkeyword/internal/rtree"
 	"spatialkeyword/internal/storage"
 )
 
@@ -85,6 +86,12 @@ func (s *SearchIter) Next() (Result, bool, error) {
 // iterator can still produce; ok is false when it is exhausted.
 func (s *SearchIter) PeekBound() (float64, bool) { return s.it.PeekBound() }
 
+// SetTrace installs a traversal trace callback (see Engine.Explain for
+// the event kinds). Call before the first Next; fn must not retain the
+// event. A nil fn removes the callback. Used by internal/skql to fold
+// the traversal walk into EXPLAIN ANALYZE output.
+func (s *SearchIter) SetTrace(fn func(rtree.TraceEvent)) { s.it.SetTrace(fn) }
+
 // Stats returns the traversal work counters accumulated so far (node and
 // object accesses plus signature pruning counts; disk blocks are accounted
 // at the device, see TopKWithStats).
@@ -103,6 +110,15 @@ type CorpusStats struct {
 	NumDocs int
 	// DocFreq returns the number of documents containing the word.
 	DocFreq func(word string) int
+}
+
+// Corpus returns the engine's own corpus statistics: document count
+// and per-word document frequencies from its vocabulary (both include
+// deleted documents, matching idf semantics — deletions do not rewrite
+// idf). The returned DocFreq reads the live vocabulary; like every
+// read, it needs external exclusion against concurrent writers.
+func (e *Engine) Corpus() CorpusStats {
+	return CorpusStats{NumDocs: e.vocab.NumDocs(), DocFreq: e.vocab.DocFreq}
 }
 
 // RankedSearchIter streams general ranked results in non-increasing score
